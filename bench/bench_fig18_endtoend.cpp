@@ -1,0 +1,140 @@
+// Fig. 18a-c reproduction: end-to-end comparison of mmReliable against
+// the reactive single-beam, BeamSpy, and wide-beam baselines.
+//  (a) static link with 0/1/2 crossing blockers: throughput.
+//  (b) mobile links with blockage: reliability distribution (paper:
+//      mmReliable ~1.0 median, reactive 0.65, widebeam 0.5).
+//  (c) throughput-reliability product (paper: 2.3x over reactive).
+#include <cstdio>
+#include <functional>
+#include <iostream>
+#include <memory>
+
+#include "common/stats.h"
+#include "common/table.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+using namespace mmr;
+
+namespace {
+
+using ControllerFactory = std::function<std::unique_ptr<core::BeamController>(
+    const sim::LinkWorld&, const sim::ScenarioConfig&)>;
+
+struct Scheme {
+  const char* name;
+  ControllerFactory make;
+};
+
+std::vector<Scheme> schemes() {
+  return {
+      {"mmReliable",
+       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c) {
+         return sim::make_mmreliable(w, c, 2);
+       }},
+      {"reactive",
+       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c)
+           -> std::unique_ptr<core::BeamController> {
+         return sim::make_reactive(w, c);
+       }},
+      {"beamspy",
+       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c)
+           -> std::unique_ptr<core::BeamController> {
+         return sim::make_beamspy(w, c);
+       }},
+      {"widebeam",
+       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c)
+           -> std::unique_ptr<core::BeamController> {
+         return sim::make_widebeam(w, c);
+       }},
+  };
+}
+
+sim::ScenarioConfig base_cfg(std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.seed = seed;
+  c.sparse_room = true;
+  c.tx_power_dbm = 14.0;  // tight margin: blocked single beam = outage
+  return c;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 18a: static link with 0/1/2 blockers ===\n");
+  {
+    Table t({"scheme", "0 blockers (Mbps)", "1 blocker (Mbps)",
+             "2 blockers (Mbps)", "drop w/ 2 (%)"});
+    for (const Scheme& s : schemes()) {
+      RVec tput;
+      for (int nb = 0; nb <= 2; ++nb) {
+        const auto c = base_cfg(31);
+        sim::LinkWorld world = sim::make_indoor_world(c);
+        if (nb >= 1) {
+          world.add_blocker(
+              sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.4, 1.0, 30.0));
+        }
+        if (nb >= 2) {
+          world.add_blocker(
+              sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.75, 1.2, 30.0));
+        }
+        auto ctrl = s.make(world, c);
+        sim::RunConfig rc;
+        const auto r = sim::run_experiment(world, *ctrl, rc);
+        tput.push_back(r.summary.mean_throughput_bps / 1e6);
+      }
+      t.add_row({s.name, Table::num(tput[0], 0), Table::num(tput[1], 0),
+                 Table::num(tput[2], 0),
+                 Table::num(100.0 * (1.0 - tput[2] / tput[0]), 1)});
+    }
+    t.print(std::cout);
+    std::printf("paper shape: mmReliable loses only a few %% with two "
+                "blockers; single-beam baselines lose far more.\n");
+  }
+
+  std::printf("\n=== Fig. 18b/c: mobile links with blockage (%d runs each) "
+              "===\n", 20);
+  {
+    Table t({"scheme", "reliability p25", "median", "p75",
+             "mean tput (Mbps)", "T x R product (Mbps)"});
+    double mmr_trp = 0.0, reactive_trp = 0.0;
+    for (const Scheme& s : schemes()) {
+      RVec rel, tput, trp;
+      for (int run = 0; run < 20; ++run) {
+        auto c = base_cfg(100 + run);
+        // Per-run randomized motion + one or two crossing blockers
+        // (paper: blockage 100-500 ms during each 1 s mobile run).
+        Rng rng(500 + run);
+        const double vy = rng.uniform(-1.5, -0.4);
+        sim::LinkWorld world = sim::make_indoor_world(c, {0.0, vy});
+        world.add_blocker(sim::crossing_blocker(
+            {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.3, 0.55),
+            rng.uniform(1.0, 2.5), 30.0));
+        if (rng.bernoulli(0.4)) {
+          world.add_blocker(sim::crossing_blocker(
+              {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.65, 0.85),
+              rng.uniform(1.5, 3.0), 30.0));
+        }
+        auto ctrl = s.make(world, c);
+        sim::RunConfig rc;
+        const auto r = sim::run_experiment(world, *ctrl, rc);
+        rel.push_back(r.summary.reliability);
+        tput.push_back(r.summary.mean_throughput_bps / 1e6);
+        trp.push_back(r.summary.throughput_reliability_product / 1e6);
+      }
+      const double trp_mean = mean(trp);
+      if (std::string(s.name) == "mmReliable") mmr_trp = trp_mean;
+      if (std::string(s.name) == "reactive") reactive_trp = trp_mean;
+      t.add_row({s.name, Table::num(percentile(rel, 25.0), 3),
+                 Table::num(median(rel), 3),
+                 Table::num(percentile(rel, 75.0), 3),
+                 Table::num(mean(tput), 0), Table::num(trp_mean, 0)});
+    }
+    t.print(std::cout);
+    std::printf("\nthroughput-reliability product: mmReliable / reactive = "
+                "%.2fx (paper: 2.3x)\n", mmr_trp / reactive_trp);
+    std::printf("paper shape: mmReliable reliability near 1.0 and the "
+                "highest T x R product; reactive and widebeam trail.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,88 @@
+// Section 8 (future work) reproduction: engineered reflections with an
+// intelligent reflecting surface.
+//
+// In a reflection-poor room (wooden walls only), the multi-beam system
+// "falls back to a single-beam system" (the paper's own caveat) and a LOS
+// blockage takes the link down. Deploying one IRS panel restores a strong
+// second path: the multi-beam regains its constructive gain AND its
+// blockage resilience.
+#include <cstdio>
+#include <iostream>
+
+#include "common/angles.h"
+#include "common/constants.h"
+#include "common/table.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+using namespace mmr;
+
+namespace {
+
+// Reflection-poor space: the only surface is a distant wooden wall whose
+// reflection arrives ~22 dB down -- below what beam training will accept,
+// so the link is effectively single-path.
+sim::LinkWorld make_poor_world(std::uint64_t seed) {
+  channel::Environment env(kCarrier28GHz);
+  env.add_wall({{{0.0, 0.0}, {10.0, 0.0}}, channel::Material::wood()});
+  const channel::Pose tx{{0.5, 6.2}, 0.0};
+  auto traj = std::make_shared<channel::StaticPose>(
+      channel::Pose{{7.0, 6.2}, kPi});
+  sim::WorldConfig wc;
+  wc.spec = {kCarrier28GHz, kBandwidth400MHz, 64};
+  wc.budget = phy::LinkBudget::paper_indoor();
+  wc.budget.tx_power_dbm = 14.0;
+  wc.tx_ula = {8, 0.5};
+  return sim::LinkWorld(std::move(env), tx, std::move(traj), wc, Rng(seed));
+}
+
+struct Outcome {
+  double reliability;
+  double tput_mbps;
+  double min_snr;
+};
+
+Outcome run_case(bool with_irs, std::uint64_t seed) {
+  sim::LinkWorld world = make_poor_world(seed);
+  if (with_irs) {
+    channel::IrsPanel panel;
+    panel.position = {3.75, 5.0};  // mounted a meter off the link line
+    panel.gain_db = 60.0;
+    world.add_irs(panel);
+  }
+  world.add_blocker(
+      sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.5, 1.0, 30.0));
+  sim::ScenarioConfig cfg;
+  cfg.seed = seed;
+  auto ctrl = sim::make_mmreliable(world, cfg, 2);
+  // Match the world's tightened link budget.
+  sim::RunConfig rc;
+  const auto r = sim::run_experiment(world, *ctrl, rc);
+  Outcome out;
+  out.reliability = r.summary.reliability;
+  out.tput_mbps = r.summary.mean_throughput_bps / 1e6;
+  out.min_snr = 1e9;
+  for (const auto& s : r.samples) {
+    if (s.t_s > 0.2) out.min_snr = std::min(out.min_snr, s.snr_db);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Section 8 future work: engineered reflections (IRS) ===\n");
+  std::printf("(reflection-poor wooden room, LOS blocked ~0.25-0.75 s)\n\n");
+  Table t({"deployment", "reliability", "mean tput (Mbps)",
+           "min SNR during blockage (dB)"});
+  const Outcome bare = run_case(false, 11);
+  const Outcome irs = run_case(true, 11);
+  t.add_row({"natural reflectors only", Table::num(bare.reliability, 3),
+             Table::num(bare.tput_mbps, 0), Table::num(bare.min_snr, 1)});
+  t.add_row({"one 60 dB IRS panel", Table::num(irs.reliability, 3),
+             Table::num(irs.tput_mbps, 0), Table::num(irs.min_snr, 1)});
+  t.print(std::cout);
+  std::printf("\npaper vision: IRS panels engineer the strong reflections\n"
+              "multi-beam needs where the environment provides none.\n");
+  return 0;
+}

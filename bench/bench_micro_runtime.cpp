@@ -1,0 +1,117 @@
+// Algorithm runtime micro-benchmarks (google-benchmark).
+// Paper performance claims exercised here:
+//  * Section 4.3: the super-resolution solve completes in ~100 us.
+//  * Section 5.1: multi-beam weights are synthesized on the fly from
+//    stored single-beam weights (fast enough for the FPGA path).
+#include <benchmark/benchmark.h>
+
+#include "array/codebook.h"
+#include "channel/wideband.h"
+#include "common/angles.h"
+#include "common/rng.h"
+#include "core/multibeam.h"
+#include "core/probing.h"
+#include "core/superres.h"
+#include "dsp/fft.h"
+#include "dsp/sinc.h"
+
+using namespace mmr;
+
+namespace {
+
+CVec make_cir(std::size_t taps, const RVec& delays, Rng& rng) {
+  constexpr double kBw = 400e6;
+  constexpr double kTs = 1.0 / kBw;
+  CVec cir(taps, cplx{});
+  for (std::size_t k = 0; k < delays.size(); ++k) {
+    const cplx amp = rng.complex_normal();
+    for (std::size_t n = 0; n < taps; ++n) {
+      cir[n] += amp * dsp::sampled_sinc_tap(n, kTs, kBw, delays[k]);
+    }
+  }
+  return cir;
+}
+
+void BM_SuperresSolve2Beam(benchmark::State& state) {
+  Rng rng(3);
+  const RVec delays{0.0, 1.4e-9};
+  const CVec cir = make_cir(24, delays, rng);
+  for (auto _ : state) {
+    auto fit = core::superres_per_beam(cir, delays, 2.5e-9, 400e6);
+    benchmark::DoNotOptimize(fit.alphas);
+  }
+}
+BENCHMARK(BM_SuperresSolve2Beam);
+
+void BM_SuperresSolve3Beam(benchmark::State& state) {
+  Rng rng(5);
+  const RVec delays{0.0, 1.4e-9, 4.0e-9};
+  const CVec cir = make_cir(24, delays, rng);
+  for (auto _ : state) {
+    auto fit = core::superres_per_beam(cir, delays, 2.5e-9, 400e6);
+    benchmark::DoNotOptimize(fit.alphas);
+  }
+}
+BENCHMARK(BM_SuperresSolve3Beam);
+
+void BM_MultibeamSynthesis(benchmark::State& state) {
+  const array::Ula ula{static_cast<std::size_t>(state.range(0)), 0.5};
+  const std::vector<core::BeamComponent> comps{
+      {deg_to_rad(-20.0), cplx{1.0, 0.0}},
+      {deg_to_rad(15.0), std::polar(0.6, 1.0)},
+      {deg_to_rad(40.0), std::polar(0.4, -0.5)}};
+  for (auto _ : state) {
+    auto mb = core::synthesize_multibeam(ula, comps);
+    benchmark::DoNotOptimize(mb.weights);
+  }
+}
+BENCHMARK(BM_MultibeamSynthesis)->Arg(8)->Arg(64)->Arg(256);
+
+void BM_TwoProbeRatioMath(benchmark::State& state) {
+  for (auto _ : state) {
+    const cplx r = core::ratio_from_powers(1.3, 0.6, 2.9, 1.1);
+    benchmark::DoNotOptimize(r);
+  }
+}
+BENCHMARK(BM_TwoProbeRatioMath);
+
+void BM_WidebandCsi64(benchmark::State& state) {
+  const array::Ula ula{8, 0.5};
+  const channel::WidebandSpec spec{28e9, 400e6, 64};
+  channel::Path p0;
+  p0.aod_rad = 0.0;
+  p0.gain = cplx{1e-4, 0.0};
+  channel::Path p1 = p0;
+  p1.aod_rad = deg_to_rad(20.0);
+  p1.delay_s = 1.5e-9;
+  const std::vector<channel::Path> paths{p0, p1};
+  const CVec w = array::single_beam_weights(ula, 0.0);
+  for (auto _ : state) {
+    auto csi = channel::effective_csi(paths, ula, w, spec,
+                                      channel::RxFrontend::omni());
+    benchmark::DoNotOptimize(csi);
+  }
+}
+BENCHMARK(BM_WidebandCsi64);
+
+void BM_Fft(benchmark::State& state) {
+  Rng rng(7);
+  CVec x(static_cast<std::size_t>(state.range(0)));
+  for (auto& c : x) c = rng.complex_normal();
+  for (auto _ : state) {
+    auto y = dsp::fft(x);
+    benchmark::DoNotOptimize(y);
+  }
+}
+BENCHMARK(BM_Fft)->Arg(64)->Arg(1024)->Arg(1000);
+
+void BM_CodebookConstruction(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  for (auto _ : state) {
+    array::Codebook cb(ula, deg_to_rad(-60.0), deg_to_rad(60.0), 64);
+    benchmark::DoNotOptimize(cb.size());
+  }
+}
+BENCHMARK(BM_CodebookConstruction);
+
+}  // namespace

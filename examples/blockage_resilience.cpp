@@ -1,0 +1,78 @@
+// Blockage-resilience walkthrough: the paper's headline scenario (V2X /
+// VR links must survive people walking through the beam).
+//
+// A pedestrian crosses an indoor link while mmReliable maintains a 2-beam
+// multi-beam. Watch the controller detect the LOS beam's collapse,
+// reallocate power to the wall reflection, and re-admit the LOS beam when
+// the pedestrian has passed -- while a frozen single-beam link drops into
+// outage for the whole crossing.
+#include <cstdio>
+
+#include "baselines/reactive_single_beam.h"
+#include "common/constants.h"
+#include "common/units.h"
+#include "sim/scenario.h"
+
+using namespace mmr;
+
+int main() {
+  sim::ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.sparse_room = true;  // one strong wall reflector, like a corridor
+
+  // Two identical worlds so both links see the same pedestrian.
+  sim::LinkWorld world_multi = sim::make_indoor_world(cfg);
+  sim::LinkWorld world_single = sim::make_indoor_world(cfg);
+  const auto pedestrian =
+      sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, /*crossing_time=*/0.5,
+                            /*speed=*/1.0, /*depth_db=*/30.0);
+  world_multi.add_blocker(pedestrian);
+  world_single.add_blocker(pedestrian);
+
+  auto mmr_ctrl = sim::make_mmreliable(world_multi, cfg, 2);
+  baselines::ReactiveConfig single_cfg;
+  single_cfg.outage_power_linear = 0.0;  // frozen: never reacts
+  baselines::ReactiveSingleBeam single(
+      world_single.config().tx_ula,
+      sim::sector_codebook(world_single.config().tx_ula), single_cfg);
+
+  const auto link_multi = world_multi.probe_interface();
+  const auto link_single = world_single.probe_interface();
+
+  std::printf("%8s %12s %12s %8s %s\n", "t (ms)", "single (dB)", "multi (dB)",
+              "beams", "controller state");
+  int single_outage = 0, multi_outage = 0;
+  for (int i = 0; i < 400; ++i) {
+    const double t = i * 2.5e-3;
+    world_multi.set_time(t);
+    world_single.set_time(t);
+    if (i == 0) {
+      mmr_ctrl->start(t, link_multi);
+      single.start(t, link_single);
+    } else {
+      mmr_ctrl->step(t, link_multi);
+      single.step(t, link_single);
+    }
+    const double snr_s = world_single.true_snr_db(single.tx_weights());
+    const double snr_m = world_multi.true_snr_db(mmr_ctrl->tx_weights());
+    if (t > 0.1 && snr_s < kOutageSnrDb) ++single_outage;
+    if (t > 0.1 && snr_m < kOutageSnrDb) ++multi_outage;
+    if (i % 25 == 0) {
+      std::string state;
+      const auto& blocked = mmr_ctrl->blocked();
+      for (std::size_t k = 0; k < blocked.size(); ++k) {
+        state += blocked[k] ? 'B' : (k < 2 ? 'A' : '.');
+      }
+      std::printf("%8.0f %12.1f %12.1f %8zu %s\n", t * 1e3, snr_s, snr_m,
+                  mmr_ctrl->num_active_beams(), state.c_str());
+    }
+  }
+  std::printf("\nOutage time (SNR < %.0f dB): single beam %.0f ms, "
+              "multi-beam %.0f ms\n",
+              kOutageSnrDb, single_outage * 2.5, multi_outage * 2.5);
+  std::printf("Beam management airtime spent by mmReliable: %.2f ms "
+              "(%d refinement probes, %d trainings)\n",
+              mmr_ctrl->management_airtime_s() * 1e3,
+              mmr_ctrl->refinement_probes(), mmr_ctrl->trainings());
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Outdoor deployment study: a street-level gNB serving links of 20-80 m
+// along a glass-fronted building (the paper's outdoor testbed, Fig. 13c).
+// For each distance: trace the channel, establish a constructive
+// multi-beam, and compare against a single beam -- including what happens
+// during a 26 dB LOS blockage (a truck, a crowd).
+#include <cstdio>
+
+#include "common/angles.h"
+#include "common/constants.h"
+#include "core/beam_training.h"
+#include "core/multibeam.h"
+#include "core/probing.h"
+#include "phy/mcs.h"
+#include "sim/scenario.h"
+
+using namespace mmr;
+
+int main() {
+  std::printf("Outdoor street link vs distance (glass building facade "
+              "6 m to the side)\n\n");
+  std::printf("%8s %6s %12s %12s %12s %14s %14s\n", "dist", "paths",
+              "refl (dB)", "single(dB)", "multi(dB)", "blocked 1-beam",
+              "blocked multi");
+  const phy::McsTable& mcs = phy::McsTable::nr();
+  for (double dist : {20.0, 40.0, 60.0, 80.0}) {
+    sim::ScenarioConfig cfg;
+    cfg.seed = 5;
+    sim::LinkWorld world = sim::make_outdoor_world(cfg, dist);
+    const array::Ula ula = world.config().tx_ula;
+    const auto link = world.probe_interface();
+
+    core::TrainingConfig tc;
+    tc.top_k = 2;
+    const auto training = core::exhaustive_training(
+        sim::sector_codebook(ula), link.csi, tc);
+    if (training.beams.size() < 2) {
+      std::printf("%6.0f m  no usable reflector found\n", dist);
+      continue;
+    }
+    const auto powers = training.powers();
+    const auto rel = core::estimate_relative_channels(
+        ula, training.angles(), link.csi, &powers);
+    const auto single = core::synthesize_multibeam(
+        ula, {{training.beams[0].angle_rad, cplx{1.0, 0.0}}});
+    const auto multi = core::synthesize_multibeam(
+        ula, core::constructive_components(training.angles(),
+                                           {rel[0].ratio, rel[1].ratio}));
+
+    const double snr_single = world.true_snr_db(single.weights);
+    const double snr_multi = world.true_snr_db(multi.weights);
+
+    // 26 dB LOS blockage: who survives?
+    sim::LinkWorld blocked_world = sim::make_outdoor_world(cfg, dist);
+    channel::GeometricBlocker::Config bc;
+    bc.start = {dist / 2.0, 0.0};
+    bc.velocity = {0.0, 0.0};
+    bc.depth_db = 26.0;
+    blocked_world.add_blocker(channel::GeometricBlocker(bc));
+    const double snr_single_blocked =
+        blocked_world.true_snr_db(single.weights);
+    const double snr_multi_blocked = blocked_world.true_snr_db(multi.weights);
+
+    const double rel_db =
+        20.0 * std::log10(rel[1].delta());
+    std::printf("%6.0f m %6zu %12.1f %12.1f %12.1f %11.1f dB %11.1f dB\n",
+                dist, world.paths().size(), rel_db, snr_single, snr_multi,
+                snr_single_blocked, snr_multi_blocked);
+    std::printf("%38s throughput: %6.0f Mbps -> %6.0f Mbps during blockage "
+                "(multi-beam)\n", "",
+                mcs.throughput_bps(snr_multi, 100e6) / 1e6,
+                mcs.throughput_bps(snr_multi_blocked, 100e6) / 1e6);
+  }
+  std::printf("\nNote the reflected path stays within ~5 dB of the LOS\n"
+              "(paper Fig. 4a outdoor median) and keeps multi-beam links\n"
+              "decodable through LOS blockage out to 80 m.\n");
+  return 0;
+}

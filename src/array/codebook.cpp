@@ -1,0 +1,53 @@
+#include "array/codebook.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mmr::array {
+
+Codebook::Codebook(const Ula& ula, double lo_rad, double hi_rad,
+                   std::size_t size)
+    : ula_(ula) {
+  MMR_EXPECTS(size >= 2);
+  MMR_EXPECTS(hi_rad > lo_rad);
+  angles_.resize(size);
+  weights_.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    const double phi = lo_rad + (hi_rad - lo_rad) * static_cast<double>(i) /
+                                    static_cast<double>(size - 1);
+    angles_[i] = phi;
+    weights_.push_back(single_beam_weights(ula_, phi));
+  }
+}
+
+double Codebook::angle(std::size_t idx) const {
+  MMR_EXPECTS(idx < angles_.size());
+  return angles_[idx];
+}
+
+const CVec& Codebook::weights(std::size_t idx) const {
+  MMR_EXPECTS(idx < weights_.size());
+  return weights_[idx];
+}
+
+std::size_t Codebook::nearest(double phi_rad) const {
+  std::size_t best = 0;
+  double best_dist = std::abs(angles_[0] - phi_rad);
+  for (std::size_t i = 1; i < angles_.size(); ++i) {
+    const double d = std::abs(angles_[i] - phi_rad);
+    if (d < best_dist) {
+      best_dist = d;
+      best = i;
+    }
+  }
+  return best;
+}
+
+double Codebook::angular_step() const {
+  return (angles_.back() - angles_.front()) /
+         static_cast<double>(angles_.size() - 1);
+}
+
+}  // namespace mmr::array

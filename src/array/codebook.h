@@ -1,0 +1,38 @@
+// Beam codebooks. Real gNBs store a limited set of single-beam weights in
+// FPGA memory (paper Section 5.1: "64-1024 angular directions") and
+// synthesize multi-beams on the fly as linear sums. The codebook models
+// that stored set and the angular quantization it induces.
+#pragma once
+
+#include <cstddef>
+
+#include "array/geometry.h"
+#include "common/types.h"
+
+namespace mmr::array {
+
+class Codebook {
+ public:
+  /// Uniform grid of `size` beams covering [lo_rad, hi_rad]
+  /// (paper scans a 120-degree sector).
+  Codebook(const Ula& ula, double lo_rad, double hi_rad, std::size_t size);
+
+  std::size_t size() const { return angles_.size(); }
+  const Ula& ula() const { return ula_; }
+
+  double angle(std::size_t idx) const;
+  const CVec& weights(std::size_t idx) const;
+
+  /// Index of the codebook beam closest to phi.
+  std::size_t nearest(double phi_rad) const;
+
+  /// Angular spacing between adjacent beams [rad].
+  double angular_step() const;
+
+ private:
+  Ula ula_;
+  RVec angles_;
+  std::vector<CVec> weights_;
+};
+
+}  // namespace mmr::array

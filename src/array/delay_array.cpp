@@ -1,0 +1,81 @@
+#include "array/delay_array.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/weights.h"
+#include "common/angles.h"
+#include "common/error.h"
+
+namespace mmr::array {
+
+DelayPhasedArray::DelayPhasedArray(const Ula& ula,
+                                   const std::vector<double>& beam_angles_rad)
+    : ula_(ula) {
+  MMR_EXPECTS(!beam_angles_rad.empty());
+  MMR_EXPECTS(ula.num_elements >= beam_angles_rad.size());
+  const std::size_t k = beam_angles_rad.size();
+  const std::size_t per = ula.num_elements / k;
+  std::size_t cursor = 0;
+  for (std::size_t b = 0; b < k; ++b) {
+    Subarray sa;
+    sa.first_element = cursor;
+    // Last subarray absorbs the remainder so every element is used.
+    sa.num_elements = (b + 1 == k) ? (ula.num_elements - cursor) : per;
+    sa.angle_rad = beam_angles_rad[b];
+    subarrays_.push_back(sa);
+    cursor += sa.num_elements;
+  }
+}
+
+const Subarray& DelayPhasedArray::subarray(std::size_t k) const {
+  MMR_EXPECTS(k < subarrays_.size());
+  return subarrays_[k];
+}
+
+void DelayPhasedArray::set_weight(std::size_t k, cplx w) {
+  MMR_EXPECTS(k < subarrays_.size());
+  subarrays_[k].weight = w;
+}
+
+void DelayPhasedArray::set_delay(std::size_t k, double delay_s) {
+  MMR_EXPECTS(k < subarrays_.size());
+  subarrays_[k].delay_s = delay_s;
+}
+
+CVec DelayPhasedArray::weights_at(double carrier_hz,
+                                  double freq_offset_hz) const {
+  MMR_EXPECTS(carrier_hz > 0.0);
+  CVec w(ula_.num_elements, cplx{});
+  for (const Subarray& sa : subarrays_) {
+    // Phase shifters steer at the carrier (frequency-flat); the delay line
+    // contributes a frequency-dependent phase ramp exp(-j 2 pi f_bb tau).
+    // The carrier-frequency part of the delay phase is absorbed into the
+    // subarray weight calibration, so only the baseband offset matters.
+    const double delay_phase = -2.0 * kPi * freq_offset_hz * sa.delay_s;
+    const cplx delay_rot(std::cos(delay_phase), std::sin(delay_phase));
+    const double kk =
+        2.0 * kPi * ula_.spacing_wavelengths * std::sin(sa.angle_rad);
+    for (std::size_t i = 0; i < sa.num_elements; ++i) {
+      const std::size_t n = sa.first_element + i;
+      const double ang = kk * static_cast<double>(n);
+      // conj of the steering phase -> beam toward sa.angle_rad.
+      w[n] = sa.weight * delay_rot * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  return normalize_trp(w);
+}
+
+std::vector<double> compensating_delays(
+    const std::vector<double>& path_delays_s) {
+  MMR_EXPECTS(!path_delays_s.empty());
+  const double max_delay =
+      *std::max_element(path_delays_s.begin(), path_delays_s.end());
+  std::vector<double> out(path_delays_s.size());
+  for (std::size_t i = 0; i < path_delays_s.size(); ++i) {
+    out[i] = max_delay - path_delays_s[i];
+  }
+  return out;
+}
+
+}  // namespace mmr::array

@@ -1,0 +1,60 @@
+// Delay phased array (paper Section 3.4, Figs. 6-8).
+//
+// A conventional phased array applies frequency-flat per-element phase
+// shifts, so a multi-beam aimed at two paths with different propagation
+// delays interferes constructively only at some frequencies. The delay
+// phased array splits the aperture into per-beam subarrays, each behind a
+// true-time-delay line, cancelling the inter-path delay difference and
+// restoring a flat wideband response.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "array/geometry.h"
+#include "common/types.h"
+
+namespace mmr::array {
+
+/// One subarray: contiguous element range, its beam direction, complex
+/// weight (relative amplitude/phase) and its true-time-delay.
+struct Subarray {
+  std::size_t first_element = 0;
+  std::size_t num_elements = 0;
+  double angle_rad = 0.0;
+  cplx weight{1.0, 0.0};
+  double delay_s = 0.0;
+};
+
+class DelayPhasedArray {
+ public:
+  /// Split `ula` into `beams.size()` equal contiguous subarrays; beams[k]
+  /// gives the per-beam steering angle.
+  DelayPhasedArray(const Ula& ula, const std::vector<double>& beam_angles_rad);
+
+  const Ula& ula() const { return ula_; }
+  std::size_t num_beams() const { return subarrays_.size(); }
+  const Subarray& subarray(std::size_t k) const;
+
+  /// Set the relative complex weight of subarray k (constructive combining).
+  void set_weight(std::size_t k, cplx w);
+
+  /// Set the true-time delay applied to subarray k [s].
+  void set_delay(std::size_t k, double delay_s);
+
+  /// Effective per-element weights at a given baseband frequency offset
+  /// from the carrier. Delay tau contributes exp(-j 2 pi (fc + f) tau);
+  /// per-element phase shifters are frequency flat. Result is unit norm.
+  CVec weights_at(double carrier_hz, double freq_offset_hz) const;
+
+ private:
+  Ula ula_;
+  std::vector<Subarray> subarrays_;
+};
+
+/// Choose subarray delays that cancel the channel's inter-path delay
+/// spread: subarray k gets (max path delay - path delay k), so all copies
+/// arrive aligned (Eq. 17 generalized to K beams).
+std::vector<double> compensating_delays(const std::vector<double>& path_delays_s);
+
+}  // namespace mmr::array

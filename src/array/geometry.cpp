@@ -1,0 +1,40 @@
+#include "array/geometry.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/error.h"
+
+namespace mmr::array {
+
+CVec steering_vector(const Ula& ula, double phi_rad) {
+  MMR_EXPECTS(ula.num_elements >= 1);
+  MMR_EXPECTS(ula.spacing_wavelengths > 0.0);
+  CVec a(ula.num_elements);
+  const double k = 2.0 * kPi * ula.spacing_wavelengths * std::sin(phi_rad);
+  for (std::size_t n = 0; n < ula.num_elements; ++n) {
+    const double ang = -k * static_cast<double>(n);
+    a[n] = cplx(std::cos(ang), std::sin(ang));
+  }
+  return a;
+}
+
+CVec steering_vector_wideband(const Ula& ula, double phi_rad,
+                              double carrier_hz, double freq_offset_hz) {
+  MMR_EXPECTS(carrier_hz > 0.0);
+  // The physical element spacing is fixed; its electrical length scales
+  // with the instantaneous frequency, producing beam squint.
+  const double scale = (carrier_hz + freq_offset_hz) / carrier_hz;
+  Ula scaled = ula;
+  scaled.spacing_wavelengths = ula.spacing_wavelengths * scale;
+  return steering_vector(scaled, phi_rad);
+}
+
+CVec single_beam_weights(const Ula& ula, double phi_rad) {
+  CVec w = steering_vector(ula, phi_rad);
+  const double inv_sqrt_n = 1.0 / std::sqrt(static_cast<double>(w.size()));
+  for (auto& c : w) c = std::conj(c) * inv_sqrt_n;
+  return w;
+}
+
+}  // namespace mmr::array

@@ -1,0 +1,67 @@
+#include "array/weights.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mmr::array {
+
+CVec normalize_trp(const CVec& weights) {
+  MMR_EXPECTS(!weights.empty());
+  double norm2 = 0.0;
+  for (const cplx& w : weights) norm2 += std::norm(w);
+  MMR_EXPECTS(norm2 > 0.0);
+  const double inv = 1.0 / std::sqrt(norm2);
+  CVec out(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) out[i] = weights[i] * inv;
+  return out;
+}
+
+CVec quantize(const CVec& weights, const QuantizationSpec& spec) {
+  MMR_EXPECTS(!weights.empty());
+  double max_amp = 0.0;
+  for (const cplx& w : weights) max_amp = std::max(max_amp, std::abs(w));
+  MMR_EXPECTS(max_amp > 0.0);
+
+  CVec out(weights.size());
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    double amp = std::abs(weights[i]);
+    double phase = std::arg(weights[i]);
+
+    if (spec.phase_bits > 0) {
+      const double levels = std::pow(2.0, static_cast<double>(spec.phase_bits));
+      const double step = 2.0 * kPi / levels;
+      phase = std::round(phase / step) * step;
+    }
+
+    // Amplitude control is relative to the strongest element.
+    double rel_db = to_db_amp(amp / max_amp);  // <= 0
+    if (rel_db < -spec.gain_range_db) {
+      // Below the attenuator range: clamp to the floor (the hardware cannot
+      // fully mute an element short of switching it off; the paper's array
+      // effectively can at 27 dB, commodity arrays turn elements off).
+      amp = spec.gain_range_db <= 0.0
+                ? (rel_db < -3.0 ? 0.0 : max_amp)  // on/off mode
+                : max_amp * from_db_amp(-spec.gain_range_db);
+    } else if (spec.gain_step_db > 0.0) {
+      rel_db = std::round(rel_db / spec.gain_step_db) * spec.gain_step_db;
+      amp = max_amp * from_db_amp(rel_db);
+    } else if (spec.gain_range_db <= 0.0) {
+      amp = max_amp;  // on/off mode, element on
+    }
+
+    out[i] = std::polar(amp, phase);
+  }
+  return normalize_trp(out);
+}
+
+double total_radiated_power(const CVec& weights) {
+  double norm2 = 0.0;
+  for (const cplx& w : weights) norm2 += std::norm(w);
+  return norm2;
+}
+
+}  // namespace mmr::array

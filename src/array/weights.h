@@ -1,0 +1,43 @@
+// Beam-weight utilities: TRP normalization and hardware quantization.
+//
+// Real phased arrays apply weights with finite-resolution phase shifters
+// and attenuators. The paper's array has 6-bit phase and 27 dB of gain
+// control per element (Section 5.1); commercial 802.11ad parts get by with
+// 2-bit phase and on/off amplitude. Both modes are modeled so the
+// reproduction can show multi-beam patterns survive coarse quantization.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mmr::array {
+
+/// Hardware weight resolution.
+struct QuantizationSpec {
+  /// Number of phase-shifter bits (phase step = 2 pi / 2^bits). 0 = ideal.
+  unsigned phase_bits = 6;
+  /// Attenuator dynamic range below max gain [dB]; elements requested
+  /// below (max - range) are clamped to the range floor.
+  double gain_range_db = 27.0;
+  /// Attenuator step [dB]; 0 = continuous amplitude within the range.
+  double gain_step_db = 0.5;
+
+  static QuantizationSpec ideal() { return {0, 1e9, 0.0}; }
+  /// Paper testbed: 6-bit phase, 27 dB range (Section 5.1).
+  static QuantizationSpec paper_testbed() { return {6, 27.0, 0.5}; }
+  /// Commodity 802.11ad: 2-bit phase, element on/off only.
+  static QuantizationSpec commodity_11ad() { return {2, 0.0, 0.0}; }
+};
+
+/// Scale weights to unit norm (conserves total radiated power, Eq. 10).
+/// Requires a nonzero vector.
+CVec normalize_trp(const CVec& weights);
+
+/// Apply hardware quantization, then re-normalize to unit norm.
+CVec quantize(const CVec& weights, const QuantizationSpec& spec);
+
+/// Total radiated power proxy: ||w||^2 (should be 1 after normalization).
+double total_radiated_power(const CVec& weights);
+
+}  // namespace mmr::array

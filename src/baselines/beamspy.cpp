@@ -1,0 +1,87 @@
+#include "baselines/beamspy.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mmr::baselines {
+namespace {
+
+double mean_power(const CVec& csi) {
+  double acc = 0.0;
+  for (const cplx& h : csi) acc += std::norm(h);
+  return acc / static_cast<double>(csi.size());
+}
+
+}  // namespace
+
+BeamSpy::BeamSpy(const array::Ula& ula, array::Codebook codebook,
+                 BeamSpyConfig config)
+    : ula_(ula), codebook_(std::move(codebook)), config_(config) {}
+
+void BeamSpy::retrain(double t_s, const core::LinkProbeInterface& link) {
+  ++trainings_;
+  const core::TrainingResult result =
+      core::exhaustive_training(codebook_, link.csi, config_.training);
+  MMR_EXPECTS(!result.beams.empty());
+  profile_ = result.scan_power;
+  // Activate the strongest direction.
+  current_idx_ = 0;
+  for (std::size_t i = 1; i < profile_.size(); ++i) {
+    if (profile_[i] > profile_[current_idx_]) current_idx_ = i;
+  }
+  weights_ = codebook_.weights(current_idx_);
+  unavailable_until_ =
+      t_s + phy::ssb_burst_airtime_s(config_.rs, codebook_.size());
+  outage_since_ = -1.0;
+}
+
+void BeamSpy::switch_to_alternate(double t_s) {
+  // Best profile entry angularly separated from the (blocked) current
+  // beam. The profile is NOT re-measured -- that is BeamSpy's key trick
+  // and its weakness under mobility.
+  const double min_sep = config_.training.min_separation_rad;
+  const double floor =
+      profile_[current_idx_] * from_db(-config_.max_alt_rel_db);
+  std::size_t best = profile_.size();
+  for (std::size_t i = 0; i < profile_.size(); ++i) {
+    const double sep =
+        std::abs(codebook_.angle(i) - codebook_.angle(current_idx_));
+    if (sep < min_sep) continue;
+    if (profile_[i] < floor) continue;
+    if (best == profile_.size() || profile_[i] > profile_[best]) best = i;
+  }
+  if (best == profile_.size()) return;  // no viable alternate
+  current_idx_ = best;
+  weights_ = codebook_.weights(current_idx_);
+  unavailable_until_ = t_s + config_.switch_latency_s;
+  ++switches_;
+}
+
+void BeamSpy::start(double t_s, const core::LinkProbeInterface& link) {
+  retrain(t_s, link);
+  started_ = true;
+}
+
+void BeamSpy::step(double t_s, const core::LinkProbeInterface& link) {
+  MMR_EXPECTS(started_);
+  if (t_s < unavailable_until_) return;
+  const double power = mean_power(link.csi(weights_));
+  if (power >= config_.outage_power_linear) {
+    outage_since_ = -1.0;
+    return;
+  }
+  if (outage_since_ < 0.0) {
+    outage_since_ = t_s;
+    switch_to_alternate(t_s);
+    return;
+  }
+  if (t_s - outage_since_ >= config_.stale_timeout_s) {
+    retrain(t_s, link);  // profile stale; rebuild it
+  } else {
+    switch_to_alternate(t_s);
+  }
+}
+
+}  // namespace mmr::baselines

@@ -1,0 +1,65 @@
+// BeamSpy baseline (Sur et al., NSDI'16), ported from 60 GHz as in the
+// paper's Fig. 18a comparison.
+//
+// BeamSpy keeps the full spatial profile captured at training time and,
+// when the current single beam is blocked, switches straight to the best
+// alternate direction from that profile instead of rescanning. That makes
+// blockage recovery fast -- but the profile goes stale under mobility, and
+// communication still rides a single beam, so it never gets multi-beam's
+// constructive gain or its resilience to simultaneous degradation.
+#pragma once
+
+#include "array/codebook.h"
+#include "core/beam_training.h"
+#include "core/controller_base.h"
+#include "phy/reference_signals.h"
+
+namespace mmr::baselines {
+
+struct BeamSpyConfig {
+  double outage_power_linear = 1e-12;
+  /// Alternates weaker than this many dB below the primary are not usable.
+  double max_alt_rel_db = 15.0;
+  /// Beam switch latency (profile lookup + reconfiguration): one slot.
+  double switch_latency_s = 0.125e-3;
+  /// If after switching the link stays in outage this long, the profile is
+  /// stale: full retraining.
+  double stale_timeout_s = 30.0e-3;
+  phy::ReferenceSignalConfig rs;
+  core::TrainingConfig training;
+};
+
+class BeamSpy final : public core::BeamController {
+ public:
+  BeamSpy(const array::Ula& ula, array::Codebook codebook,
+          BeamSpyConfig config);
+
+  void start(double t_s, const core::LinkProbeInterface& link) override;
+  void step(double t_s, const core::LinkProbeInterface& link) override;
+  const CVec& tx_weights() const override { return weights_; }
+  bool link_available(double t_s) const override {
+    return t_s >= unavailable_until_;
+  }
+  const char* name() const override { return "beamspy"; }
+
+  int trainings() const { return trainings_; }
+  int switches() const { return switches_; }
+
+ private:
+  void retrain(double t_s, const core::LinkProbeInterface& link);
+  void switch_to_alternate(double t_s);
+
+  array::Ula ula_;
+  array::Codebook codebook_;
+  BeamSpyConfig config_;
+  CVec weights_;
+  std::size_t current_idx_ = 0;       ///< codebook index of active beam
+  RVec profile_;                      ///< trained power per codebook beam
+  double unavailable_until_ = 0.0;
+  double outage_since_ = -1.0;
+  int trainings_ = 0;
+  int switches_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mmr::baselines

@@ -1,0 +1,31 @@
+#include "baselines/oracle.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mmr::baselines {
+
+Oracle::Oracle(std::function<CVec()> channel_fn)
+    : channel_fn_(std::move(channel_fn)) {
+  MMR_EXPECTS(static_cast<bool>(channel_fn_));
+}
+
+void Oracle::refresh() {
+  const CVec h = channel_fn_();
+  MMR_EXPECTS(!h.empty());
+  double norm2 = 0.0;
+  for (const cplx& c : h) norm2 += std::norm(c);
+  MMR_EXPECTS(norm2 > 0.0);
+  const double inv = 1.0 / std::sqrt(norm2);
+  weights_.resize(h.size());
+  for (std::size_t n = 0; n < h.size(); ++n) {
+    weights_[n] = std::conj(h[n]) * inv;
+  }
+}
+
+void Oracle::start(double, const core::LinkProbeInterface&) { refresh(); }
+
+void Oracle::step(double, const core::LinkProbeInterface&) { refresh(); }
+
+}  // namespace mmr::baselines

@@ -1,0 +1,31 @@
+// Oracle channel-dependent beamformer: w = h* / ||h|| from the true
+// per-antenna channel (paper Fig. 15d, obtained there via the exhaustive
+// ACO procedure). The upper bound every multi-beam configuration is
+// measured against; it sees ground truth and pays no probing cost.
+#pragma once
+
+#include <functional>
+
+#include "core/controller_base.h"
+
+namespace mmr::baselines {
+
+class Oracle final : public core::BeamController {
+ public:
+  /// `channel_fn` returns the TRUE per-antenna channel h[n] at call time.
+  explicit Oracle(std::function<CVec()> channel_fn);
+
+  void start(double t_s, const core::LinkProbeInterface& link) override;
+  void step(double t_s, const core::LinkProbeInterface& link) override;
+  const CVec& tx_weights() const override { return weights_; }
+  bool link_available(double /*t_s*/) const override { return true; }
+  const char* name() const override { return "oracle"; }
+
+ private:
+  void refresh();
+
+  std::function<CVec()> channel_fn_;
+  CVec weights_;
+};
+
+}  // namespace mmr::baselines

@@ -1,0 +1,68 @@
+#include "baselines/reactive_single_beam.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "core/beam_training.h"
+
+namespace mmr::baselines {
+namespace {
+
+double mean_power(const CVec& csi) {
+  double acc = 0.0;
+  for (const cplx& h : csi) acc += std::norm(h);
+  return acc / static_cast<double>(csi.size());
+}
+
+}  // namespace
+
+ReactiveSingleBeam::ReactiveSingleBeam(const array::Ula& ula,
+                                       array::Codebook codebook,
+                                       ReactiveConfig config)
+    : ula_(ula), codebook_(std::move(codebook)), config_(config) {}
+
+double ReactiveSingleBeam::training_airtime() const {
+  if (config_.fast_training) {
+    return phy::fast_training_airtime_s(config_.rs, ula_.num_elements);
+  }
+  return phy::ssb_burst_airtime_s(config_.rs, codebook_.size());
+}
+
+void ReactiveSingleBeam::retrain(double t_s,
+                                 const core::LinkProbeInterface& link) {
+  ++trainings_;
+  core::TrainingConfig tc = config_.training;
+  tc.top_k = 1;
+  const core::TrainingResult result =
+      core::exhaustive_training(codebook_, link.csi, tc);
+  MMR_EXPECTS(!result.beams.empty());
+  angle_ = result.beams.front().angle_rad;
+  weights_ = array::single_beam_weights(ula_, angle_);
+  unavailable_until_ = t_s + training_airtime();
+  last_retrain_ = t_s;
+}
+
+void ReactiveSingleBeam::start(double t_s,
+                               const core::LinkProbeInterface& link) {
+  retrain(t_s, link);  // initial access: no failure-detection latency
+  started_ = true;
+}
+
+void ReactiveSingleBeam::step(double t_s,
+                              const core::LinkProbeInterface& link) {
+  MMR_EXPECTS(started_);
+  if (t_s < unavailable_until_) return;
+  // Purely reactive: act only when the monitored power says outage.
+  const double power = mean_power(link.csi(weights_));
+  if (power < config_.outage_power_linear &&
+      (last_retrain_ < 0.0 ||
+       t_s - last_retrain_ >= config_.retrain_backoff_s)) {
+    // Beam failure: the link is already effectively down while the UE
+    // declares failure and waits for the next SSB occasion, then training
+    // runs. Model that as extra unavailability before the sweep applies.
+    retrain(t_s, link);
+    unavailable_until_ += config_.reaction_latency_s;
+  }
+}
+
+}  // namespace mmr::baselines

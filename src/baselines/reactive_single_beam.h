@@ -1,0 +1,65 @@
+// Reactive single-beam baseline (paper Section 6.2, after Hassanieh et
+// al.'s fast beam alignment).
+//
+// One beam at the strongest trained direction; no proactive maintenance.
+// The controller reacts only AFTER the link degrades below the outage
+// threshold, re-running beam training -- fast (logarithmic probe count),
+// but the link still goes down for the training airtime each time, which
+// is exactly the reliability gap mmReliable closes.
+#pragma once
+
+#include "array/codebook.h"
+#include "core/beam_training.h"
+#include "core/controller_base.h"
+#include "phy/reference_signals.h"
+
+namespace mmr::baselines {
+
+struct ReactiveConfig {
+  /// Mean |H|^2 below which the link is in outage (trigger for retrain).
+  double outage_power_linear = 1e-12;
+  /// Use the fast log(N) training cost (else full exhaustive SSB burst).
+  bool fast_training = true;
+  /// Back-off between consecutive retrains [s] (avoid thrashing while the
+  /// blocker is still in front of the array).
+  double retrain_backoff_s = 10.0e-3;
+  /// Reaction latency before training can start: NR beam-failure
+  /// detection plus waiting for the next SSB occasion (~10 ms + up to a
+  /// 20 ms period; we charge the mean).
+  double reaction_latency_s = 15.0e-3;
+  phy::ReferenceSignalConfig rs;
+  core::TrainingConfig training;
+};
+
+class ReactiveSingleBeam final : public core::BeamController {
+ public:
+  ReactiveSingleBeam(const array::Ula& ula, array::Codebook codebook,
+                     ReactiveConfig config);
+
+  void start(double t_s, const core::LinkProbeInterface& link) override;
+  void step(double t_s, const core::LinkProbeInterface& link) override;
+  const CVec& tx_weights() const override { return weights_; }
+  bool link_available(double t_s) const override {
+    return t_s >= unavailable_until_;
+  }
+  const char* name() const override { return "reactive-single-beam"; }
+
+  int trainings() const { return trainings_; }
+  double beam_angle_rad() const { return angle_; }
+
+ private:
+  void retrain(double t_s, const core::LinkProbeInterface& link);
+  double training_airtime() const;
+
+  array::Ula ula_;
+  array::Codebook codebook_;
+  ReactiveConfig config_;
+  CVec weights_;
+  double angle_ = 0.0;
+  double unavailable_until_ = 0.0;
+  double last_retrain_ = -1.0;
+  int trainings_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mmr::baselines

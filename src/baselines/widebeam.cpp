@@ -1,0 +1,68 @@
+#include "baselines/widebeam.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/weights.h"
+#include "common/error.h"
+#include "core/beam_training.h"
+
+namespace mmr::baselines {
+namespace {
+
+double mean_power(const CVec& csi) {
+  double acc = 0.0;
+  for (const cplx& h : csi) acc += std::norm(h);
+  return acc / static_cast<double>(csi.size());
+}
+
+}  // namespace
+
+CVec widebeam_weights(const array::Ula& ula, double angle_rad,
+                      std::size_t widening_factor) {
+  MMR_EXPECTS(widening_factor >= 1);
+  const std::size_t active =
+      std::max<std::size_t>(1, ula.num_elements / widening_factor);
+  array::Ula sub = ula;
+  sub.num_elements = active;
+  const CVec sub_w = array::single_beam_weights(sub, angle_rad);
+  CVec w(ula.num_elements, cplx{});
+  std::copy(sub_w.begin(), sub_w.end(), w.begin());
+  return array::normalize_trp(w);
+}
+
+WideBeam::WideBeam(const array::Ula& ula, array::Codebook codebook,
+                   WideBeamConfig config)
+    : ula_(ula), codebook_(std::move(codebook)), config_(config) {}
+
+void WideBeam::retrain(double t_s, const core::LinkProbeInterface& link) {
+  ++trainings_;
+  core::TrainingConfig tc = config_.training;
+  tc.top_k = 1;
+  const core::TrainingResult result =
+      core::exhaustive_training(codebook_, link.csi, tc);
+  MMR_EXPECTS(!result.beams.empty());
+  weights_ = widebeam_weights(ula_, result.beams.front().angle_rad,
+                              config_.widening_factor);
+  unavailable_until_ =
+      t_s + phy::ssb_burst_airtime_s(config_.rs, codebook_.size());
+  last_retrain_ = t_s;
+}
+
+void WideBeam::start(double t_s, const core::LinkProbeInterface& link) {
+  retrain(t_s, link);
+  started_ = true;
+}
+
+void WideBeam::step(double t_s, const core::LinkProbeInterface& link) {
+  MMR_EXPECTS(started_);
+  if (t_s < unavailable_until_) return;
+  const double power = mean_power(link.csi(weights_));
+  if (power < config_.outage_power_linear &&
+      (last_retrain_ < 0.0 ||
+       t_s - last_retrain_ >= config_.retrain_backoff_s)) {
+    retrain(t_s, link);
+  }
+}
+
+}  // namespace mmr::baselines

@@ -1,0 +1,60 @@
+// Wide-beam baseline (paper Fig. 18b's "widebeam").
+//
+// Trades array gain for angular coverage by exciting only a subaperture:
+// an N/widening_factor-element beam is widening_factor times wider but
+// 10 log10(widening_factor) dB weaker at the peak. Tolerant to small
+// misalignment, but the lost gain costs throughput everywhere and a wide
+// beam is still one beam -- a blocker in front of it takes the whole link
+// down.
+#pragma once
+
+#include "array/codebook.h"
+#include "core/beam_training.h"
+#include "core/controller_base.h"
+#include "phy/reference_signals.h"
+
+namespace mmr::baselines {
+
+struct WideBeamConfig {
+  /// Aperture reduction factor (beamwidth multiplier).
+  std::size_t widening_factor = 4;
+  double outage_power_linear = 1e-12;
+  double retrain_backoff_s = 10.0e-3;
+  phy::ReferenceSignalConfig rs;
+  core::TrainingConfig training;
+};
+
+/// Weights exciting the first N/factor elements toward `angle`, zero
+/// elsewhere, unit norm.
+CVec widebeam_weights(const array::Ula& ula, double angle_rad,
+                      std::size_t widening_factor);
+
+class WideBeam final : public core::BeamController {
+ public:
+  WideBeam(const array::Ula& ula, array::Codebook codebook,
+           WideBeamConfig config);
+
+  void start(double t_s, const core::LinkProbeInterface& link) override;
+  void step(double t_s, const core::LinkProbeInterface& link) override;
+  const CVec& tx_weights() const override { return weights_; }
+  bool link_available(double t_s) const override {
+    return t_s >= unavailable_until_;
+  }
+  const char* name() const override { return "widebeam"; }
+
+  int trainings() const { return trainings_; }
+
+ private:
+  void retrain(double t_s, const core::LinkProbeInterface& link);
+
+  array::Ula ula_;
+  array::Codebook codebook_;
+  WideBeamConfig config_;
+  CVec weights_;
+  double unavailable_until_ = 0.0;
+  double last_retrain_ = -1.0;
+  int trainings_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace mmr::baselines

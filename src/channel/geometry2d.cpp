@@ -1,0 +1,55 @@
+#include "channel/geometry2d.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmr::channel {
+
+double dot(Vec2 a, Vec2 b) { return a.x * b.x + a.y * b.y; }
+
+double cross(Vec2 a, Vec2 b) { return a.x * b.y - a.y * b.x; }
+
+double length(Vec2 v) { return std::hypot(v.x, v.y); }
+
+double distance(Vec2 a, Vec2 b) { return length(b - a); }
+
+Vec2 normalized(Vec2 v) {
+  const double len = length(v);
+  if (len == 0.0) return {0.0, 0.0};
+  return {v.x / len, v.y / len};
+}
+
+double heading(Vec2 v) { return std::atan2(v.y, v.x); }
+
+Vec2 mirror_across(const Segment& seg, Vec2 p) {
+  const Vec2 d = normalized(seg.b - seg.a);
+  const Vec2 ap = p - seg.a;
+  const double along = dot(ap, d);
+  const Vec2 foot = seg.a + d * along;
+  return foot + (foot - p);
+}
+
+std::optional<Vec2> intersect(const Segment& seg, Vec2 p, Vec2 q) {
+  const Vec2 r = seg.b - seg.a;
+  const Vec2 s = q - p;
+  const double denom = cross(r, s);
+  if (std::abs(denom) < 1e-12) return std::nullopt;  // parallel
+  const Vec2 ap = p - seg.a;
+  const double t = cross(ap, s) / denom;  // along seg
+  const double u = cross(ap, r) / denom;  // along pq
+  constexpr double kEps = 1e-9;
+  if (t < -kEps || t > 1.0 + kEps || u < -kEps || u > 1.0 + kEps) {
+    return std::nullopt;
+  }
+  return seg.a + r * t;
+}
+
+double point_segment_distance(const Segment& seg, Vec2 p) {
+  const Vec2 d = seg.b - seg.a;
+  const double len2 = dot(d, d);
+  if (len2 == 0.0) return distance(seg.a, p);
+  const double t = std::clamp(dot(p - seg.a, d) / len2, 0.0, 1.0);
+  return distance(seg.a + d * t, p);
+}
+
+}  // namespace mmr::channel

@@ -1,0 +1,44 @@
+// Minimal 2-D geometry for the image-method ray tracer: points, segments,
+// reflections, intersection and distance tests. The paper's scenarios are
+// all effectively planar (array beamforms only in azimuth), so a 2-D model
+// captures the path structure that matters.
+#pragma once
+
+#include <optional>
+
+namespace mmr::channel {
+
+struct Vec2 {
+  double x = 0.0;
+  double y = 0.0;
+
+  Vec2 operator+(Vec2 o) const { return {x + o.x, y + o.y}; }
+  Vec2 operator-(Vec2 o) const { return {x - o.x, y - o.y}; }
+  Vec2 operator*(double s) const { return {x * s, y * s}; }
+};
+
+double dot(Vec2 a, Vec2 b);
+double cross(Vec2 a, Vec2 b);
+double length(Vec2 v);
+double distance(Vec2 a, Vec2 b);
+Vec2 normalized(Vec2 v);
+
+/// Angle of the vector v measured from the +x axis, in radians.
+double heading(Vec2 v);
+
+struct Segment {
+  Vec2 a;
+  Vec2 b;
+};
+
+/// Mirror a point across the infinite line through the segment.
+Vec2 mirror_across(const Segment& seg, Vec2 p);
+
+/// Intersection of segment pq with segment seg, if any (proper crossing or
+/// touch). Returns the intersection point.
+std::optional<Vec2> intersect(const Segment& seg, Vec2 p, Vec2 q);
+
+/// Shortest distance from point p to segment seg.
+double point_segment_distance(const Segment& seg, Vec2 p);
+
+}  // namespace mmr::channel

@@ -1,0 +1,54 @@
+#include "channel/irs.h"
+
+#include <cmath>
+
+#include "channel/pathloss.h"
+#include "common/angles.h"
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mmr::channel {
+
+Path irs_path(const IrsPanel& panel, const Pose& tx, const Pose& rx,
+              double carrier_hz) {
+  MMR_EXPECTS(carrier_hz > 0.0);
+  Path p;
+  p.is_los = false;
+  p.reflector_id = -2;  // distinguishes engineered from natural reflectors
+  p.reflection_point = panel.position;
+
+  const double d1 = distance(tx.position, panel.position);
+  const double d2 = distance(panel.position, rx.position);
+  if (d1 < 1e-6 || d2 < 1e-6 || !panel.configured) {
+    p.gain = cplx{};
+    return p;
+  }
+
+  p.aod_rad = wrap_pi(heading(panel.position - tx.position) -
+                      tx.orientation_rad);
+  p.aoa_rad = wrap_pi(heading(panel.position - rx.position) -
+                      rx.orientation_rad);
+  p.delay_s = (d1 + d2) / kSpeedOfLight;
+
+  // Front-hemisphere element pattern at the gNB, like any traced path.
+  const double elem = std::cos(p.aod_rad);
+  if (elem <= 0.0) {
+    p.gain = cplx{};
+    return p;
+  }
+
+  // Product-distance re-radiation: both hops pay full free-space loss;
+  // the panel's aperture gain buys part of it back.
+  const double loss_db = free_space_path_loss_db(d1, carrier_hz) +
+                         free_space_path_loss_db(d2, carrier_hz) -
+                         panel.gain_db +
+                         atmospheric_absorption_db(d1 + d2, carrier_hz);
+  const double phase =
+      -2.0 * kPi * carrier_hz * p.delay_s;
+  p.gain = std::polar(from_db_amp(-loss_db) * elem,
+                      wrap_pi(std::fmod(phase, 2.0 * kPi)));
+  return p;
+}
+
+}  // namespace mmr::channel

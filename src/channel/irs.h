@@ -1,0 +1,39 @@
+// Intelligent reflecting surface (IRS) model -- the paper's future-work
+// proposal (Section 8): "intelligent reflecting surfaces are deployed in
+// the environment to engineer strong reflections that improve the
+// throughput and reliability of mmWave links".
+//
+// An IRS re-radiates rather than specularly reflects, so its path obeys
+// the product-distance law (FSPL(d1) + FSPL(d2) in dB) recovered by the
+// panel's configurable aperture gain. A well-placed panel with a
+// realistic gain turns a reflection-poor room into a multi-beam-friendly
+// one.
+#pragma once
+
+#include "channel/geometry2d.h"
+#include "channel/environment.h"
+#include "channel/path.h"
+
+namespace mmr::channel {
+
+struct IrsPanel {
+  Vec2 position{0.0, 0.0};
+  /// Combined re-radiation gain of the configured panel [dB]. A panel of
+  /// N elements beamforms on BOTH hops, so its gain scales as N^2: a
+  /// ~1000-element sheet reaches ~60 dB, which is what it takes for the
+  /// product-distance law to land the engineered path within a few dB of
+  /// a specular wall reflection at room scale.
+  double gain_db = 60.0;
+  /// True when the panel is configured to serve this link; an
+  /// unconfigured panel scatters diffusely and is ignored.
+  bool configured = true;
+};
+
+/// Build the TX -> panel -> RX path at the given carrier. The path's
+/// reflection point is the panel position (so geometric blockers interact
+/// with it like any reflected path). Returns a zero-gain path if the
+/// panel is behind either terminal's front hemisphere.
+Path irs_path(const IrsPanel& panel, const Pose& tx, const Pose& rx,
+              double carrier_hz);
+
+}  // namespace mmr::channel

@@ -1,0 +1,79 @@
+// UE mobility trajectories. The paper's gantry provides controlled
+// translation (up to 1.5 m/s) and rotation (24 deg/s, typical VR headset
+// speed); these trajectory classes are the simulation equivalents, and
+// they double as exact ground truth for tracking-accuracy experiments.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "channel/environment.h"
+
+namespace mmr::channel {
+
+class Trajectory {
+ public:
+  virtual ~Trajectory() = default;
+  virtual Pose at(double t_s) const = 0;
+};
+
+/// Stationary UE.
+class StaticPose final : public Trajectory {
+ public:
+  explicit StaticPose(Pose pose) : pose_(pose) {}
+  Pose at(double) const override { return pose_; }
+
+ private:
+  Pose pose_;
+};
+
+/// Constant-velocity translation, fixed orientation.
+class LinearTranslation final : public Trajectory {
+ public:
+  LinearTranslation(Pose start, Vec2 velocity_mps);
+  Pose at(double t_s) const override;
+
+ private:
+  Pose start_;
+  Vec2 velocity_;
+};
+
+/// In-place rotation at a constant rate.
+class UniformRotation final : public Trajectory {
+ public:
+  UniformRotation(Pose start, double rate_rad_per_s);
+  Pose at(double t_s) const override;
+
+ private:
+  Pose start_;
+  double rate_;
+};
+
+/// Translation and rotation combined.
+class TranslateAndRotate final : public Trajectory {
+ public:
+  TranslateAndRotate(Pose start, Vec2 velocity_mps, double rate_rad_per_s);
+  Pose at(double t_s) const override;
+
+ private:
+  Pose start_;
+  Vec2 velocity_;
+  double rate_;
+};
+
+/// Piecewise-linear waypoint path (position interpolated, orientation
+/// slerped); used for "natural motion" end-to-end runs.
+class WaypointPath final : public Trajectory {
+ public:
+  struct Waypoint {
+    double t_s;
+    Pose pose;
+  };
+  explicit WaypointPath(std::vector<Waypoint> waypoints);
+  Pose at(double t_s) const override;
+
+ private:
+  std::vector<Waypoint> waypoints_;
+};
+
+}  // namespace mmr::channel

@@ -1,0 +1,23 @@
+#include "channel/path.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/units.h"
+
+namespace mmr::channel {
+
+cplx Path::effective_gain() const {
+  return gain * from_db_amp(-blockage_db);
+}
+
+double Path::effective_power() const { return std::norm(effective_gain()); }
+
+std::vector<Path> sorted_by_power(std::vector<Path> paths) {
+  std::sort(paths.begin(), paths.end(), [](const Path& a, const Path& b) {
+    return a.effective_power() > b.effective_power();
+  });
+  return paths;
+}
+
+}  // namespace mmr::channel

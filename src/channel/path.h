@@ -1,0 +1,43 @@
+// A propagation path: the unit the whole system reasons about. Beam
+// training discovers path angles, constructive multi-beam matches their
+// relative amplitude/phase, super-resolution separates them by ToF, and
+// blockage acts on them individually.
+#pragma once
+
+#include <vector>
+
+#include "channel/geometry2d.h"
+#include "common/types.h"
+
+namespace mmr::channel {
+
+struct Path {
+  /// Departure angle at the gNB array [rad from boresight].
+  double aod_rad = 0.0;
+  /// Arrival angle at the UE [rad from UE boresight].
+  double aoa_rad = 0.0;
+  /// Complex gain: |gain| is the amplitude attenuation (linear, includes
+  /// path loss and reflection loss), arg(gain) the propagation phase.
+  cplx gain{1.0, 0.0};
+  /// Time of flight [s].
+  double delay_s = 0.0;
+  /// Extra time-varying attenuation [dB] imposed by blockers (>= 0).
+  double blockage_db = 0.0;
+  /// True for the direct (line-of-sight) path.
+  bool is_los = false;
+  /// Index of the reflecting wall in the environment (-1 for LOS).
+  int reflector_id = -1;
+  /// Specular reflection point (meaningful only when !is_los); used by
+  /// geometric blockers to test ray occlusion.
+  Vec2 reflection_point{0.0, 0.0};
+
+  /// Gain actually experienced right now (includes blockage).
+  cplx effective_gain() const;
+  /// Power of the effective gain (linear).
+  double effective_power() const;
+};
+
+/// Sort a copy of `paths` by descending effective power.
+std::vector<Path> sorted_by_power(std::vector<Path> paths);
+
+}  // namespace mmr::channel

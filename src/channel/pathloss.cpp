@@ -1,0 +1,44 @@
+#include "channel/pathloss.h"
+
+#include <cmath>
+
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mmr::channel {
+
+double free_space_path_loss_db(double distance_m, double carrier_hz) {
+  MMR_EXPECTS(distance_m > 0.0);
+  MMR_EXPECTS(carrier_hz > 0.0);
+  // Friis: 20 log10(4 pi d f / c).
+  const double ratio = 4.0 * 3.14159265358979323846 * distance_m * carrier_hz /
+                       kSpeedOfLight;
+  return 20.0 * std::log10(ratio);
+}
+
+double atmospheric_absorption_db(double distance_m, double carrier_hz) {
+  MMR_EXPECTS(distance_m >= 0.0);
+  // Piecewise-linear in frequency between the two tabulated anchors; good
+  // enough for the 28-vs-60 GHz comparison this library runs.
+  double db_per_km;
+  if (carrier_hz <= kCarrier28GHz) {
+    db_per_km = kOxygenAbsorption28GHzDbPerKm;
+  } else if (carrier_hz >= kCarrier60GHz) {
+    db_per_km = kOxygenAbsorption60GHzDbPerKm;
+  } else {
+    const double t =
+        (carrier_hz - kCarrier28GHz) / (kCarrier60GHz - kCarrier28GHz);
+    db_per_km = kOxygenAbsorption28GHzDbPerKm +
+                t * (kOxygenAbsorption60GHzDbPerKm -
+                     kOxygenAbsorption28GHzDbPerKm);
+  }
+  return db_per_km * distance_m / 1000.0;
+}
+
+double propagation_loss_db(double distance_m, double carrier_hz) {
+  return free_space_path_loss_db(distance_m, carrier_hz) +
+         atmospheric_absorption_db(distance_m, carrier_hz);
+}
+
+}  // namespace mmr::channel

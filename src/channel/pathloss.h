@@ -1,0 +1,35 @@
+// mmWave path-loss models: free-space loss plus frequency-dependent
+// atmospheric absorption (the 60 GHz oxygen line is what makes Appendix B's
+// 28-vs-60 GHz comparison interesting), and material reflection losses
+// calibrated to the paper's measurement study (Fig. 4: median reflector
+// attenuation 5 dB outdoor, 7.2 dB indoor).
+#pragma once
+
+#include <string>
+
+namespace mmr::channel {
+
+/// Free-space path loss [dB] at distance d [m] and carrier f [Hz].
+double free_space_path_loss_db(double distance_m, double carrier_hz);
+
+/// Atmospheric (oxygen) absorption [dB] over distance d at carrier f.
+/// Uses the tabulated constants for 28/60 GHz; interpolates elsewhere.
+double atmospheric_absorption_db(double distance_m, double carrier_hz);
+
+/// Total propagation loss [dB]: FSPL + absorption.
+double propagation_loss_db(double distance_m, double carrier_hz);
+
+/// Reflection materials with single-bounce loss [dB] relative to specular
+/// mirror. Values follow the measurement studies cited in Section 3.2.
+struct Material {
+  std::string name;
+  double reflection_loss_db = 6.0;
+
+  static Material metal() { return {"metal", 1.0}; }
+  static Material glass() { return {"tinted-glass", 4.0}; }
+  static Material concrete() { return {"concrete", 6.0}; }
+  static Material drywall() { return {"drywall", 9.0}; }
+  static Material wood() { return {"wood", 11.0}; }
+};
+
+}  // namespace mmr::channel

@@ -1,0 +1,32 @@
+// Angle helpers. All internal math uses radians; "deg" appears only at
+// API boundaries and in printed output (the paper quotes degrees).
+#pragma once
+
+#include <cmath>
+#include <numbers>
+
+namespace mmr {
+
+inline constexpr double kPi = std::numbers::pi;
+
+inline constexpr double deg_to_rad(double deg) { return deg * kPi / 180.0; }
+inline constexpr double rad_to_deg(double rad) { return rad * 180.0 / kPi; }
+
+/// Wrap an angle to (-pi, pi].
+inline double wrap_pi(double rad) {
+  double w = std::remainder(rad, 2.0 * kPi);
+  if (w <= -kPi) w += 2.0 * kPi;
+  return w;
+}
+
+/// Wrap an angle to [0, 2*pi).
+inline double wrap_2pi(double rad) {
+  double w = std::fmod(rad, 2.0 * kPi);
+  if (w < 0.0) w += 2.0 * kPi;
+  return w;
+}
+
+/// Smallest absolute difference between two angles [rad].
+inline double angle_diff(double a, double b) { return wrap_pi(a - b); }
+
+}  // namespace mmr

@@ -1,0 +1,33 @@
+// Physical constants and canonical system parameters used throughout the
+// reproduction. Values mirror the paper's testbed (Section 5).
+#pragma once
+
+namespace mmr {
+
+/// Speed of light in vacuum [m/s].
+inline constexpr double kSpeedOfLight = 299'792'458.0;
+
+/// Paper testbed carrier: 28 GHz (5G NR FR2, band n257-ish).
+inline constexpr double kCarrier28GHz = 28.0e9;
+
+/// Appendix B comparison carrier: 60 GHz (IEEE 802.11ad).
+inline constexpr double kCarrier60GHz = 60.0e9;
+
+/// Paper baseband bandwidth: 400 MHz OFDM (Section 5.2).
+inline constexpr double kBandwidth400MHz = 400.0e6;
+
+/// Outdoor/USRP compact setup bandwidth: 100 MHz.
+inline constexpr double kBandwidth100MHz = 100.0e6;
+
+/// 5G NR FR2 subcarrier spacing used by the testbed: 120 kHz.
+inline constexpr double kScs120kHz = 120.0e3;
+
+/// SNR below which a 5G-NR OFDM link is in outage (Section 6.1: 6 dB is
+/// required to decode the lowest MCS).
+inline constexpr double kOutageSnrDb = 6.0;
+
+/// Oxygen absorption near 60 GHz [dB/km]; negligible at 28 GHz.
+inline constexpr double kOxygenAbsorption60GHzDbPerKm = 15.0;
+inline constexpr double kOxygenAbsorption28GHzDbPerKm = 0.06;
+
+}  // namespace mmr

@@ -1,0 +1,30 @@
+// Precondition checking. Violations indicate programming errors inside
+// the library or misuse of the public API; they throw std::logic_error so
+// tests can assert on them and applications fail loudly rather than
+// silently computing garbage beam weights.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mmr::detail {
+
+[[noreturn]] inline void precondition_failure(const char* expr,
+                                              const char* file, int line) {
+  std::ostringstream oss;
+  oss << "mmReliable precondition failed: (" << expr << ") at " << file << ":"
+      << line;
+  throw std::logic_error(oss.str());
+}
+
+}  // namespace mmr::detail
+
+#define MMR_EXPECTS(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) {                                                     \
+      ::mmr::detail::precondition_failure(#cond, __FILE__, __LINE__);  \
+    }                                                                  \
+  } while (false)
+
+#define MMR_ENSURES(cond) MMR_EXPECTS(cond)

@@ -1,0 +1,87 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mmr {
+
+void OnlineStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineStats::mean() const {
+  MMR_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double OnlineStats::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineStats::stddev() const { return std::sqrt(variance()); }
+
+double OnlineStats::min() const {
+  MMR_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double OnlineStats::max() const {
+  MMR_EXPECTS(n_ > 0);
+  return max_;
+}
+
+double percentile(std::span<const double> values, double p) {
+  MMR_EXPECTS(!values.empty());
+  MMR_EXPECTS(p >= 0.0 && p <= 100.0);
+  std::vector<double> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = p / 100.0 * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double mean(std::span<const double> values) {
+  MMR_EXPECTS(!values.empty());
+  double sum = 0.0;
+  for (double v : values) sum += v;
+  return sum / static_cast<double>(values.size());
+}
+
+Cdf empirical_cdf(std::span<const double> values) {
+  MMR_EXPECTS(!values.empty());
+  Cdf cdf;
+  cdf.value.assign(values.begin(), values.end());
+  std::sort(cdf.value.begin(), cdf.value.end());
+  cdf.prob.resize(cdf.value.size());
+  const double n = static_cast<double>(cdf.value.size());
+  for (std::size_t i = 0; i < cdf.value.size(); ++i) {
+    cdf.prob[i] = static_cast<double>(i + 1) / n;
+  }
+  return cdf;
+}
+
+double cdf_at(const Cdf& cdf, double x) {
+  MMR_EXPECTS(!cdf.value.empty());
+  const auto it = std::upper_bound(cdf.value.begin(), cdf.value.end(), x);
+  const auto idx = static_cast<std::size_t>(it - cdf.value.begin());
+  return static_cast<double>(idx) / static_cast<double>(cdf.value.size());
+}
+
+}  // namespace mmr

@@ -1,0 +1,53 @@
+// Streaming and batch statistics used by the experiment harness:
+// means/variances, percentiles, empirical CDFs.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mmr {
+
+/// Welford online mean/variance accumulator.
+class OnlineStats {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Percentile of a sample set with linear interpolation, p in [0, 100].
+/// Requires a non-empty input.
+double percentile(std::span<const double> values, double p);
+
+/// Median shorthand.
+double median(std::span<const double> values);
+
+double mean(std::span<const double> values);
+
+/// Empirical CDF evaluated at `points.size()` evenly spaced quantiles.
+struct Cdf {
+  std::vector<double> value;  ///< sorted sample values
+  std::vector<double> prob;   ///< P(X <= value[i])
+};
+
+/// Build the empirical CDF of `values` (full resolution, sorted copy).
+Cdf empirical_cdf(std::span<const double> values);
+
+/// Evaluate an empirical CDF at x: fraction of samples <= x.
+double cdf_at(const Cdf& cdf, double x);
+
+}  // namespace mmr

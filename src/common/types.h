@@ -1,0 +1,23 @@
+// Fundamental scalar and container aliases shared across mmReliable.
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <vector>
+
+namespace mmr {
+
+/// Complex baseband sample. All channel/beamforming math is double
+/// precision: phased-array weight synthesis is sensitive to phase error
+/// accumulation and the arrays involved are small (<= a few thousand taps).
+using cplx = std::complex<double>;
+
+/// Dense complex vector (channel snapshots, beam weights, CIR taps).
+using CVec = std::vector<cplx>;
+
+/// Dense real vector (powers, angles, frequency grids).
+using RVec = std::vector<double>;
+
+inline constexpr cplx kJ{0.0, 1.0};
+
+}  // namespace mmr

@@ -1,0 +1,44 @@
+// dB <-> linear conversions and small unit helpers.
+//
+// Conventions: "db" functions operate on POWER ratios (10 log10);
+// "db_amp" functions operate on AMPLITUDE ratios (20 log10).
+#pragma once
+
+#include <cmath>
+#include <limits>
+
+namespace mmr {
+
+/// Power ratio -> dB. Returns -inf for zero, which propagates sanely
+/// through comparisons (anything is louder than silence).
+inline double to_db(double power_ratio) {
+  if (power_ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 10.0 * std::log10(power_ratio);
+}
+
+/// dB -> power ratio.
+inline double from_db(double db) { return std::pow(10.0, db / 10.0); }
+
+/// Amplitude ratio -> dB (20 log10).
+inline double to_db_amp(double amp_ratio) {
+  if (amp_ratio <= 0.0) return -std::numeric_limits<double>::infinity();
+  return 20.0 * std::log10(amp_ratio);
+}
+
+/// dB -> amplitude ratio.
+inline double from_db_amp(double db) { return std::pow(10.0, db / 20.0); }
+
+/// dBm -> watts.
+inline double dbm_to_watts(double dbm) { return from_db(dbm) * 1e-3; }
+
+/// Watts -> dBm.
+inline double watts_to_dbm(double watts) { return to_db(watts / 1e-3); }
+
+inline constexpr double kNano = 1e-9;
+inline constexpr double kMicro = 1e-6;
+inline constexpr double kMilli = 1e-3;
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+
+}  // namespace mmr

@@ -1,0 +1,107 @@
+#include "core/beam_training.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "array/pattern.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mmr::core {
+
+std::vector<double> TrainingResult::angles() const {
+  std::vector<double> out;
+  out.reserve(beams.size());
+  for (const TrainedBeam& b : beams) out.push_back(b.angle_rad);
+  return out;
+}
+
+std::vector<RVec> TrainingResult::powers() const {
+  std::vector<RVec> out;
+  out.reserve(beams.size());
+  for (const TrainedBeam& b : beams) out.push_back(b.subcarrier_power);
+  return out;
+}
+
+std::vector<std::size_t> top_k_peaks(const RVec& scan_power,
+                                     const RVec& scan_angles_rad,
+                                     const TrainingConfig& config,
+                                     const array::Codebook* codebook) {
+  MMR_EXPECTS(scan_power.size() == scan_angles_rad.size());
+  MMR_EXPECTS(!scan_power.empty());
+  std::vector<std::size_t> order(scan_power.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scan_power[a] > scan_power[b];
+  });
+  const double floor =
+      scan_power[order.front()] * from_db(-config.max_rel_power_db);
+
+  // Ghost test: could the candidate's measured power be mere sidelobe
+  // leakage of a stronger, already-picked direction? Expected leakage is
+  // |AF_candidate(stronger angle)|^2 / N; allow 5 dB of margin for
+  // constructive leakage + noise.
+  auto is_sidelobe_ghost = [&](std::size_t idx,
+                               const std::vector<std::size_t>& picked) {
+    if (codebook == nullptr) return false;
+    const double n = static_cast<double>(codebook->ula().num_elements);
+    for (std::size_t p : picked) {
+      const double leak =
+          array::power_gain(codebook->ula(), codebook->weights(idx),
+                            scan_angles_rad[p]) /
+          n;
+      if (scan_power[idx] < scan_power[p] * leak * from_db(5.0)) {
+        return true;
+      }
+    }
+    return false;
+  };
+
+  std::vector<std::size_t> picked;
+  for (std::size_t idx : order) {
+    if (picked.size() >= config.top_k) break;
+    if (scan_power[idx] < floor) break;
+    const bool too_close = std::any_of(
+        picked.begin(), picked.end(), [&](std::size_t p) {
+          return std::abs(scan_angles_rad[idx] - scan_angles_rad[p]) <
+                 config.min_separation_rad;
+        });
+    if (too_close || is_sidelobe_ghost(idx, picked)) continue;
+    picked.push_back(idx);
+  }
+  return picked;
+}
+
+TrainingResult exhaustive_training(const array::Codebook& codebook,
+                                   const ProbeFn& probe,
+                                   const TrainingConfig& config) {
+  TrainingResult result;
+  result.scan_power.resize(codebook.size());
+  std::vector<RVec> sc_powers(codebook.size());
+  RVec angles(codebook.size());
+
+  for (std::size_t i = 0; i < codebook.size(); ++i) {
+    const CVec csi = probe(codebook.weights(i));
+    sc_powers[i] = probe_powers(csi);
+    double mean_p = 0.0;
+    for (double p : sc_powers[i]) mean_p += p;
+    mean_p /= static_cast<double>(sc_powers[i].size());
+    result.scan_power[i] = mean_p;
+    angles[i] = codebook.angle(i);
+    ++result.probes_used;
+  }
+
+  const std::vector<std::size_t> peaks =
+      top_k_peaks(result.scan_power, angles, config, &codebook);
+  for (std::size_t idx : peaks) {
+    TrainedBeam beam;
+    beam.angle_rad = angles[idx];
+    beam.mean_power = result.scan_power[idx];
+    beam.subcarrier_power = sc_powers[idx];
+    result.beams.push_back(std::move(beam));
+  }
+  return result;
+}
+
+}  // namespace mmr::core

@@ -1,0 +1,61 @@
+// Beam training: the SSB-based sweep that discovers viable path directions
+// (paper Section 2 / Fig. 2). mmReliable is agnostic to the sweep
+// algorithm; we provide the exhaustive codebook scan (what 5G NR does) and
+// extract the top-K angularly-separated peaks as multi-beam candidates.
+#pragma once
+
+#include <vector>
+
+#include "array/codebook.h"
+#include "common/types.h"
+#include "core/probing.h"
+
+namespace mmr::core {
+
+/// One discovered path direction.
+struct TrainedBeam {
+  double angle_rad = 0.0;
+  double mean_power = 0.0;  ///< mean |H|^2 across subcarriers
+  RVec subcarrier_power;    ///< per-subcarrier |H(f)|^2 (wideband probing)
+};
+
+struct TrainingResult {
+  std::vector<TrainedBeam> beams;  ///< descending power, beams[0] strongest
+  int probes_used = 0;
+  /// Full scan profile: power for every codebook direction (BeamSpy-style
+  /// spatial profile; also Fig. 4b's heatmap rows).
+  RVec scan_power;
+
+  std::vector<double> angles() const;
+  std::vector<RVec> powers() const;
+};
+
+struct TrainingConfig {
+  /// Number of strongest directions to keep (paper: 2-3 viable beams).
+  std::size_t top_k = 3;
+  /// Minimum angular separation between reported beams [rad]; peaks closer
+  /// than this are the same lobe.
+  double min_separation_rad = 0.12;
+  /// Drop candidates weaker than this many dB below the strongest. The
+  /// default sits just under the -13.2 dB first sidelobe of a uniform
+  /// array, so sidelobe "ghost peaks" of the strongest path are rejected.
+  double max_rel_power_db = 12.0;
+};
+
+/// Exhaustive sweep over the codebook: one probe per direction.
+TrainingResult exhaustive_training(const array::Codebook& codebook,
+                                   const ProbeFn& probe,
+                                   const TrainingConfig& config = {});
+
+/// Extract top-K separated peaks from a scan profile (exposed for reuse
+/// by BeamSpy and the heatmap benches). When `codebook` is non-null,
+/// candidates whose measured power is explainable as SIDELOBE leakage of
+/// an already-picked stronger beam are rejected (ghost suppression): the
+/// expected leakage is the candidate beam's pattern evaluated at the
+/// stronger peak's angle.
+std::vector<std::size_t> top_k_peaks(const RVec& scan_power,
+                                     const RVec& scan_angles_rad,
+                                     const TrainingConfig& config,
+                                     const array::Codebook* codebook = nullptr);
+
+}  // namespace mmr::core

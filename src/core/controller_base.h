@@ -1,0 +1,30 @@
+// Abstract beam-management controller: the contract the simulation harness
+// drives. Implemented by mmReliable and by every baseline, so end-to-end
+// experiments can swap schemes without changing the harness.
+#pragma once
+
+#include "core/link_interface.h"
+#include "common/types.h"
+
+namespace mmr::core {
+
+class BeamController {
+ public:
+  virtual ~BeamController() = default;
+
+  /// Establish the link at time t (initial beam training).
+  virtual void start(double t_s, const LinkProbeInterface& link) = 0;
+
+  /// One management tick at the reference-signal cadence.
+  virtual void step(double t_s, const LinkProbeInterface& link) = 0;
+
+  /// Current transmit weights (unit norm).
+  virtual const CVec& tx_weights() const = 0;
+
+  /// False while the link is consumed by (re)training.
+  virtual bool link_available(double t_s) const = 0;
+
+  virtual const char* name() const = 0;
+};
+
+}  // namespace mmr::core

@@ -1,0 +1,27 @@
+#include "core/delay_multibeam.h"
+
+#include "common/error.h"
+
+namespace mmr::core {
+
+array::DelayPhasedArray build_delay_multibeam(
+    const array::Ula& ula, const std::vector<double>& angles_rad,
+    const std::vector<cplx>& ratios, const std::vector<double>& delays_s,
+    bool compensate_delays) {
+  MMR_EXPECTS(!angles_rad.empty());
+  MMR_EXPECTS(angles_rad.size() == ratios.size());
+  MMR_EXPECTS(angles_rad.size() == delays_s.size());
+
+  array::DelayPhasedArray dpa(ula, angles_rad);
+  for (std::size_t k = 0; k < angles_rad.size(); ++k) {
+    // Constructive combining: conjugate of the relative channel (Eq. 10).
+    dpa.set_weight(k, std::conj(ratios[k]));
+  }
+  if (compensate_delays) {
+    const std::vector<double> comp = array::compensating_delays(delays_s);
+    for (std::size_t k = 0; k < comp.size(); ++k) dpa.set_delay(k, comp[k]);
+  }
+  return dpa;
+}
+
+}  // namespace mmr::core

@@ -1,0 +1,27 @@
+// Delay-optimized multi-beam construction (paper Section 3.4).
+//
+// Combines the delay-phased-array architecture (array/delay_array.h) with
+// mmReliable's estimated per-path parameters: each subarray is steered at
+// one path, carries the constructive-combining coefficient, and is given a
+// true-time delay that cancels the channel's inter-path delay difference,
+// yielding a frequency-flat multi-beam response over the full band
+// (Figs. 7-8).
+#pragma once
+
+#include <vector>
+
+#include "array/delay_array.h"
+#include "common/types.h"
+
+namespace mmr::core {
+
+/// Build a delay phased array for paths at `angles_rad` with relative
+/// channel ratios `ratios` (h_k/h_0; ratios[0] == 1) and path delays
+/// `delays_s`. If `compensate_delays` is false the delay lines are left at
+/// zero -- the "conventional phased array" baseline of Fig. 8.
+array::DelayPhasedArray build_delay_multibeam(
+    const array::Ula& ula, const std::vector<double>& angles_rad,
+    const std::vector<cplx>& ratios, const std::vector<double>& delays_s,
+    bool compensate_delays = true);
+
+}  // namespace mmr::core

@@ -1,0 +1,79 @@
+#include "core/hierarchical_training.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/pattern.h"
+#include "array/weights.h"
+#include "common/error.h"
+
+namespace mmr::core {
+namespace {
+
+double mean_power(const CVec& csi) {
+  double acc = 0.0;
+  for (const cplx& h : csi) acc += std::norm(h);
+  return acc / static_cast<double>(csi.size());
+}
+
+}  // namespace
+
+CVec wide_probe_weights(const array::Ula& ula, double lo_rad, double hi_rad) {
+  MMR_EXPECTS(hi_rad > lo_rad);
+  const double center = 0.5 * (lo_rad + hi_rad);
+  const double width = hi_rad - lo_rad;
+  // Choose the largest subaperture whose half-power beamwidth still covers
+  // the window (fewer elements -> wider beam). Never drop below two
+  // elements: a single element is omni and cannot discriminate the two
+  // halves at all.
+  std::size_t active = ula.num_elements;
+  while (active > 2 &&
+         array::half_power_beamwidth(active, ula.spacing_wavelengths) <
+             width) {
+    active /= 2;
+  }
+  array::Ula sub = ula;
+  sub.num_elements = active;
+  CVec w(ula.num_elements, cplx{});
+  const CVec sw = array::single_beam_weights(sub, center);
+  std::copy(sw.begin(), sw.end(), w.begin());
+  return array::normalize_trp(w);
+}
+
+HierarchicalResult hierarchical_training(const array::Ula& ula,
+                                         const ProbeFn& probe,
+                                         const HierarchicalConfig& config) {
+  MMR_EXPECTS(config.sector_hi_rad > config.sector_lo_rad);
+  const double hpbw = array::half_power_beamwidth(
+      ula.num_elements, ula.spacing_wavelengths);
+  const double stop_width = hpbw * config.stop_beamwidth_factor;
+
+  HierarchicalResult result;
+  double lo = config.sector_lo_rad;
+  double hi = config.sector_hi_rad;
+  double last_winner_power = 0.0;
+  while (hi - lo > stop_width) {
+    const double mid = 0.5 * (lo + hi);
+    const CVec left = wide_probe_weights(ula, lo, mid);
+    const CVec right = wide_probe_weights(ula, mid, hi);
+    const double p_left = mean_power(probe(left));
+    const double p_right = mean_power(probe(right));
+    result.probes_used += 2;
+    ++result.levels;
+    if (p_left >= p_right) {
+      hi = mid;
+      last_winner_power = p_left;
+    } else {
+      lo = mid;
+      last_winner_power = p_right;
+    }
+    // Runaway guard: the window halves every level, so ~20 levels covers
+    // any realistic array.
+    if (result.levels > 24) break;
+  }
+  result.angle_rad = 0.5 * (lo + hi);
+  result.mean_power = last_winner_power;
+  return result;
+}
+
+}  // namespace mmr::core

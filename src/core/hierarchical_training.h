@@ -1,0 +1,40 @@
+// Hierarchical (bisection) beam training: the fast-alignment family the
+// paper's reactive baseline builds on (Hassanieh et al., SIGCOMM'18).
+//
+// Instead of sweeping every narrow beam, probe two WIDE beams covering
+// the two halves of the sector (synthesized from a subaperture so the
+// beamwidth matches the half), descend into the stronger half, and repeat
+// until the window is one full-aperture beamwidth wide. Probe count is
+// 2 log2(sector/beamwidth) ~ 2 log2(N) -- the cost model behind
+// phy::fast_training_airtime_s and Fig. 18d.
+#pragma once
+
+#include "array/geometry.h"
+#include "core/probing.h"
+
+namespace mmr::core {
+
+struct HierarchicalResult {
+  double angle_rad = 0.0;    ///< estimated strongest-path direction
+  double mean_power = 0.0;   ///< measured power of the winning final beam
+  int probes_used = 0;
+  int levels = 0;
+};
+
+struct HierarchicalConfig {
+  double sector_lo_rad = -1.0472;  ///< -60 deg
+  double sector_hi_rad = 1.0472;   ///< +60 deg
+  /// Stop when the window is this factor of the full-aperture HPBW.
+  double stop_beamwidth_factor = 1.0;
+};
+
+/// Wide probe beam covering [lo, hi]: a beam from the smallest subaperture
+/// whose HPBW spans the window, steered at the window center, zero-padded
+/// to the full array and TRP-normalized.
+CVec wide_probe_weights(const array::Ula& ula, double lo_rad, double hi_rad);
+
+HierarchicalResult hierarchical_training(const array::Ula& ula,
+                                         const ProbeFn& probe,
+                                         const HierarchicalConfig& config = {});
+
+}  // namespace mmr::core

@@ -1,0 +1,25 @@
+// The narrow waist between beam-management algorithms and the world.
+//
+// On hardware these calls would be CSI-RS/SSB transmissions followed by a
+// UE channel report; in this reproduction the simulation harness binds
+// them to the channel model + impaired estimator. Algorithms never see
+// ground truth through this interface.
+#pragma once
+
+#include <functional>
+
+#include "common/types.h"
+
+namespace mmr::core {
+
+struct LinkProbeInterface {
+  /// Transmit a reference signal with the given TX weights; returns the
+  /// UE's per-subcarrier CSI estimate (noisy, CFO/SFO-impaired).
+  std::function<CVec(const CVec& tx_weights)> csi;
+
+  /// Same, but reported as a sampled CIR with `num_taps` taps at the
+  /// Nyquist period of the configured bandwidth.
+  std::function<CVec(const CVec& tx_weights, std::size_t num_taps)> cir;
+};
+
+}  // namespace mmr::core

@@ -1,0 +1,28 @@
+#include "core/metrics.h"
+
+#include "common/error.h"
+
+namespace mmr::core {
+
+LinkSummary summarize_link(std::span<const LinkSample> samples,
+                           double outage_snr_db, double bandwidth_hz) {
+  MMR_EXPECTS(!samples.empty());
+  MMR_EXPECTS(bandwidth_hz > 0.0);
+  LinkSummary s;
+  s.num_samples = samples.size();
+  std::size_t up = 0;
+  double tput_acc = 0.0;
+  for (const LinkSample& sample : samples) {
+    const bool usable = sample.available && sample.snr_db >= outage_snr_db;
+    if (usable) ++up;
+    tput_acc += sample.available ? sample.throughput_bps : 0.0;
+  }
+  const double n = static_cast<double>(samples.size());
+  s.reliability = static_cast<double>(up) / n;
+  s.mean_throughput_bps = tput_acc / n;
+  s.mean_spectral_efficiency = s.mean_throughput_bps / bandwidth_hz;
+  s.throughput_reliability_product = s.reliability * s.mean_throughput_bps;
+  return s;
+}
+
+}  // namespace mmr::core

@@ -1,0 +1,123 @@
+#include "core/multi_user.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "array/pattern.h"
+#include "common/error.h"
+
+namespace mmr::core {
+namespace {
+
+// Complex channel of user u projected through weights w:
+// h_u(w) = sqrt(ref_power) * sum_k ratio_k * AF(w, angle_k).
+cplx projected_channel(const array::Ula& ula, const UserChannel& user,
+                       const CVec& weights) {
+  cplx acc{};
+  for (std::size_t k = 0; k < user.path_angles_rad.size(); ++k) {
+    acc += user.ratios[k] *
+           array::array_factor(ula, weights, user.path_angles_rad[k]);
+  }
+  return acc * std::sqrt(user.reference_power);
+}
+
+MultiBeam beam_for(const array::Ula& ula, const UserChannel& user,
+                   const std::vector<std::size_t>& paths) {
+  MMR_EXPECTS(!paths.empty());
+  std::vector<double> angles;
+  std::vector<cplx> ratios;
+  for (std::size_t idx : paths) {
+    angles.push_back(user.path_angles_rad[idx]);
+    ratios.push_back(user.ratios[idx]);
+  }
+  // Re-reference to the first assigned path so coefficients stay sane
+  // when the strongest path was excluded.
+  const cplx base = ratios.front();
+  MMR_EXPECTS(std::abs(base) > 0.0);
+  for (cplx& r : ratios) r /= base;
+  return synthesize_multibeam(ula, constructive_components(angles, ratios));
+}
+
+}  // namespace
+
+std::vector<UserPlan> plan_multi_user(const array::Ula& ula,
+                                      const std::vector<UserChannel>& users,
+                                      const MultiUserConfig& config) {
+  MMR_EXPECTS(!users.empty());
+  // Serve stronger users first (they have the most to lose).
+  std::vector<std::size_t> order(users.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return users[a].reference_power > users[b].reference_power;
+  });
+
+  std::vector<double> claimed_angles;
+  std::vector<UserPlan> plans(users.size());
+  for (std::size_t u : order) {
+    const UserChannel& user = users[u];
+    MMR_EXPECTS(user.path_angles_rad.size() == user.ratios.size());
+    MMR_EXPECTS(!user.path_angles_rad.empty());
+
+    // Path order by |ratio| (strongest first; index 0 has ratio 1).
+    std::vector<std::size_t> path_order(user.path_angles_rad.size());
+    std::iota(path_order.begin(), path_order.end(), std::size_t{0});
+    std::sort(path_order.begin(), path_order.end(),
+              [&](std::size_t a, std::size_t b) {
+                return std::abs(user.ratios[a]) > std::abs(user.ratios[b]);
+              });
+
+    std::vector<std::size_t> assigned;
+    for (std::size_t idx : path_order) {
+      if (assigned.size() >= config.max_beams_per_user) break;
+      const double angle = user.path_angles_rad[idx];
+      const bool clear = std::none_of(
+          claimed_angles.begin(), claimed_angles.end(), [&](double a) {
+            return std::abs(a - angle) < config.min_separation_rad;
+          });
+      // A user always keeps its strongest path: a user with zero beams
+      // has no link, which is worse than some interference.
+      if (clear || assigned.empty()) assigned.push_back(idx);
+    }
+    for (std::size_t idx : assigned) {
+      claimed_angles.push_back(user.path_angles_rad[idx]);
+    }
+    plans[u].assigned_paths = assigned;
+    plans[u].beam = beam_for(ula, user, assigned);
+  }
+  return plans;
+}
+
+std::vector<UserPlan> plan_naive(const array::Ula& ula,
+                                 const std::vector<UserChannel>& users,
+                                 std::size_t max_beams_per_user) {
+  std::vector<UserPlan> plans(users.size());
+  for (std::size_t u = 0; u < users.size(); ++u) {
+    const std::size_t n =
+        std::min(max_beams_per_user, users[u].path_angles_rad.size());
+    std::vector<std::size_t> all(n);
+    std::iota(all.begin(), all.end(), std::size_t{0});
+    plans[u].assigned_paths = all;
+    plans[u].beam = beam_for(ula, users[u], all);
+  }
+  return plans;
+}
+
+double user_sinr(const array::Ula& ula, const std::vector<UserChannel>& users,
+                 const std::vector<UserPlan>& plans, std::size_t user,
+                 double noise_power) {
+  MMR_EXPECTS(user < users.size());
+  MMR_EXPECTS(plans.size() == users.size());
+  MMR_EXPECTS(noise_power > 0.0);
+  const double signal =
+      std::norm(projected_channel(ula, users[user], plans[user].beam.weights));
+  double interference = 0.0;
+  for (std::size_t other = 0; other < users.size(); ++other) {
+    if (other == user) continue;
+    interference += std::norm(
+        projected_channel(ula, users[user], plans[other].beam.weights));
+  }
+  return signal / (interference + noise_power);
+}
+
+}  // namespace mmr::core

@@ -1,0 +1,63 @@
+// Multi-user multi-beam coexistence (paper Section 8: "many multi-beams
+// can be created, one from each RF chain ... interference-aware spatial
+// multiplexing of beams in different directions").
+//
+// Each RF chain serves one user with its own constructive multi-beam.
+// Beams pointed near another user's directions leak signal into that
+// user (the multi-beam's lobes ARE the interference footprint), so the
+// planner assigns each user the subset of its viable paths that stays
+// angularly clear of the other users' assigned paths, greedily favoring
+// stronger users' stronger paths.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "array/geometry.h"
+#include "core/multibeam.h"
+
+namespace mmr::core {
+
+/// One user's channel as seen from the gNB: viable path directions and
+/// their relative complex channels (from training + two-probe estimation).
+struct UserChannel {
+  std::vector<double> path_angles_rad;
+  std::vector<cplx> ratios;  ///< h_k/h_0 per path; ratios[0] == 1
+  /// Absolute power of the reference path (linear channel gain |h_0|^2).
+  double reference_power = 1.0;
+};
+
+struct UserPlan {
+  std::vector<std::size_t> assigned_paths;  ///< indices into the channel
+  MultiBeam beam;                           ///< synthesized multi-beam
+};
+
+struct MultiUserConfig {
+  /// Minimum angular clearance between one user's beam and another
+  /// user's assigned path [rad].
+  double min_separation_rad = 0.17;  // ~10 deg
+  /// Maximum beams per user.
+  std::size_t max_beams_per_user = 2;
+};
+
+/// Greedy interference-aware planning: users in descending reference
+/// power; each claims up to max_beams_per_user of its paths that are
+/// clear of every previously claimed path. Every user keeps at least its
+/// strongest path (otherwise it would have no link at all).
+std::vector<UserPlan> plan_multi_user(const array::Ula& ula,
+                                      const std::vector<UserChannel>& users,
+                                      const MultiUserConfig& config = {});
+
+/// Naive planning: every user uses ALL its paths, ignoring the others.
+std::vector<UserPlan> plan_naive(const array::Ula& ula,
+                                 const std::vector<UserChannel>& users,
+                                 std::size_t max_beams_per_user = 2);
+
+/// SINR of user j under a plan: signal from its own chain vs leakage from
+/// every other chain evaluated through user j's actual channel, plus
+/// noise (linear, in the same units as reference_power).
+double user_sinr(const array::Ula& ula, const std::vector<UserChannel>& users,
+                 const std::vector<UserPlan>& plans, std::size_t user,
+                 double noise_power);
+
+}  // namespace mmr::core

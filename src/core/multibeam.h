@@ -1,0 +1,58 @@
+// Constructive multi-beam synthesis (paper Section 3.3, Eq. 10 and
+// Appendix A).
+//
+// A multi-beam is a linear sum of single-beam weight vectors, one per
+// channel path, with per-beam complex coefficients chosen so the copies
+// of the signal arriving over each path add coherently at the receiver.
+// TRP is conserved by normalizing the sum to unit norm.
+#pragma once
+
+#include <vector>
+
+#include "array/geometry.h"
+#include "common/types.h"
+
+namespace mmr::core {
+
+/// One constituent beam of a multi-beam.
+struct BeamComponent {
+  double angle_rad = 0.0;
+  /// Relative complex coefficient: amplitude delta, phase -sigma relative
+  /// to the reference beam (coefficient 1). Eq. 10: delta * e^{-j sigma}.
+  cplx coefficient{1.0, 0.0};
+};
+
+/// Multi-beam synthesis result. `weights` is unit-norm; `gain_norm` is the
+/// norm of the un-normalized sum — probing needs it to undo the TRP
+/// normalization when relating measured powers to per-path channels.
+struct MultiBeam {
+  CVec weights;
+  double gain_norm = 1.0;
+  std::vector<BeamComponent> components;
+};
+
+/// Build a multi-beam from per-beam angles and coefficients (Eq. 10
+/// generalized to K beams, Appendix A Eq. 29).
+MultiBeam synthesize_multibeam(const array::Ula& ula,
+                               const std::vector<BeamComponent>& components);
+
+/// Constructive coefficients from estimated relative channels: path k has
+/// channel ratio r_k = h_k / h_0 = delta_k e^{j sigma_k}; the maximizing
+/// coefficient is conj(r_k) (matched/MRC combining).
+std::vector<BeamComponent> constructive_components(
+    const std::vector<double>& angles_rad, const std::vector<cplx>& ratios);
+
+/// Theoretical SNR gain (linear) of an ideal K-beam constructive
+/// multi-beam over the single strongest beam, for per-path relative
+/// amplitudes delta_k (delta_0 = 1): 1 + sum_k delta_k^2 (Eq. 9).
+double ideal_multibeam_gain(const std::vector<double>& deltas);
+
+/// SNR gain (linear) of a 2-beam multi-beam with coefficient
+/// (delta_hat, sigma_hat) against the TRUE relative channel
+/// (delta, sigma), relative to a single beam on the stronger path.
+/// Closed form used by the Fig. 14 sensitivity analysis:
+///   |1 + d_hat e^{-j s_hat} d e^{j s}|^2 / (1 + d_hat^2).
+double two_beam_gain(double delta_true, double sigma_true_rad,
+                     double delta_hat, double sigma_hat_rad);
+
+}  // namespace mmr::core

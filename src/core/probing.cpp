@@ -1,0 +1,103 @@
+#include "core/probing.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/error.h"
+#include "core/multibeam.h"
+
+namespace mmr::core {
+
+double RelativeChannel::delta() const { return std::abs(ratio); }
+
+double RelativeChannel::sigma_rad() const { return std::arg(ratio); }
+
+RVec probe_powers(const CVec& csi) {
+  RVec p(csi.size());
+  for (std::size_t k = 0; k < csi.size(); ++k) p[k] = std::norm(csi[k]);
+  return p;
+}
+
+cplx ratio_from_powers(double p0, double pk, double p_sum0, double p_sum90) {
+  MMR_EXPECTS(p0 > 0.0);
+  const double sqrt_p0 = std::sqrt(p0);
+  // Eq. 12 with h_0 taken real-positive: h_k = Re + j Im.
+  const double re = (p_sum0 - p0 - pk) / (2.0 * sqrt_p0);
+  const double im = (p0 + pk - p_sum90) / (2.0 * sqrt_p0);
+  return cplx{re, im} / sqrt_p0;
+}
+
+std::vector<RelativeChannel> estimate_relative_channels(
+    const array::Ula& ula, const std::vector<double>& beam_angles_rad,
+    const ProbeFn& probe, const std::vector<RVec>* trained_powers,
+    ProbeBudget* budget, std::vector<RVec>* measured_single_powers) {
+  MMR_EXPECTS(beam_angles_rad.size() >= 2);
+  const std::size_t num_beams = beam_angles_rad.size();
+  ProbeBudget local_budget;
+
+  // Single-beam powers: reuse beam-training measurements when available.
+  std::vector<RVec> single_powers;
+  if (trained_powers != nullptr) {
+    MMR_EXPECTS(trained_powers->size() == num_beams);
+    single_powers = *trained_powers;
+    local_budget.training_probes = static_cast<int>(num_beams);
+  } else {
+    single_powers.reserve(num_beams);
+    for (double angle : beam_angles_rad) {
+      const MultiBeam single =
+          synthesize_multibeam(ula, {{angle, cplx{1.0, 0.0}}});
+      single_powers.push_back(probe_powers(probe(single.weights)));
+      ++local_budget.training_probes;
+    }
+  }
+
+  std::vector<RelativeChannel> out(num_beams);
+  out[0].ratio = cplx{1.0, 0.0};
+
+  for (std::size_t k = 1; k < num_beams; ++k) {
+    // Probe 1: both beams in phase. Probe 2: k-th beam advanced by pi/2
+    // (Eq. 11's e^{j pi/2} applied to the transmitted coefficient).
+    const MultiBeam sum0 = synthesize_multibeam(
+        ula, {{beam_angles_rad[0], cplx{1.0, 0.0}},
+              {beam_angles_rad[k], cplx{1.0, 0.0}}});
+    const MultiBeam sum90 = synthesize_multibeam(
+        ula, {{beam_angles_rad[0], cplx{1.0, 0.0}},
+              {beam_angles_rad[k], std::polar(1.0, kPi / 2.0)}});
+    const RVec p_sum0 = probe_powers(probe(sum0.weights));
+    const RVec p_sum90 = probe_powers(probe(sum90.weights));
+    local_budget.refinement_probes += 2;
+
+    // Undo the TRP normalization: the hardware transmitted w/||w||, so the
+    // measured power is |h_sum|^2 / ||w||^2. Eq. 11 wants |h_sum|^2.
+    const double scale0 = sum0.gain_norm * sum0.gain_norm;
+    const double scale90 = sum90.gain_norm * sum90.gain_norm;
+
+    const RVec& p0 = single_powers[0];
+    const RVec& pk = single_powers[k];
+    const std::size_t num_sc = p0.size();
+    MMR_EXPECTS(pk.size() == num_sc && p_sum0.size() == num_sc &&
+                p_sum90.size() == num_sc);
+
+    // Wideband combining (Eq. 14): ratio per subcarrier, then the
+    // p0-weighted average == <h_0, h_k> / ||h_0||^2.
+    cplx weighted_sum{};
+    double weight_total = 0.0;
+    for (std::size_t f = 0; f < num_sc; ++f) {
+      if (p0[f] <= 0.0) continue;
+      const cplx r = ratio_from_powers(p0[f], pk[f], p_sum0[f] * scale0,
+                                       p_sum90[f] * scale90);
+      weighted_sum += p0[f] * r;
+      weight_total += p0[f];
+    }
+    MMR_EXPECTS(weight_total > 0.0);
+    out[k].ratio = weighted_sum / weight_total;
+  }
+
+  if (budget != nullptr) *budget = local_budget;
+  if (measured_single_powers != nullptr) {
+    *measured_single_powers = single_powers;
+  }
+  return out;
+}
+
+}  // namespace mmr::core

@@ -1,0 +1,61 @@
+// Two-probe estimation of per-beam relative channels from magnitude-only
+// measurements (paper Section 3.3, Eqs. 11-14).
+//
+// CFO/SFO make absolute channel phase unusable between probes, so the
+// relative channel h_k / h_0 is recovered from four POWER measurements:
+// the two single-beam powers p_0 = |h_0|^2, p_k = |h_k|^2 (already known
+// from beam training) plus two 2-beam probes with the k-th beam phased at
+// 0 and at pi/2. The TRP normalization the hardware applies to each probe
+// pattern is undone using the known synthesis norm, which the paper's
+// Eq. 11 leaves implicit.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "array/geometry.h"
+#include "common/types.h"
+
+namespace mmr::core {
+
+/// A channel probe: transmit a reference signal through `weights` and
+/// return the (noisy, CFO/SFO-impaired) per-subcarrier CSI estimate.
+using ProbeFn = std::function<CVec(const CVec& weights)>;
+
+/// Counts probes spent, split by which phase of the protocol pays them.
+struct ProbeBudget {
+  int training_probes = 0;   ///< single-beam probes (from beam training)
+  int refinement_probes = 0; ///< extra 2-beam probes (CSI-RS)
+  int total() const { return training_probes + refinement_probes; }
+};
+
+/// Narrowband result for one beam pair: the complex ratio h_k/h_0.
+struct RelativeChannel {
+  cplx ratio{1.0, 0.0};
+  double delta() const;      ///< relative amplitude
+  double sigma_rad() const;  ///< relative phase
+};
+
+/// Estimate h_k/h_0 for every k in [1, angles.size()) using 2 extra probes
+/// per beam (Eqs. 11-12). `trained_powers`, if provided, supplies the
+/// single-beam powers p_k from the beam-training phase; otherwise they are
+/// measured here (and accounted as training probes).
+///
+/// Wideband handling (Eqs. 13-14): the ratio is computed per subcarrier
+/// and combined with the closed-form inner-product estimator
+/// <h_0(f), h_k(f)> / ||h_0(f)||^2, which is exactly the narrowband ratio
+/// when the channel is flat.
+std::vector<RelativeChannel> estimate_relative_channels(
+    const array::Ula& ula, const std::vector<double>& beam_angles_rad,
+    const ProbeFn& probe, const std::vector<RVec>* trained_powers = nullptr,
+    ProbeBudget* budget = nullptr,
+    std::vector<RVec>* measured_single_powers = nullptr);
+
+/// Per-subcarrier power |H(k)|^2 of one probe.
+RVec probe_powers(const CVec& csi);
+
+/// Pure math of Eq. 12 for one subcarrier: recover h_k/h_0 from the four
+/// powers (p0, pk, p_sum0, p_sum90). Exposed for unit testing.
+cplx ratio_from_powers(double p0, double pk, double p_sum0, double p_sum90);
+
+}  // namespace mmr::core

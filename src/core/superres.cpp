@@ -1,0 +1,174 @@
+#include "core/superres.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/linalg.h"
+#include "dsp/sinc.h"
+
+namespace mmr::core {
+namespace {
+
+dsp::CMatrix sinc_dictionary(std::size_t num_taps, double ts,
+                             double bandwidth_hz, const RVec& delays_s) {
+  dsp::CMatrix s(num_taps, delays_s.size());
+  for (std::size_t col = 0; col < delays_s.size(); ++col) {
+    for (std::size_t n = 0; n < num_taps; ++n) {
+      s(n, col) =
+          cplx{dsp::sampled_sinc_tap(n, ts, bandwidth_hz, delays_s[col]), 0.0};
+    }
+  }
+  return s;
+}
+
+double fit_residual(const CVec& cir, const dsp::CMatrix& s, const CVec& alpha) {
+  const CVec model = s * alpha;
+  double acc = 0.0;
+  for (std::size_t n = 0; n < cir.size(); ++n) acc += std::norm(cir[n] - model[n]);
+  return std::sqrt(acc);
+}
+
+struct Solve {
+  CVec alpha;
+  double residual;
+};
+
+Solve solve_for_delays(const CVec& cir, double ts, double bandwidth_hz,
+                       const RVec& delays, double lambda) {
+  const dsp::CMatrix s = sinc_dictionary(cir.size(), ts, bandwidth_hz, delays);
+  CVec alpha = dsp::ridge_least_squares(s, cir, lambda);
+  const double residual = fit_residual(cir, s, alpha);
+  return {std::move(alpha), residual};
+}
+
+}  // namespace
+
+RVec SuperresResult::powers() const {
+  RVec p(alphas.size());
+  for (std::size_t k = 0; k < alphas.size(); ++k) p[k] = std::norm(alphas[k]);
+  return p;
+}
+
+SuperresResult superres_per_beam(const CVec& cir, const RVec& nominal_delays_s,
+                                 double ts, double bandwidth_hz,
+                                 const SuperresConfig& config) {
+  MMR_EXPECTS(!cir.empty());
+  MMR_EXPECTS(!nominal_delays_s.empty());
+  MMR_EXPECTS(cir.size() >= nominal_delays_s.size());
+  MMR_EXPECTS(config.lambda > 0.0);
+  MMR_EXPECTS(config.common_shift_steps >= 1);
+  MMR_EXPECTS(config.relative_steps >= 1);
+
+  auto grid_offset = [](std::size_t idx, std::size_t steps, double span) {
+    if (steps == 1) return 0.0;
+    return (static_cast<double>(idx) / static_cast<double>(steps - 1) - 0.5) *
+           2.0 * span;
+  };
+
+  // Stage 1: common shift, relative structure fixed. Coarse grid over the
+  // full span, then a fine grid around the best coarse shift.
+  RVec delays = nominal_delays_s;
+  Solve best = solve_for_delays(cir, ts, bandwidth_hz, delays, config.lambda);
+  double best_shift = 0.0;
+  auto try_shift = [&](double shift) {
+    RVec trial(nominal_delays_s.size());
+    for (std::size_t k = 0; k < trial.size(); ++k) {
+      trial[k] = nominal_delays_s[k] + shift;
+    }
+    Solve attempt =
+        solve_for_delays(cir, ts, bandwidth_hz, trial, config.lambda);
+    if (attempt.residual < best.residual) {
+      best = std::move(attempt);
+      delays = std::move(trial);
+      best_shift = shift;
+    }
+  };
+  if (config.common_shift_steps > 1 && config.common_shift_span_s > 0.0) {
+    for (std::size_t si = 0; si < config.common_shift_steps; ++si) {
+      const double shift = grid_offset(si, config.common_shift_steps,
+                                       config.common_shift_span_s);
+      if (shift != 0.0) try_shift(shift);
+    }
+    if (config.common_shift_fine_steps > 1) {
+      const double coarse_step =
+          2.0 * config.common_shift_span_s /
+          static_cast<double>(config.common_shift_steps - 1);
+      const double center = best_shift;
+      for (std::size_t si = 0; si < config.common_shift_fine_steps; ++si) {
+        const double shift =
+            center +
+            grid_offset(si, config.common_shift_fine_steps, coarse_step / 2.0);
+        if (shift != center) try_shift(shift);
+      }
+    }
+  }
+
+  // Stage 2: small per-path refinement (relative-ToF drift).
+  if (config.relative_steps > 1 && config.relative_span_s > 0.0) {
+    for (std::size_t round = 0; round < config.refinement_rounds; ++round) {
+      for (std::size_t k = 0; k < delays.size(); ++k) {
+        const double center = delays[k];
+        for (std::size_t si = 0; si < config.relative_steps; ++si) {
+          const double off =
+              grid_offset(si, config.relative_steps, config.relative_span_s);
+          if (off == 0.0) continue;
+          RVec trial = delays;
+          trial[k] = center + off;
+          Solve attempt =
+              solve_for_delays(cir, ts, bandwidth_hz, trial, config.lambda);
+          if (attempt.residual < best.residual) {
+            best = std::move(attempt);
+            delays = std::move(trial);
+          }
+        }
+      }
+    }
+  }
+
+  SuperresResult result;
+  result.alphas = std::move(best.alpha);
+  result.delays_s = std::move(delays);
+  result.residual = best.residual;
+  return result;
+}
+
+CVec reconstruct_cir(const SuperresResult& fit, std::size_t num_taps,
+                     double ts, double bandwidth_hz) {
+  const dsp::CMatrix s =
+      sinc_dictionary(num_taps, ts, bandwidth_hz, fit.delays_s);
+  return s * fit.alphas;
+}
+
+double estimate_peak_delay(const CVec& cir, double ts) {
+  MMR_EXPECTS(!cir.empty());
+  MMR_EXPECTS(ts > 0.0);
+  std::size_t peak = 0;
+  double best = 0.0;
+  for (std::size_t n = 0; n < cir.size(); ++n) {
+    const double mag = std::abs(cir[n]);
+    if (mag > best) {
+      best = mag;
+      peak = n;
+    }
+  }
+  // Sub-tap refinement by maximizing the band-limited interpolation of
+  // the CIR around the peak tap (a parabola over |taps| is biased because
+  // the sinc's side lobes are not parabolic).
+  const double bandwidth = 1.0 / ts;
+  double best_tau = static_cast<double>(peak) * ts;
+  double best_mag = best;
+  const double lo = (static_cast<double>(peak) - 0.6) * ts;
+  const double hi = (static_cast<double>(peak) + 0.6) * ts;
+  for (int i = 0; i <= 48; ++i) {
+    const double tau = lo + (hi - lo) * static_cast<double>(i) / 48.0;
+    if (tau < 0.0) continue;
+    const double mag = std::abs(dsp::sinc_interpolate(cir, ts, bandwidth, tau));
+    if (mag > best_mag) {
+      best_mag = mag;
+      best_tau = tau;
+    }
+  }
+  return best_tau;
+}
+
+}  // namespace mmr::core

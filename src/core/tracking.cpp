@@ -1,0 +1,127 @@
+#include "core/tracking.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/pattern.h"
+#include "common/error.h"
+#include "dsp/polyfit.h"
+
+namespace mmr::core {
+
+double invert_pattern_offset(std::size_t num_elements,
+                             double spacing_wavelengths, double drop_db) {
+  MMR_EXPECTS(num_elements >= 2);
+  MMR_EXPECTS(drop_db >= 0.0);
+  if (drop_db == 0.0) return 0.0;
+  const double target = std::pow(10.0, -drop_db / 10.0);
+  // The pattern is monotone from 1 down to 0 between beam center and the
+  // first null; bisect there. Drops beyond the first-null depth saturate.
+  const double first_null = std::asin(
+      std::min(1.0, 1.0 / (spacing_wavelengths *
+                           static_cast<double>(num_elements))));
+  double lo = 0.0;
+  double hi = first_null * 0.999;
+  if (array::ula_relative_gain(num_elements, spacing_wavelengths, hi) >=
+      target) {
+    return hi;  // saturated: deeper than the main lobe can explain
+  }
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (array::ula_relative_gain(num_elements, spacing_wavelengths, mid) >
+        target) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+PerBeamTracker::PerBeamTracker(const TrackerConfig& config,
+                               std::size_t num_elements,
+                               double spacing_wavelengths)
+    : config_(config), num_elements_(num_elements),
+      spacing_(spacing_wavelengths) {
+  MMR_EXPECTS(num_elements >= 2);
+  MMR_EXPECTS(config.fit_history >= 3);
+}
+
+void PerBeamTracker::reset_reference(double power_db) {
+  reference_db_ = power_db;
+  has_reference_ = true;
+  ewma_db_ = power_db;
+  ewma_primed_ = true;
+  history_.clear();
+  state_ = BeamState::kTracking;
+}
+
+double PerBeamTracker::smoothed_power_db(double t_s) const {
+  // Quadratic fit over the recent history (Section 6.1), evaluated at the
+  // window CENTER: endpoint extrapolation would amplify noise ~3x, and
+  // half a window of lag is harmless at the realignment cadence.
+  if (history_.size() < config_.fit_history) return ewma_db_;
+  RVec xs, ys;
+  xs.reserve(history_.size());
+  ys.reserve(history_.size());
+  const double t0 = history_.front().t_s;
+  for (const Sample& s : history_) {
+    xs.push_back(s.t_s - t0);
+    ys.push_back(s.power_db);
+  }
+  const RVec coeffs = dsp::polyfit(xs, ys, 2);
+  return dsp::polyval(coeffs, 0.5 * (t_s - t0));
+}
+
+PerBeamTracker::Update PerBeamTracker::update(double t_s, double power_db) {
+  MMR_EXPECTS(has_reference_);
+  // EWMA with forgetting factor.
+  ewma_db_ = ewma_primed_
+                 ? config_.forgetting_factor * ewma_db_ +
+                       (1.0 - config_.forgetting_factor) * power_db
+                 : power_db;
+  ewma_primed_ = true;
+  history_.push_back({t_s, power_db});
+  while (history_.size() > config_.fit_history) history_.pop_front();
+
+  Update up;
+
+  // Blockage: raw drop of blockage_drop_db or more within the window.
+  double recent_max = power_db;
+  for (const Sample& s : history_) {
+    if (t_s - s.t_s <= config_.blockage_window_s) {
+      recent_max = std::max(recent_max, s.power_db);
+    }
+  }
+  const double fast_drop = recent_max - power_db;
+  const double ref_drop = reference_db_ - power_db;
+
+  if (state_ == BeamState::kTracking) {
+    const bool dropping = fast_drop >= config_.blockage_drop_db ||
+                          ref_drop >= config_.blockage_drop_db * 2.0;
+    consecutive_drops_ = dropping ? consecutive_drops_ + 1 : 0;
+    if (consecutive_drops_ >= config_.blockage_persistence) {
+      state_ = BeamState::kBlocked;
+      consecutive_drops_ = 0;
+    }
+  } else {
+    if (ref_drop <= config_.recover_margin_db) {
+      state_ = BeamState::kTracking;
+      ewma_db_ = power_db;
+    }
+  }
+
+  up.state = state_;
+  const double smooth = smoothed_power_db(t_s);
+  up.drop_db = reference_db_ - smooth;
+
+  if (state_ == BeamState::kTracking &&
+      up.drop_db >= config_.min_drop_for_realign_db) {
+    double offset = invert_pattern_offset(num_elements_, spacing_, up.drop_db);
+    offset = std::min(offset, config_.max_realign_rad);
+    up.misalign_rad = offset >= config_.min_realign_rad ? offset : 0.0;
+  }
+  return up;
+}
+
+}  // namespace mmr::core

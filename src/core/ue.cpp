@@ -1,0 +1,101 @@
+#include "core/ue.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "array/pattern.h"
+#include "common/error.h"
+#include "core/tracking.h"
+
+namespace mmr::core {
+
+std::vector<BeamAssociation> associate_beams(const RVec& gnb_delays_s,
+                                             const RVec& ue_delays_s,
+                                             double tolerance_s) {
+  MMR_EXPECTS(tolerance_s >= 0.0);
+  std::vector<bool> ue_used(ue_delays_s.size(), false);
+  std::vector<BeamAssociation> out;
+  for (std::size_t g = 0; g < gnb_delays_s.size(); ++g) {
+    std::size_t best = ue_delays_s.size();
+    double best_diff = tolerance_s;
+    for (std::size_t u = 0; u < ue_delays_s.size(); ++u) {
+      if (ue_used[u]) continue;
+      const double diff = std::abs(gnb_delays_s[g] - ue_delays_s[u]);
+      if (diff <= best_diff) {
+        best_diff = diff;
+        best = u;
+      }
+    }
+    if (best < ue_delays_s.size()) {
+      ue_used[best] = true;
+      out.push_back({g, best, best_diff});
+    }
+  }
+  return out;
+}
+
+MotionKind classify_motion(double gnb_drop_db, double ue_drop_db,
+                           double threshold_db) {
+  const bool gnb_moved = gnb_drop_db > threshold_db;
+  const bool ue_moved = ue_drop_db > threshold_db;
+  if (gnb_moved) return MotionKind::kTranslation;
+  if (ue_moved) return MotionKind::kRotation;
+  return MotionKind::kNone;
+}
+
+double estimate_rotation_rad(std::size_t ue_elements,
+                             double spacing_wavelengths, double ue_drop_db) {
+  MMR_EXPECTS(ue_drop_db >= 0.0);
+  return invert_pattern_offset(ue_elements, spacing_wavelengths, ue_drop_db);
+}
+
+double estimate_translation_offset_rad(std::size_t gnb_elements,
+                                       std::size_t ue_elements,
+                                       double spacing_wavelengths,
+                                       double total_drop_db) {
+  MMR_EXPECTS(total_drop_db >= 0.0);
+  if (total_drop_db == 0.0) return 0.0;
+  // Bisect the summed dB loss of both patterns within the narrower main
+  // lobe (set by the larger array).
+  const std::size_t larger = std::max(gnb_elements, ue_elements);
+  const double first_null = std::asin(std::min(
+      1.0, 1.0 / (spacing_wavelengths * static_cast<double>(larger))));
+  auto summed_drop = [&](double offset) {
+    const double g_tx = array::ula_relative_gain_db(
+        gnb_elements, spacing_wavelengths, offset);
+    const double g_rx = array::ula_relative_gain_db(
+        ue_elements, spacing_wavelengths, offset);
+    return -(g_tx + g_rx);  // positive drop
+  };
+  double lo = 0.0;
+  double hi = first_null * 0.999;
+  if (summed_drop(hi) <= total_drop_db) return hi;  // saturated
+  for (int iter = 0; iter < 80; ++iter) {
+    const double mid = 0.5 * (lo + hi);
+    if (summed_drop(mid) < total_drop_db) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return 0.5 * (lo + hi);
+}
+
+Realignment prescribe_realignment(MotionKind kind, double angle_rad) {
+  Realignment r;
+  switch (kind) {
+    case MotionKind::kNone:
+      break;
+    case MotionKind::kRotation:
+      r.ue_delta_rad = angle_rad;
+      break;
+    case MotionKind::kTranslation:
+      // Paper Fig. 12: gNB beam a1 moves by +phi, UE beam b1 by -phi.
+      r.gnb_delta_rad = angle_rad;
+      r.ue_delta_rad = -angle_rad;
+      break;
+  }
+  return r;
+}
+
+}  // namespace mmr::core

@@ -1,0 +1,63 @@
+// Directional-UE generalization (paper Section 4.4).
+//
+// When the UE also beamforms, mobility misaligns BOTH ends. Three
+// sub-problems:
+//  1. association -- which UE beam pairs with which gNB beam: solved by
+//     matching per-path ToF (unique per path) from each side's superres;
+//  2. rotation  -- only the UE-side gain changes; invert the UE pattern;
+//  3. translation -- both ends slide by the SAME angle; invert the SUM of
+//     the two patterns.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mmr::core {
+
+struct BeamAssociation {
+  std::size_t gnb_beam = 0;
+  std::size_t ue_beam = 0;
+  double tof_mismatch_s = 0.0;
+};
+
+/// Greedy ToF matching: each gNB beam is paired with the unmatched UE beam
+/// whose delay is closest; pairs with mismatch above `tolerance_s` are
+/// dropped. Delays come from each side's superres fit.
+std::vector<BeamAssociation> associate_beams(const RVec& gnb_delays_s,
+                                             const RVec& ue_delays_s,
+                                             double tolerance_s);
+
+enum class MotionKind {
+  kNone,
+  kRotation,     ///< UE-side drop only
+  kTranslation,  ///< both sides drop together
+};
+
+/// Classify from the per-side power drops of an associated beam pair.
+MotionKind classify_motion(double gnb_drop_db, double ue_drop_db,
+                           double threshold_db = 1.0);
+
+/// Rotation angle magnitude from the UE-side drop alone [rad].
+double estimate_rotation_rad(std::size_t ue_elements,
+                             double spacing_wavelengths, double ue_drop_db);
+
+/// Translation-induced angular offset: both arrays slide off by the same
+/// angle, so the observed TOTAL drop is the sum of both pattern losses;
+/// invert that sum (monotone within both main lobes) [rad].
+double estimate_translation_offset_rad(std::size_t gnb_elements,
+                                       std::size_t ue_elements,
+                                       double spacing_wavelengths,
+                                       double total_drop_db);
+
+/// Realignment prescription for one associated pair (paper Fig. 12):
+/// rotation turns only the UE beam; translation turns gNB and UE beams by
+/// the same magnitude in opposite senses.
+struct Realignment {
+  double gnb_delta_rad = 0.0;
+  double ue_delta_rad = 0.0;
+};
+Realignment prescribe_realignment(MotionKind kind, double angle_rad);
+
+}  // namespace mmr::core

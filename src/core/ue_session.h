@@ -1,0 +1,88 @@
+// Directional-UE link session (paper Section 4.4).
+//
+// When the link budget needs gain at BOTH ends (long outdoor links), the
+// UE beamforms too, and user motion misaligns both sides at once. This
+// session manages the pair of multi-beams jointly:
+//   * joint training: gNB sweep under a wide UE beam, then a UE sweep per
+//     gNB beam -- which also ASSOCIATES each gNB beam with its UE partner
+//     (the ToF-based association of core/ue.h is exposed separately);
+//   * monitoring: per-beam powers via superres on the joint CIR;
+//   * classification: a RIGID UE rotation slides every arrival off its UE
+//     beam by the same angle, so near-equal per-beam drops indicate
+//     rotation; unequal drops indicate translation (paper Fig. 12);
+//   * realignment: rotation turns only the UE beams; translation turns
+//     gNB and UE beams by the same magnitude in opposite senses, with the
+//     sign resolved by probing (one candidate set per sign).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "array/geometry.h"
+#include "core/multibeam.h"
+#include "core/superres.h"
+#include "core/tracking.h"
+#include "core/ue.h"
+
+namespace mmr::core {
+
+struct UeSessionConfig {
+  array::Ula gnb_ula{8, 0.5};
+  array::Ula ue_ula{4, 0.5};
+  double bandwidth_hz = 400.0e6;
+  std::size_t cir_taps = 24;
+  std::size_t gnb_codebook_size = 48;
+  std::size_t ue_codebook_size = 24;
+  std::size_t max_beams = 2;
+  double sector_lo_rad = -1.0472;
+  double sector_hi_rad = 1.0472;
+  /// Per-beam drop below which no action is taken [dB].
+  double min_drop_db = 2.0;
+  /// Drops within this spread across beams are treated as a rigid UE
+  /// rotation [dB].
+  double rotation_spread_db = 2.0;
+};
+
+/// Probe functions with weights for BOTH ends.
+struct JointProbeFns {
+  std::function<CVec(const CVec& tx_w, const CVec& rx_w)> csi;
+  std::function<CVec(const CVec& tx_w, const CVec& rx_w, std::size_t taps)>
+      cir;
+};
+
+class DirectionalUeSession {
+ public:
+  explicit DirectionalUeSession(UeSessionConfig config);
+
+  /// Joint beam training + multi-beam establishment at both ends.
+  void train(const JointProbeFns& link);
+
+  /// One maintenance tick: monitor, classify motion, realign.
+  void step(double t_s, const JointProbeFns& link);
+
+  const CVec& tx_weights() const { return tx_beam_.weights; }
+  const CVec& rx_weights() const { return rx_beam_.weights; }
+  std::size_t num_beams() const { return gnb_angles_.size(); }
+  const std::vector<double>& gnb_angles() const { return gnb_angles_; }
+  const std::vector<double>& ue_angles() const { return ue_angles_; }
+  MotionKind last_motion() const { return last_motion_; }
+  int probes_used() const { return probes_; }
+
+ private:
+  void resynthesize();
+  double measure_power(const JointProbeFns& link);
+  RVec per_beam_powers(const JointProbeFns& link);
+
+  UeSessionConfig config_;
+  std::vector<double> gnb_angles_;
+  std::vector<double> ue_angles_;
+  RVec nominal_delays_;
+  RVec reference_power_db_;
+  MultiBeam tx_beam_;
+  MultiBeam rx_beam_;
+  MotionKind last_motion_ = MotionKind::kNone;
+  int probes_ = 0;
+  bool trained_ = false;
+};
+
+}  // namespace mmr::core

@@ -1,0 +1,129 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/error.h"
+
+namespace mmr::dsp {
+namespace {
+
+// Bit-reversal permutation for the iterative radix-2 kernel.
+void bit_reverse(CVec& x) {
+  const std::size_t n = x.size();
+  std::size_t j = 0;
+  for (std::size_t i = 1; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+}
+
+void fft_radix2(CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  MMR_EXPECTS(is_pow2(n));
+  bit_reverse(x);
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double ang = (inverse ? 2.0 : -2.0) * kPi / static_cast<double>(len);
+    const cplx wlen(std::cos(ang), std::sin(ang));
+    for (std::size_t i = 0; i < n; i += len) {
+      cplx w{1.0, 0.0};
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const cplx u = x[i + k];
+        const cplx v = x[i + k + len / 2] * w;
+        x[i + k] = u + v;
+        x[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : x) c *= inv_n;
+  }
+}
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+// Bluestein's chirp-z transform: DFT of arbitrary N via a convolution of
+// length >= 2N-1 done with power-of-two FFTs.
+CVec bluestein(const CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  const double sign = inverse ? 1.0 : -1.0;
+  CVec chirp(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    // k^2 mod 2n keeps the argument small and exact for large k.
+    const auto k2 = static_cast<double>((k * k) % (2 * n));
+    const double ang = sign * kPi * k2 / static_cast<double>(n);
+    chirp[k] = cplx(std::cos(ang), std::sin(ang));
+  }
+  const std::size_t m = next_pow2(2 * n - 1);
+  CVec a(m, cplx{}), b(m, cplx{});
+  for (std::size_t k = 0; k < n; ++k) a[k] = x[k] * chirp[k];
+  for (std::size_t k = 0; k < n; ++k) {
+    b[k] = std::conj(chirp[k]);
+    if (k != 0) b[m - k] = std::conj(chirp[k]);
+  }
+  fft_radix2(a, /*inverse=*/false);
+  fft_radix2(b, /*inverse=*/false);
+  for (std::size_t k = 0; k < m; ++k) a[k] *= b[k];
+  fft_radix2(a, /*inverse=*/true);
+  CVec out(n);
+  for (std::size_t k = 0; k < n; ++k) out[k] = a[k] * chirp[k];
+  if (inverse) {
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (auto& c : out) c *= inv_n;
+  }
+  return out;
+}
+
+}  // namespace
+
+bool is_pow2(std::size_t n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+void fft_pow2(CVec& x) { fft_radix2(x, /*inverse=*/false); }
+
+void ifft_pow2(CVec& x) { fft_radix2(x, /*inverse=*/true); }
+
+CVec fft(const CVec& x) {
+  MMR_EXPECTS(!x.empty());
+  if (is_pow2(x.size())) {
+    CVec y = x;
+    fft_pow2(y);
+    return y;
+  }
+  return bluestein(x, /*inverse=*/false);
+}
+
+CVec ifft(const CVec& x) {
+  MMR_EXPECTS(!x.empty());
+  if (is_pow2(x.size())) {
+    CVec y = x;
+    ifft_pow2(y);
+    return y;
+  }
+  return bluestein(x, /*inverse=*/true);
+}
+
+CVec circshift(const CVec& x, std::ptrdiff_t k) {
+  const auto n = static_cast<std::ptrdiff_t>(x.size());
+  MMR_EXPECTS(n > 0);
+  CVec out(x.size());
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    std::ptrdiff_t j = (i + k) % n;
+    if (j < 0) j += n;
+    out[static_cast<std::size_t>(j)] = x[static_cast<std::size_t>(i)];
+  }
+  return out;
+}
+
+CVec fftshift(const CVec& x) {
+  return circshift(x, static_cast<std::ptrdiff_t>(x.size() / 2));
+}
+
+}  // namespace mmr::dsp

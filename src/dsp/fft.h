@@ -1,0 +1,34 @@
+// FFT built from scratch: iterative radix-2 for power-of-two sizes and
+// Bluestein's algorithm for arbitrary sizes. Used for OFDM modulation and
+// CIR <-> CSI conversion; sizes in this codebase are small (<= 8192) so a
+// cache-oblivious plan is unnecessary.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mmr::dsp {
+
+/// True if n is a power of two (n >= 1).
+bool is_pow2(std::size_t n);
+
+/// In-place forward FFT; x.size() must be a power of two.
+void fft_pow2(CVec& x);
+
+/// In-place inverse FFT (includes the 1/N normalization).
+void ifft_pow2(CVec& x);
+
+/// Forward DFT of arbitrary size (Bluestein for non-powers of two).
+CVec fft(const CVec& x);
+
+/// Inverse DFT of arbitrary size (includes the 1/N normalization).
+CVec ifft(const CVec& x);
+
+/// Circularly shift a vector right by k positions.
+CVec circshift(const CVec& x, std::ptrdiff_t k);
+
+/// fftshift: move the zero-frequency bin to the center.
+CVec fftshift(const CVec& x);
+
+}  // namespace mmr::dsp

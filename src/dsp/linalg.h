@@ -1,0 +1,54 @@
+// Small dense complex linear algebra: just enough for the super-resolution
+// solver (regularized least squares, paper Eq. 23) and oracle beamforming.
+// Matrices are row-major and small (tens of rows/cols), so a straightforward
+// Cholesky on the normal equations is both adequate and robust given the
+// ridge term always present in our use.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mmr::dsp {
+
+class CMatrix {
+ public:
+  CMatrix() = default;
+  CMatrix(std::size_t rows, std::size_t cols);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  cplx& operator()(std::size_t r, std::size_t c);
+  const cplx& operator()(std::size_t r, std::size_t c) const;
+
+  CMatrix hermitian() const;  ///< conjugate transpose
+
+  static CMatrix identity(std::size_t n);
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  CVec data_;
+};
+
+CMatrix operator*(const CMatrix& a, const CMatrix& b);
+CVec operator*(const CMatrix& a, const CVec& x);
+CMatrix operator+(const CMatrix& a, const CMatrix& b);
+CMatrix operator*(cplx s, const CMatrix& a);
+
+/// Hermitian positive-definite solve A x = b via Cholesky (A = L L^H).
+/// Throws std::runtime_error if A is not (numerically) positive definite.
+CVec cholesky_solve(const CMatrix& a, const CVec& b);
+
+/// Ridge-regularized least squares: argmin_x ||b - S x||^2 + lambda ||x||^2,
+/// solved through the normal equations (S^H S + lambda I) x = S^H b.
+/// lambda > 0 guarantees positive definiteness.
+CVec ridge_least_squares(const CMatrix& s, const CVec& b, double lambda);
+
+/// Euclidean norm, inner product <a, b> = sum conj(a_i) b_i, and helpers.
+double norm(const CVec& v);
+cplx inner(const CVec& a, const CVec& b);
+CVec conj(const CVec& v);
+
+}  // namespace mmr::dsp

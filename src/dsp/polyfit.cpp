@@ -1,0 +1,39 @@
+#include "dsp/polyfit.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/linalg.h"
+
+namespace mmr::dsp {
+
+RVec polyfit(const RVec& x, const RVec& y, std::size_t degree) {
+  MMR_EXPECTS(x.size() == y.size());
+  MMR_EXPECTS(x.size() >= degree + 1);
+  const std::size_t m = x.size();
+  const std::size_t n = degree + 1;
+  // Vandermonde design matrix; reuse the complex solver (imag parts zero).
+  CMatrix v(m, n);
+  CVec rhs(m);
+  for (std::size_t i = 0; i < m; ++i) {
+    double p = 1.0;
+    for (std::size_t j = 0; j < n; ++j) {
+      v(i, j) = cplx{p, 0.0};
+      p *= x[i];
+    }
+    rhs[i] = cplx{y[i], 0.0};
+  }
+  // Tiny ridge for numerical safety; does not noticeably bias the fit.
+  const CVec c = ridge_least_squares(v, rhs, 1e-12);
+  RVec out(n);
+  for (std::size_t j = 0; j < n; ++j) out[j] = c[j].real();
+  return out;
+}
+
+double polyval(const RVec& coeffs, double x) {
+  double acc = 0.0;
+  for (std::size_t j = coeffs.size(); j-- > 0;) acc = acc * x + coeffs[j];
+  return acc;
+}
+
+}  // namespace mmr::dsp

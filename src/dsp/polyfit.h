@@ -1,0 +1,20 @@
+// Real least-squares polynomial fitting. The tracking algorithm smooths
+// noisy per-beam power measurements by fitting a quadratic (paper
+// Section 6.1: "fits a quadratic polynomial to smooth the data").
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mmr::dsp {
+
+/// Fit y ~ c0 + c1 x + ... + cd x^d in the least-squares sense.
+/// Returns the d+1 coefficients (lowest order first).
+/// Requires x.size() == y.size() and at least degree+1 points.
+RVec polyfit(const RVec& x, const RVec& y, std::size_t degree);
+
+/// Evaluate a polynomial (lowest order first) at x.
+double polyval(const RVec& coeffs, double x);
+
+}  // namespace mmr::dsp

@@ -1,0 +1,28 @@
+// Band-limited (sinc) pulse models. The super-resolution algorithm
+// (paper Section 4.3, Eq. 22) fits attenuations of sinc pulses whose delays
+// are known up to a small search window; these helpers build the sampled
+// pulse dictionary.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mmr::dsp {
+
+/// Normalized sinc: sin(pi x) / (pi x), sinc(0) = 1.
+double sinc(double x);
+
+/// Sampled band-limited pulse: tap n of a pulse with delay tau [s] observed
+/// by a receiver with bandwidth B [Hz] sampling at period ts [s]
+/// (paper Eq. 22: sinc(B (n ts - tau))).
+double sampled_sinc_tap(std::size_t n, double ts, double bandwidth, double tau);
+
+/// Full sampled pulse of `num_taps` taps for delay tau.
+RVec sampled_sinc(std::size_t num_taps, double ts, double bandwidth, double tau);
+
+/// Band-limited interpolation of a sampled CIR at fractional delay tau:
+/// sum_n x[n] sinc(B(tau - n ts)). Used to read a CIR "between taps".
+cplx sinc_interpolate(const CVec& taps, double ts, double bandwidth, double tau);
+
+}  // namespace mmr::dsp

@@ -1,0 +1,37 @@
+#include "dsp/smoothing.h"
+
+#include "common/error.h"
+
+namespace mmr::dsp {
+
+Ewma::Ewma(double rho) : rho_(rho) { MMR_EXPECTS(rho >= 0.0 && rho < 1.0); }
+
+double Ewma::update(double x) {
+  if (!primed_) {
+    y_ = x;
+    primed_ = true;
+  } else {
+    y_ = rho_ * y_ + (1.0 - rho_) * x;
+  }
+  return y_;
+}
+
+double Ewma::value() const {
+  MMR_EXPECTS(primed_);
+  return y_;
+}
+
+void Ewma::reset() {
+  primed_ = false;
+  y_ = 0.0;
+}
+
+RVec ewma_filter(const RVec& x, double rho) {
+  Ewma f(rho);
+  RVec out;
+  out.reserve(x.size());
+  for (double v : x) out.push_back(f.update(v));
+  return out;
+}
+
+}  // namespace mmr::dsp

@@ -1,0 +1,30 @@
+// Exponentially-weighted smoothing with a forgetting factor (paper
+// Section 6.1: "mmReliable takes time average of power values with a
+// forgetting factor").
+#pragma once
+
+#include "common/types.h"
+
+namespace mmr::dsp {
+
+/// EWMA filter: y_t = rho * y_{t-1} + (1 - rho) * x_t, rho in [0, 1).
+class Ewma {
+ public:
+  /// rho is the forgetting factor; higher = smoother / slower.
+  explicit Ewma(double rho);
+
+  double update(double x);
+  double value() const;
+  bool primed() const { return primed_; }
+  void reset();
+
+ private:
+  double rho_;
+  double y_ = 0.0;
+  bool primed_ = false;
+};
+
+/// Apply an EWMA across a whole series (convenience for offline analysis).
+RVec ewma_filter(const RVec& x, double rho);
+
+}  // namespace mmr::dsp

@@ -1,0 +1,56 @@
+#include "phy/estimator.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/error.h"
+
+namespace mmr::phy {
+
+double noise_reference(const LinkBudget& budget) {
+  return budget.gain_for_snr(0.0);
+}
+
+ChannelEstimator::ChannelEstimator(EstimatorConfig config, Rng rng)
+    : config_(config), rng_(rng) {
+  MMR_EXPECTS(config_.noise_gain_0db > 0.0);
+  MMR_EXPECTS(config_.pilot_averaging_gain >= 1.0);
+}
+
+CVec ChannelEstimator::estimate(const CVec& true_csi) {
+  MMR_EXPECTS(!true_csi.empty());
+  // CFO: per-probe carrier phase.
+  if (config_.random_cfo_phase) {
+    cfo_phase_ = rng_.uniform(0.0, 2.0 * kPi);
+  } else {
+    cfo_phase_ = wrap_2pi(cfo_phase_ +
+                          rng_.normal(0.0, config_.cfo_walk_std_rad));
+  }
+  // SFO: linear phase ramp across subcarriers, fresh slope per probe.
+  const double slope = rng_.normal(0.0, config_.sfo_slope_std_rad);
+  // AWGN in channel-gain units. |H|^2 / noise_var == estimation SNR.
+  const double noise_var =
+      config_.noise_gain_0db / config_.pilot_averaging_gain;
+
+  CVec est(true_csi.size());
+  for (std::size_t k = 0; k < true_csi.size(); ++k) {
+    const double phase = cfo_phase_ + slope * static_cast<double>(k);
+    const cplx rot(std::cos(phase), std::sin(phase));
+    est[k] = (true_csi[k] + rng_.complex_normal(noise_var)) * rot;
+  }
+  return est;
+}
+
+double ChannelEstimator::estimate_power(const CVec& true_csi) {
+  const CVec est = estimate(true_csi);
+  return true_power(est);
+}
+
+double ChannelEstimator::true_power(const CVec& csi) {
+  MMR_EXPECTS(!csi.empty());
+  double acc = 0.0;
+  for (const cplx& h : csi) acc += std::norm(h);
+  return acc / static_cast<double>(csi.size());
+}
+
+}  // namespace mmr::phy

@@ -1,0 +1,68 @@
+#include "phy/mcs.h"
+
+#include <algorithm>
+
+#include "common/constants.h"
+#include "common/error.h"
+
+namespace mmr::phy {
+
+McsTable::McsTable(std::vector<McsEntry> entries)
+    : entries_(std::move(entries)) {
+  MMR_EXPECTS(!entries_.empty());
+  MMR_EXPECTS(std::is_sorted(entries_.begin(), entries_.end(),
+                             [](const McsEntry& a, const McsEntry& b) {
+                               return a.min_snr_db < b.min_snr_db;
+                             }));
+}
+
+const McsTable& McsTable::nr() {
+  // SNR thresholds approximate the NR CQI table with a 6 dB floor for the
+  // lowest usable scheme (paper: 6 dB SNR "required for decoding 5G-NR
+  // OFDM signals").
+  static const McsTable table(std::vector<McsEntry>{
+      {6.0, "QPSK 1/3", 0.66},
+      {8.0, "QPSK 1/2", 1.00},
+      {10.0, "QPSK 3/4", 1.48},
+      {12.0, "16QAM 1/2", 1.91},
+      {14.0, "16QAM 2/3", 2.41},
+      {16.0, "16QAM 5/6", 2.73},
+      {18.0, "64QAM 1/2", 3.32},
+      {20.0, "64QAM 2/3", 3.90},
+      {22.0, "64QAM 3/4", 4.52},
+      {24.0, "64QAM 5/6", 5.12},
+      {26.0, "256QAM 3/4", 5.55},
+      {28.0, "256QAM 4/5", 6.22},
+      {30.0, "256QAM 7/8", 6.91},
+      {32.0, "256QAM 15/16", 7.41},
+  });
+  return table;
+}
+
+const McsEntry* McsTable::select(double snr_db) const {
+  const McsEntry* best = nullptr;
+  for (const McsEntry& e : entries_) {
+    if (snr_db >= e.min_snr_db) best = &e;
+  }
+  return best;
+}
+
+double McsTable::spectral_efficiency(double snr_db) const {
+  const McsEntry* e = select(snr_db);
+  return e == nullptr ? 0.0 : e->spectral_efficiency;
+}
+
+double McsTable::throughput_bps(double snr_db, double bandwidth_hz,
+                                double overhead_fraction) const {
+  MMR_EXPECTS(bandwidth_hz > 0.0);
+  MMR_EXPECTS(overhead_fraction >= 0.0 && overhead_fraction < 1.0);
+  return spectral_efficiency(snr_db) * bandwidth_hz *
+         (1.0 - overhead_fraction);
+}
+
+const McsEntry& McsTable::entry(std::size_t idx) const {
+  MMR_EXPECTS(idx < entries_.size());
+  return entries_[idx];
+}
+
+}  // namespace mmr::phy

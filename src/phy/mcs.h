@@ -1,0 +1,45 @@
+// Modulation-and-coding-scheme table: SNR -> spectral efficiency ->
+// throughput. Follows the 5G NR CQI table (TS 38.214 Table 5.2.2.1-3)
+// shape: QPSK through 256-QAM with the usual ~2 dB per step, a 6 dB
+// decode floor (the paper's outage threshold), and a Shannon-gap sanity
+// bound.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mmr::phy {
+
+struct McsEntry {
+  double min_snr_db;          ///< lowest SNR at which this MCS decodes
+  const char* modulation;     ///< human-readable label
+  double spectral_efficiency; ///< bits/s/Hz after coding
+};
+
+class McsTable {
+ public:
+  /// 5G NR CQI-like table with a 6 dB decode floor.
+  static const McsTable& nr();
+
+  /// Highest-efficiency entry decodable at `snr_db`; nullptr if the link
+  /// is in outage.
+  const McsEntry* select(double snr_db) const;
+
+  /// Spectral efficiency at snr_db (0 in outage).
+  double spectral_efficiency(double snr_db) const;
+
+  /// Throughput [bit/s] over `bandwidth_hz`, discounted by protocol
+  /// overhead fraction in [0, 1).
+  double throughput_bps(double snr_db, double bandwidth_hz,
+                        double overhead_fraction = 0.0) const;
+
+  std::size_t size() const { return entries_.size(); }
+  const McsEntry& entry(std::size_t idx) const;
+
+ private:
+  explicit McsTable(std::vector<McsEntry> entries);
+  std::vector<McsEntry> entries_;  // ascending min_snr_db
+};
+
+}  // namespace mmr::phy

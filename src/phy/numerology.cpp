@@ -1,0 +1,23 @@
+#include "phy/numerology.h"
+
+#include <cmath>
+
+namespace mmr::phy {
+
+double Numerology::subcarrier_spacing_hz() const {
+  return 15.0e3 * std::pow(2.0, static_cast<double>(mu));
+}
+
+double Numerology::slot_duration_s() const {
+  return 1.0e-3 / std::pow(2.0, static_cast<double>(mu));
+}
+
+double Numerology::symbol_duration_s() const {
+  return slot_duration_s() / static_cast<double>(symbols_per_slot);
+}
+
+double Numerology::slots_per_second() const {
+  return 1.0 / slot_duration_s();
+}
+
+}  // namespace mmr::phy

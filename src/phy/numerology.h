@@ -1,0 +1,29 @@
+// 5G NR timing numerology (TS 38.211). The testbed runs FR2 numerology
+// mu = 3: 120 kHz subcarrier spacing, 0.125 ms slots of 14 OFDM symbols.
+// All beam-management overhead accounting (Fig. 18d) hangs off these
+// durations.
+#pragma once
+
+#include <cstddef>
+
+namespace mmr::phy {
+
+struct Numerology {
+  /// 3GPP mu parameter; SCS = 15 kHz * 2^mu.
+  unsigned mu = 3;
+
+  double subcarrier_spacing_hz() const;
+  /// Slot duration: 1 ms / 2^mu.
+  double slot_duration_s() const;
+  /// 14 OFDM symbols per slot (normal cyclic prefix).
+  static constexpr std::size_t symbols_per_slot = 14;
+  /// Duration of one OFDM symbol (slot / 14; ~8.93 us at mu=3).
+  double symbol_duration_s() const;
+  /// Slots per second.
+  double slots_per_second() const;
+
+  /// FR2 default used by the paper's testbed.
+  static Numerology fr2_120khz() { return Numerology{3}; }
+};
+
+}  // namespace mmr::phy

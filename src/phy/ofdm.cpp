@@ -1,0 +1,99 @@
+#include "phy/ofdm.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "dsp/fft.h"
+
+namespace mmr::phy {
+
+CVec ofdm_modulate(const OfdmConfig& config, const CVec& grid) {
+  MMR_EXPECTS(grid.size() == config.fft_size);
+  MMR_EXPECTS(dsp::is_pow2(config.fft_size));
+  MMR_EXPECTS(config.cp_len < config.fft_size);
+  // IFFT with sqrt(N) scaling so average sample power equals average
+  // subcarrier power.
+  CVec time = dsp::ifft(grid);
+  const double scale = std::sqrt(static_cast<double>(config.fft_size));
+  for (cplx& s : time) s *= scale;
+  CVec out;
+  out.reserve(config.symbol_len());
+  out.insert(out.end(), time.end() - config.cp_len, time.end());
+  out.insert(out.end(), time.begin(), time.end());
+  return out;
+}
+
+CVec ofdm_demodulate(const OfdmConfig& config, const CVec& samples) {
+  MMR_EXPECTS(samples.size() >= config.symbol_len());
+  CVec body(samples.begin() + config.cp_len,
+            samples.begin() + config.symbol_len());
+  CVec grid = dsp::fft(body);
+  const double scale = 1.0 / std::sqrt(static_cast<double>(config.fft_size));
+  for (cplx& s : grid) s *= scale;
+  return grid;
+}
+
+CVec apply_cir(const CVec& samples, const CVec& cir) {
+  MMR_EXPECTS(!cir.empty());
+  CVec out(samples.size() + cir.size() - 1, cplx{});
+  for (std::size_t n = 0; n < samples.size(); ++n) {
+    for (std::size_t k = 0; k < cir.size(); ++k) {
+      out[n + k] += samples[n] * cir[k];
+    }
+  }
+  return out;
+}
+
+CVec ls_channel_estimate(const CVec& rx_grid, const CVec& pilot_grid) {
+  MMR_EXPECTS(rx_grid.size() == pilot_grid.size());
+  CVec h(rx_grid.size());
+  for (std::size_t k = 0; k < rx_grid.size(); ++k) {
+    MMR_EXPECTS(std::abs(pilot_grid[k]) > 0.0);
+    h[k] = rx_grid[k] / pilot_grid[k];
+  }
+  return h;
+}
+
+CVec equalize(const CVec& rx_grid, const CVec& channel) {
+  MMR_EXPECTS(rx_grid.size() == channel.size());
+  CVec out(rx_grid.size());
+  for (std::size_t k = 0; k < rx_grid.size(); ++k) {
+    const double mag2 = std::norm(channel[k]);
+    out[k] = mag2 > 1e-30 ? rx_grid[k] / channel[k] : cplx{};
+  }
+  return out;
+}
+
+double measure_evm(const CVec& equalized, const CVec& reference) {
+  MMR_EXPECTS(equalized.size() == reference.size());
+  MMR_EXPECTS(!equalized.empty());
+  double err = 0.0, ref = 0.0;
+  for (std::size_t k = 0; k < equalized.size(); ++k) {
+    err += std::norm(equalized[k] - reference[k]);
+    ref += std::norm(reference[k]);
+  }
+  MMR_EXPECTS(ref > 0.0);
+  return std::sqrt(err / ref);
+}
+
+WaveformResult run_waveform_link(const OfdmConfig& config, const CVec& tx_grid,
+                                 const CVec& cir, double noise_var, Rng& rng) {
+  MMR_EXPECTS(cir.size() <= config.cp_len + 1);
+
+  auto transmit = [&](const CVec& grid) {
+    CVec rx = apply_cir(ofdm_modulate(config, grid), cir);
+    for (cplx& s : rx) s += rng.complex_normal(noise_var);
+    return ofdm_demodulate(config, rx);
+  };
+
+  // Pilot pass: all-ones grid for the LS channel estimate (CSI-RS role).
+  const CVec pilots(config.fft_size, cplx{1.0, 0.0});
+  const CVec h = ls_channel_estimate(transmit(pilots), pilots);
+
+  WaveformResult result;
+  result.equalized = equalize(transmit(tx_grid), h);
+  result.evm = measure_evm(result.equalized, tx_grid);
+  return result;
+}
+
+}  // namespace mmr::phy

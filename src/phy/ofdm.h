@@ -1,0 +1,58 @@
+// OFDM modem: the baseband waveform layer of the testbed (Section 5.2:
+// "400 MHz baseband OFDM waveforms ... numerology that yields 120 kHz
+// sub-carrier spacing"). Cyclic-prefix OFDM with per-subcarrier LS
+// equalization from known pilots -- enough fidelity to carry QAM frames
+// through the multipath CIRs the channel module produces and to measure
+// EVM/SER against the MCS table's assumptions.
+#pragma once
+
+#include <cstddef>
+
+#include "common/rng.h"
+#include "common/types.h"
+
+namespace mmr::phy {
+
+struct OfdmConfig {
+  /// FFT size (power of two). Active subcarriers occupy the full grid in
+  /// this model (no guard bands needed for a simulation).
+  std::size_t fft_size = 64;
+  /// Cyclic prefix length in samples. Must cover the channel's delay
+  /// spread in taps.
+  std::size_t cp_len = 16;
+
+  std::size_t symbol_len() const { return fft_size + cp_len; }
+};
+
+/// Modulate one OFDM symbol: frequency-domain grid (fft_size subcarriers)
+/// -> time-domain samples with cyclic prefix.
+CVec ofdm_modulate(const OfdmConfig& config, const CVec& grid);
+
+/// Demodulate one OFDM symbol: strip CP, FFT back to the grid.
+CVec ofdm_demodulate(const OfdmConfig& config, const CVec& samples);
+
+/// Linear convolution of a sample stream with a CIR (FIR channel).
+CVec apply_cir(const CVec& samples, const CVec& cir);
+
+/// Per-subcarrier least-squares channel estimate from a known pilot grid.
+CVec ls_channel_estimate(const CVec& rx_grid, const CVec& pilot_grid);
+
+/// One-tap equalization: rx / h per subcarrier.
+CVec equalize(const CVec& rx_grid, const CVec& channel);
+
+/// Error vector magnitude (RMS, linear) between an equalized grid and the
+/// transmitted constellation points.
+double measure_evm(const CVec& equalized, const CVec& reference);
+
+/// End-to-end single-symbol link: modulate `tx_grid`, run it through
+/// `cir` plus AWGN with per-sample variance `noise_var`, demodulate and
+/// equalize using a pilot pass through the same channel. Returns the
+/// equalized grid.
+struct WaveformResult {
+  CVec equalized;
+  double evm = 0.0;
+};
+WaveformResult run_waveform_link(const OfdmConfig& config, const CVec& tx_grid,
+                                 const CVec& cir, double noise_var, Rng& rng);
+
+}  // namespace mmr::phy

@@ -1,0 +1,129 @@
+#include "phy/qam.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mmr::phy {
+namespace {
+
+// Per-axis levels for square QAM with sqrt(M) levels per axis.
+unsigned levels_per_axis(Modulation m) {
+  switch (m) {
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 8;
+    case Modulation::kQam256: return 16;
+  }
+  return 2;
+}
+
+// Normalization so E[|s|^2] = 1: average energy of PAM levels
+// {+-1, +-3, ...} per axis is (L^2 - 1)/3; two axes double it.
+double axis_scale(Modulation m) {
+  const double l = levels_per_axis(m);
+  return std::sqrt(3.0 / (2.0 * (l * l - 1.0)));
+}
+
+// Gray code <-> binary.
+unsigned gray_encode(unsigned b) { return b ^ (b >> 1); }
+
+unsigned gray_decode(unsigned g) {
+  unsigned b = 0;
+  for (; g != 0; g >>= 1) b ^= g;
+  return b;
+}
+
+// PAM level for a per-axis Gray index: index i (after Gray decode) maps to
+// amplitude 2i - (L-1).
+double pam_level(unsigned gray_index, unsigned levels) {
+  const unsigned i = gray_decode(gray_index);
+  return 2.0 * static_cast<double>(i) - (static_cast<double>(levels) - 1.0);
+}
+
+unsigned pam_index(double value, unsigned levels) {
+  // Invert: nearest level index, then Gray encode.
+  const double idx_f = (value + (static_cast<double>(levels) - 1.0)) / 2.0;
+  long idx = std::lround(idx_f);
+  if (idx < 0) idx = 0;
+  if (idx >= static_cast<long>(levels)) idx = static_cast<long>(levels) - 1;
+  return gray_encode(static_cast<unsigned>(idx));
+}
+
+double q_function(double x) { return 0.5 * std::erfc(x / std::sqrt(2.0)); }
+
+}  // namespace
+
+unsigned bits_per_symbol(Modulation m) {
+  switch (m) {
+    case Modulation::kQpsk: return 2;
+    case Modulation::kQam16: return 4;
+    case Modulation::kQam64: return 6;
+    case Modulation::kQam256: return 8;
+  }
+  return 2;
+}
+
+unsigned constellation_size(Modulation m) { return 1u << bits_per_symbol(m); }
+
+cplx map_symbol(Modulation m, unsigned index) {
+  MMR_EXPECTS(index < constellation_size(m));
+  const unsigned half_bits = bits_per_symbol(m) / 2;
+  const unsigned levels = levels_per_axis(m);
+  const unsigned i_bits = index >> half_bits;
+  const unsigned q_bits = index & ((1u << half_bits) - 1u);
+  const double scale = axis_scale(m);
+  return {pam_level(i_bits, levels) * scale,
+          pam_level(q_bits, levels) * scale};
+}
+
+unsigned demap_symbol(Modulation m, cplx received) {
+  const unsigned half_bits = bits_per_symbol(m) / 2;
+  const unsigned levels = levels_per_axis(m);
+  const double scale = axis_scale(m);
+  const unsigned i_bits = pam_index(received.real() / scale, levels);
+  const unsigned q_bits = pam_index(received.imag() / scale, levels);
+  return (i_bits << half_bits) | q_bits;
+}
+
+CVec modulate_bits(Modulation m, const std::vector<std::uint8_t>& bits) {
+  const unsigned bps = bits_per_symbol(m);
+  MMR_EXPECTS(bits.size() % bps == 0);
+  CVec out;
+  out.reserve(bits.size() / bps);
+  for (std::size_t i = 0; i < bits.size(); i += bps) {
+    unsigned index = 0;
+    for (unsigned b = 0; b < bps; ++b) {
+      MMR_EXPECTS(bits[i + b] <= 1);
+      index = (index << 1) | bits[i + b];
+    }
+    out.push_back(map_symbol(m, index));
+  }
+  return out;
+}
+
+std::vector<std::uint8_t> demodulate_bits(Modulation m, const CVec& symbols) {
+  const unsigned bps = bits_per_symbol(m);
+  std::vector<std::uint8_t> out;
+  out.reserve(symbols.size() * bps);
+  for (const cplx& s : symbols) {
+    const unsigned index = demap_symbol(m, s);
+    for (unsigned b = 0; b < bps; ++b) {
+      out.push_back((index >> (bps - 1 - b)) & 1u);
+    }
+  }
+  return out;
+}
+
+double theoretical_ser(Modulation m, double snr_db) {
+  // Square M-QAM over AWGN: P_axis = 2(1 - 1/L) Q(sqrt(3 Es/N0/(M-1))),
+  // SER = 1 - (1 - P_axis)^2.
+  const double snr = std::pow(10.0, snr_db / 10.0);
+  const double big_m = constellation_size(m);
+  const double l = levels_per_axis(m);
+  const double arg = std::sqrt(3.0 * snr / (big_m - 1.0));
+  const double p_axis = 2.0 * (1.0 - 1.0 / l) * q_function(arg);
+  return 1.0 - (1.0 - p_axis) * (1.0 - p_axis);
+}
+
+}  // namespace mmr::phy

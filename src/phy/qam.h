@@ -1,0 +1,44 @@
+// Gray-coded square QAM constellations (QPSK..256-QAM), the alphabets the
+// NR MCS table schedules. Symbols are normalized to unit average energy so
+// SNR comparisons across orders are fair.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/types.h"
+
+namespace mmr::phy {
+
+enum class Modulation : std::uint8_t {
+  kQpsk,    ///< 2 bits/symbol
+  kQam16,   ///< 4 bits/symbol
+  kQam64,   ///< 6 bits/symbol
+  kQam256,  ///< 8 bits/symbol
+};
+
+/// Bits carried per symbol.
+unsigned bits_per_symbol(Modulation m);
+
+/// Constellation size (2^bits).
+unsigned constellation_size(Modulation m);
+
+/// Map a symbol index (0 .. size-1) to its unit-average-energy point.
+/// Gray mapping per I/Q axis.
+cplx map_symbol(Modulation m, unsigned index);
+
+/// Hard-decision demap: nearest constellation point's index.
+unsigned demap_symbol(Modulation m, cplx received);
+
+/// Map a bit vector (MSB first per symbol) into symbols. Requires
+/// bits.size() divisible by bits_per_symbol(m).
+CVec modulate_bits(Modulation m, const std::vector<std::uint8_t>& bits);
+
+/// Hard-demap symbols back to bits.
+std::vector<std::uint8_t> demodulate_bits(Modulation m, const CVec& symbols);
+
+/// Theoretical symbol error rate of square M-QAM over AWGN at the given
+/// SNR (per-symbol Es/N0), for test oracles.
+double theoretical_ser(Modulation m, double snr_db);
+
+}  // namespace mmr::phy

@@ -1,0 +1,66 @@
+// 5G NR reference-signal scheduling and beam-management overhead model
+// (paper Sections 2.2, 5.2, 6.2 / Fig. 18d).
+//
+// Two signal types matter:
+//  * SSB (Synchronization Signal Block): used for beam training. One SSB
+//    occupies 4 slots (0.5 ms); a full sweep sends one SSB per scanned
+//    direction; the default period is 20 ms.
+//  * CSI-RS: one OFDM symbol, schedulable every 0.5-80 ms; mmReliable's
+//    probes ride on these.
+#pragma once
+
+#include <cstddef>
+
+#include "phy/numerology.h"
+
+namespace mmr::phy {
+
+struct ReferenceSignalConfig {
+  Numerology numerology = Numerology::fr2_120khz();
+  /// SSB periodicity (default 20 ms in NR).
+  double ssb_period_s = 20.0e-3;
+  /// CSI-RS periodicity used for beam maintenance.
+  double csi_rs_period_s = 20.0e-3;
+  /// Slots occupied by one SSB (4 slots = 0.5 ms at mu=3 per the paper).
+  std::size_t slots_per_ssb = 4;
+};
+
+/// Airtime cost of one SSB [s].
+double ssb_duration_s(const ReferenceSignalConfig& config);
+
+/// Airtime cost of one CSI-RS probe [s]. A CSI-RS occupies a single OFDM
+/// symbol, but scheduling is slot-granular: when `slot_granular` is true
+/// (how the overhead comparison in Fig. 18d counts it) each probe costs a
+/// full slot.
+double csi_rs_duration_s(const ReferenceSignalConfig& config,
+                         bool slot_granular = true);
+
+/// Total airtime of an exhaustive beam-training sweep over `num_beams`
+/// directions using SSBs.
+double exhaustive_training_airtime_s(const ReferenceSignalConfig& config,
+                                     std::size_t num_beams);
+
+/// Airtime of a fast (logarithmic, multi-armed hierarchical) sweep for an
+/// `num_antennas`-element array (Hassanieh et al.; used as the generous
+/// baseline in Fig. 18d). Probe count ~ c * log2(N) SSBs, and beams grow
+/// more directional with N which adds a refinement pass.
+double fast_training_airtime_s(const ReferenceSignalConfig& config,
+                               std::size_t num_antennas);
+
+/// Airtime of an SSB burst carrying `num_beams` SSBs packed two per slot
+/// plus a fixed 1 ms of burst framing: the NR "5 ms to probe 64 beam
+/// directions" cost (paper Section 2.2).
+double ssb_burst_airtime_s(const ReferenceSignalConfig& config,
+                           std::size_t num_beams);
+
+/// Airtime of mmReliable's beam-refinement for a K-beam multi-beam:
+/// 2(K-1) constructive-combining probes + 1 motion-disambiguation probe,
+/// all CSI-RS (paper Section 6.2: 0.4 ms for 2-beam, ~0.6 ms for 3-beam).
+double mmreliable_refinement_airtime_s(const ReferenceSignalConfig& config,
+                                       std::size_t num_beams);
+
+/// Fraction of airtime consumed when `probe_airtime_s` of probing happens
+/// every `period_s`.
+double overhead_fraction(double probe_airtime_s, double period_s);
+
+}  // namespace mmr::phy

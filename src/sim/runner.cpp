@@ -1,0 +1,45 @@
+#include "sim/runner.h"
+
+#include "common/error.h"
+#include "phy/mcs.h"
+
+namespace mmr::sim {
+
+RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
+                         const RunConfig& config) {
+  MMR_EXPECTS(config.duration_s > 0.0);
+  MMR_EXPECTS(config.tick_s > 0.0);
+
+  const phy::McsTable& mcs = phy::McsTable::nr();
+  const double bandwidth = world.config().spec.bandwidth_hz;
+  const core::LinkProbeInterface link = world.probe_interface();
+
+  RunResult result;
+  const auto num_ticks =
+      static_cast<std::size_t>(config.duration_s / config.tick_s);
+  for (std::size_t i = 0; i < num_ticks; ++i) {
+    const double t = static_cast<double>(i) * config.tick_s;
+    world.set_time(t);
+    if (i == 0) {
+      controller.start(t, link);
+    } else {
+      controller.step(t, link);
+    }
+
+    core::LinkSample sample;
+    sample.t_s = t;
+    sample.available = controller.link_available(t);
+    sample.snr_db = world.true_snr_db(controller.tx_weights());
+    sample.throughput_bps =
+        sample.available
+            ? mcs.throughput_bps(sample.snr_db, bandwidth,
+                                 config.protocol_overhead)
+            : 0.0;
+    result.samples.push_back(sample);
+  }
+  result.summary = core::summarize_link(result.samples, config.outage_snr_db,
+                                        bandwidth);
+  return result;
+}
+
+}  // namespace mmr::sim

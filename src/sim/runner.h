@@ -1,0 +1,34 @@
+// Experiment runner: drives one controller through one world and scores
+// the link at every tick, producing the LinkSample series all figures are
+// computed from.
+#pragma once
+
+#include <vector>
+
+#include "core/controller_base.h"
+#include "core/metrics.h"
+#include "sim/world.h"
+
+namespace mmr::sim {
+
+struct RunConfig {
+  double duration_s = 1.0;     ///< paper: 1 s experiments
+  double tick_s = 2.5e-3;      ///< CSI-RS cadence driving the controller
+  double outage_snr_db = 6.0;  ///< decode floor
+  /// Fixed protocol overhead discounted from throughput (reference
+  /// signals etc.; paper Section 5.2: ~0.5%).
+  double protocol_overhead = 0.005;
+};
+
+struct RunResult {
+  std::vector<core::LinkSample> samples;
+  core::LinkSummary summary;
+};
+
+/// Run `controller` over `world` for the configured duration. The
+/// controller is start()ed at t=0 and step()ped every tick; each tick is
+/// scored with the TRUE channel under the controller's current weights.
+RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
+                         const RunConfig& config = {});
+
+}  // namespace mmr::sim

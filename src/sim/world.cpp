@@ -1,0 +1,188 @@
+#include "sim/world.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/error.h"
+
+namespace mmr::sim {
+namespace {
+
+phy::EstimatorConfig make_estimator_config(const WorldConfig& config) {
+  phy::EstimatorConfig est;
+  est.noise_gain_0db = phy::noise_reference(config.budget);
+  est.pilot_averaging_gain = config.pilot_averaging_gain;
+  est.random_cfo_phase = true;
+  est.sfo_slope_std_rad = config.sfo_slope_std_rad;
+  return est;
+}
+
+}  // namespace
+
+LinkWorld::LinkWorld(channel::Environment env, channel::Pose tx_pose,
+                     std::shared_ptr<const channel::Trajectory> ue_trajectory,
+                     WorldConfig config, Rng rng)
+    : env_(std::move(env)), tx_pose_(tx_pose),
+      ue_trajectory_(std::move(ue_trajectory)), config_(config), rng_(rng),
+      estimator_(make_estimator_config(config), rng_.fork()) {
+  MMR_EXPECTS(ue_trajectory_ != nullptr);
+  set_time(0.0);
+}
+
+void LinkWorld::add_blocker(channel::GeometricBlocker blocker) {
+  blockers_.push_back(std::move(blocker));
+  set_time(t_s_);
+}
+
+void LinkWorld::set_event_process(channel::BlockageEventProcess process) {
+  events_ = std::make_unique<channel::BlockageEventProcess>(std::move(process));
+  set_time(t_s_);
+}
+
+std::vector<std::size_t> LinkWorld::stable_order() const {
+  std::vector<std::size_t> order(paths_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (paths_[a].is_los != paths_[b].is_los) return paths_[a].is_los;
+    return std::norm(paths_[a].gain) > std::norm(paths_[b].gain);
+  });
+  return order;
+}
+
+void LinkWorld::add_irs(channel::IrsPanel panel) {
+  irs_panels_.push_back(panel);
+  set_time(t_s_);
+}
+
+void LinkWorld::set_time(double t_s) {
+  t_s_ = t_s;
+  const channel::Pose ue = ue_trajectory_->at(t_s);
+  paths_ = env_.trace(tx_pose_, ue);
+  for (const auto& panel : irs_panels_) {
+    channel::Path p = channel::irs_path(panel, tx_pose_, ue,
+                                        env_.carrier_hz());
+    if (std::norm(p.gain) > 0.0) paths_.push_back(std::move(p));
+  }
+
+  // Geometric blockers: test each path ray against each blocker body.
+  for (channel::Path& p : paths_) {
+    double atten = 0.0;
+    const channel::Vec2* refl = p.is_los ? nullptr : &p.reflection_point;
+    for (const auto& blocker : blockers_) {
+      atten +=
+          blocker.attenuation_db(t_s, tx_pose_.position, ue.position, refl);
+    }
+    p.blockage_db = atten;
+  }
+
+  // Stochastic event process: addressed by stable path index.
+  if (events_ != nullptr && !paths_.empty()) {
+    const std::vector<std::size_t> order = stable_order();
+    for (std::size_t rank = 0; rank < order.size(); ++rank) {
+      paths_[order[rank]].blockage_db +=
+          events_->attenuation_db(t_s, rank);
+    }
+  }
+}
+
+core::LinkProbeInterface LinkWorld::probe_interface() {
+  core::LinkProbeInterface link;
+  link.csi = [this](const CVec& weights) -> CVec {
+    if (paths_.empty()) {
+      // Fully occluded: the estimate is pure noise.
+      CVec noise(config_.spec.num_subcarriers);
+      const double var = phy::noise_reference(config_.budget) /
+                         config_.pilot_averaging_gain;
+      for (cplx& c : noise) c = rng_.complex_normal(var);
+      return noise;
+    }
+    const CVec truth = channel::effective_csi(paths_, config_.tx_ula, weights,
+                                              config_.spec, config_.rx);
+    return estimator_.estimate(truth);
+  };
+  link.cir = [this](const CVec& weights, std::size_t num_taps) -> CVec {
+    const double var = phy::noise_reference(config_.budget) /
+                       config_.pilot_averaging_gain /
+                       static_cast<double>(config_.spec.num_subcarriers);
+    CVec cir(num_taps, cplx{});
+    if (!paths_.empty()) {
+      const double jitter = rng_.normal(0.0, config_.timing_jitter_std_s);
+      cir = channel::effective_cir(paths_, config_.tx_ula, weights,
+                                   config_.spec, num_taps, config_.rx,
+                                   std::abs(jitter));
+    }
+    // CFO: a common rotation leaves |taps| intact but keeps controllers
+    // honest about not relying on absolute phase.
+    const cplx rot = std::polar(1.0, rng_.uniform(0.0, 2.0 * 3.14159265358979));
+    for (cplx& c : cir) c = c * rot + rng_.complex_normal(var);
+    return cir;
+  };
+  return link;
+}
+
+LinkWorld::JointProbe LinkWorld::joint_probe_interface() {
+  JointProbe jp;
+  jp.csi = [this](const CVec& tx_w, const CVec& rx_w) -> CVec {
+    if (paths_.empty()) {
+      CVec noise(config_.spec.num_subcarriers);
+      const double var = phy::noise_reference(config_.budget) /
+                         config_.pilot_averaging_gain;
+      for (cplx& c : noise) c = rng_.complex_normal(var);
+      return noise;
+    }
+    const auto rx = channel::RxFrontend::beam(config_.ue_ula, rx_w);
+    const CVec truth = channel::effective_csi(paths_, config_.tx_ula, tx_w,
+                                              config_.spec, rx);
+    return estimator_.estimate(truth);
+  };
+  jp.cir = [this](const CVec& tx_w, const CVec& rx_w,
+                  std::size_t num_taps) -> CVec {
+    const double var = phy::noise_reference(config_.budget) /
+                       config_.pilot_averaging_gain /
+                       static_cast<double>(config_.spec.num_subcarriers);
+    CVec cir(num_taps, cplx{});
+    if (!paths_.empty()) {
+      const auto rx = channel::RxFrontend::beam(config_.ue_ula, rx_w);
+      const double jitter = rng_.normal(0.0, config_.timing_jitter_std_s);
+      cir = channel::effective_cir(paths_, config_.tx_ula, tx_w, config_.spec,
+                                   num_taps, rx, std::abs(jitter));
+    }
+    const cplx rot = std::polar(1.0, rng_.uniform(0.0, 2.0 * 3.14159265358979));
+    for (cplx& c : cir) c = c * rot + rng_.complex_normal(var);
+    return cir;
+  };
+  return jp;
+}
+
+double LinkWorld::true_snr_db_joint(const CVec& tx_w, const CVec& rx_w) const {
+  if (paths_.empty()) return -300.0;
+  const auto rx = channel::RxFrontend::beam(config_.ue_ula, rx_w);
+  const double power = channel::received_power(paths_, config_.tx_ula, tx_w,
+                                               config_.spec, rx);
+  if (power <= 0.0) return -300.0;
+  return config_.budget.snr_db(power);
+}
+
+double LinkWorld::true_power(const CVec& tx_weights) const {
+  if (paths_.empty()) return 0.0;
+  return channel::received_power(paths_, config_.tx_ula, tx_weights,
+                                 config_.spec, config_.rx);
+}
+
+double LinkWorld::true_snr_db(const CVec& tx_weights) const {
+  const double power = true_power(tx_weights);
+  if (power <= 0.0) return -300.0;
+  return config_.budget.snr_db(power);
+}
+
+CVec LinkWorld::true_per_antenna_channel() const {
+  if (paths_.empty()) return CVec(config_.tx_ula.num_elements, cplx{1e-15, 0});
+  return channel::per_antenna_channel(paths_, config_.tx_ula, config_.rx);
+}
+
+double LinkWorld::power_for_snr(double snr_db) const {
+  return config_.budget.gain_for_snr(snr_db);
+}
+
+}  // namespace mmr::sim

@@ -1,0 +1,64 @@
+#include "array/codebook.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+
+namespace mmr::array {
+namespace {
+
+TEST(Codebook, CoversRequestedSector) {
+  const Ula ula{8, 0.5};
+  const Codebook cb(ula, deg_to_rad(-60.0), deg_to_rad(60.0), 64);
+  EXPECT_EQ(cb.size(), 64u);
+  EXPECT_NEAR(cb.angle(0), deg_to_rad(-60.0), 1e-12);
+  EXPECT_NEAR(cb.angle(63), deg_to_rad(60.0), 1e-12);
+}
+
+TEST(Codebook, AnglesUniformlySpaced) {
+  const Ula ula{8, 0.5};
+  const Codebook cb(ula, -1.0, 1.0, 21);
+  const double step = cb.angular_step();
+  EXPECT_NEAR(step, 0.1, 1e-12);
+  for (std::size_t i = 1; i < cb.size(); ++i) {
+    EXPECT_NEAR(cb.angle(i) - cb.angle(i - 1), step, 1e-12);
+  }
+}
+
+TEST(Codebook, WeightsAreMatchedBeams) {
+  const Ula ula{8, 0.5};
+  const Codebook cb(ula, -1.0, 1.0, 9);
+  for (std::size_t i = 0; i < cb.size(); ++i) {
+    const CVec expected = single_beam_weights(ula, cb.angle(i));
+    const CVec& w = cb.weights(i);
+    for (std::size_t n = 0; n < 8; ++n) {
+      EXPECT_NEAR(std::abs(w[n] - expected[n]), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(Codebook, NearestFindsClosest) {
+  const Ula ula{8, 0.5};
+  const Codebook cb(ula, -1.0, 1.0, 21);  // step 0.1
+  EXPECT_EQ(cb.nearest(0.0), 10u);
+  EXPECT_EQ(cb.nearest(0.04), 10u);
+  EXPECT_EQ(cb.nearest(0.06), 11u);
+  EXPECT_EQ(cb.nearest(-5.0), 0u);  // clamped to edge
+  EXPECT_EQ(cb.nearest(5.0), 20u);
+}
+
+TEST(Codebook, RejectsDegenerateRange) {
+  const Ula ula{8, 0.5};
+  EXPECT_THROW(Codebook(ula, 1.0, -1.0, 8), std::logic_error);
+  EXPECT_THROW(Codebook(ula, -1.0, 1.0, 1), std::logic_error);
+}
+
+TEST(Codebook, IndexBoundsChecked) {
+  const Ula ula{8, 0.5};
+  const Codebook cb(ula, -1.0, 1.0, 4);
+  EXPECT_THROW(cb.angle(4), std::logic_error);
+  EXPECT_THROW(cb.weights(4), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::array

@@ -1,0 +1,93 @@
+#include "array/delay_array.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/pattern.h"
+#include "array/weights.h"
+#include "common/angles.h"
+
+namespace mmr::array {
+namespace {
+
+TEST(DelayArray, SplitsApertureEvenly) {
+  const Ula ula{8, 0.5};
+  const DelayPhasedArray dpa(ula, {deg_to_rad(-20.0), deg_to_rad(20.0)});
+  EXPECT_EQ(dpa.num_beams(), 2u);
+  EXPECT_EQ(dpa.subarray(0).num_elements, 4u);
+  EXPECT_EQ(dpa.subarray(1).num_elements, 4u);
+  EXPECT_EQ(dpa.subarray(1).first_element, 4u);
+}
+
+TEST(DelayArray, LastSubarrayAbsorbsRemainder) {
+  const Ula ula{8, 0.5};
+  const DelayPhasedArray dpa(
+      ula, {deg_to_rad(-20.0), 0.0, deg_to_rad(20.0)});
+  EXPECT_EQ(dpa.subarray(0).num_elements, 2u);
+  EXPECT_EQ(dpa.subarray(1).num_elements, 2u);
+  EXPECT_EQ(dpa.subarray(2).num_elements, 4u);
+}
+
+TEST(DelayArray, WeightsUnitNorm) {
+  const Ula ula{16, 0.5};
+  DelayPhasedArray dpa(ula, {deg_to_rad(-15.0), deg_to_rad(25.0)});
+  dpa.set_weight(1, std::polar(0.6, 1.0));
+  dpa.set_delay(0, 5e-9);
+  const CVec w = dpa.weights_at(28e9, 100e6);
+  EXPECT_NEAR(total_radiated_power(w), 1.0, 1e-12);
+}
+
+TEST(DelayArray, EachSubarrayBeamsAtItsAngle) {
+  const Ula ula{16, 0.5};
+  const double a0 = deg_to_rad(-25.0);
+  const double a1 = deg_to_rad(25.0);
+  const DelayPhasedArray dpa(ula, {a0, a1});
+  const CVec w = dpa.weights_at(28e9, 0.0);
+  // Two lobes: gain at both steering angles well above a random direction.
+  const double g0 = power_gain_db(ula, w, a0);
+  const double g1 = power_gain_db(ula, w, a1);
+  const double g_off = power_gain_db(ula, w, deg_to_rad(55.0));
+  EXPECT_GT(g0, g_off + 6.0);
+  EXPECT_GT(g1, g_off + 6.0);
+}
+
+TEST(DelayArray, DelayAddsLinearPhaseAcrossFrequency) {
+  const Ula ula{8, 0.5};
+  DelayPhasedArray dpa(ula, {0.0});
+  dpa.set_delay(0, 10e-9);
+  const CVec w0 = dpa.weights_at(28e9, 0.0);
+  const CVec w1 = dpa.weights_at(28e9, 50e6);  // 2 pi * 50e6 * 10e-9 = pi
+  const double dphase =
+      wrap_pi(std::arg(w1[0]) - std::arg(w0[0]));
+  EXPECT_NEAR(std::abs(dphase), kPi, 1e-9);
+}
+
+TEST(DelayArray, ZeroDelayIsFrequencyFlat) {
+  const Ula ula{8, 0.5};
+  const DelayPhasedArray dpa(ula, {deg_to_rad(10.0)});
+  const CVec w0 = dpa.weights_at(28e9, 0.0);
+  const CVec w1 = dpa.weights_at(28e9, 200e6);
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_NEAR(std::abs(w0[n] - w1[n]), 0.0, 1e-12);
+  }
+}
+
+TEST(CompensatingDelays, CancelsSpread) {
+  const std::vector<double> path_delays{3e-9, 8e-9, 5e-9};
+  const std::vector<double> comp = compensating_delays(path_delays);
+  // path delay + compensation is equal for every path.
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_NEAR(path_delays[i] + comp[i], 8e-9, 1e-15);
+  }
+  // The latest path needs no extra delay.
+  EXPECT_NEAR(comp[1], 0.0, 1e-15);
+}
+
+TEST(DelayArray, RejectsMoreBeamsThanElements) {
+  const Ula ula{2, 0.5};
+  EXPECT_THROW(DelayPhasedArray(ula, {0.0, 0.1, 0.2}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::array

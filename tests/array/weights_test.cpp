@@ -1,0 +1,100 @@
+#include "array/weights.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/geometry.h"
+#include "array/pattern.h"
+#include "common/angles.h"
+
+namespace mmr::array {
+namespace {
+
+TEST(NormalizeTrp, UnitNormResult) {
+  CVec w{{3.0, 0.0}, {0.0, 4.0}};
+  const CVec n = normalize_trp(w);
+  EXPECT_NEAR(total_radiated_power(n), 1.0, 1e-12);
+  // Direction preserved.
+  EXPECT_NEAR(n[0].real(), 0.6, 1e-12);
+  EXPECT_NEAR(n[1].imag(), 0.8, 1e-12);
+}
+
+TEST(NormalizeTrp, RejectsZeroVector) {
+  CVec w{{0.0, 0.0}};
+  EXPECT_THROW(normalize_trp(w), std::logic_error);
+}
+
+TEST(Quantize, IdealSpecIsLossless) {
+  const Ula ula{8, 0.5};
+  const CVec w = single_beam_weights(ula, deg_to_rad(20.0));
+  const CVec q = quantize(w, QuantizationSpec::ideal());
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_NEAR(std::abs(q[n] - w[n]), 0.0, 1e-9);
+  }
+}
+
+TEST(Quantize, PhaseSnapsToGrid) {
+  QuantizationSpec spec;
+  spec.phase_bits = 2;  // steps of 90 degrees
+  spec.gain_range_db = 100.0;
+  spec.gain_step_db = 0.0;
+  CVec w{std::polar(1.0, 0.4), std::polar(1.0, 1.2)};
+  const CVec q = quantize(w, spec);
+  for (const cplx& c : q) {
+    const double phase = std::arg(c);
+    const double snapped = std::round(phase / (kPi / 2.0)) * (kPi / 2.0);
+    EXPECT_NEAR(wrap_pi(phase - snapped), 0.0, 1e-9);
+  }
+}
+
+TEST(Quantize, ResultIsUnitNorm) {
+  const Ula ula{16, 0.5};
+  const CVec w = single_beam_weights(ula, deg_to_rad(-35.0));
+  const CVec q = quantize(w, QuantizationSpec::paper_testbed());
+  EXPECT_NEAR(total_radiated_power(q), 1.0, 1e-12);
+}
+
+TEST(Quantize, PaperTestbedPreservesBeamShape) {
+  // 6-bit phase + 0.5 dB amplitude steps must keep the main lobe within a
+  // fraction of a dB of ideal (paper Fig. 13d).
+  const Ula ula{8, 0.5};
+  const double phi = deg_to_rad(25.0);
+  const CVec w = single_beam_weights(ula, phi);
+  const CVec q = quantize(w, QuantizationSpec::paper_testbed());
+  const double ideal_db = power_gain_db(ula, w, phi);
+  const double quant_db = power_gain_db(ula, q, phi);
+  EXPECT_NEAR(quant_db, ideal_db, 0.3);
+}
+
+TEST(Quantize, Commodity11adStillFormsBeam) {
+  // 2-bit phase, on/off amplitude (paper Section 5.1 cites this as the
+  // minimum for phase-coherent multi-beams).
+  const Ula ula{8, 0.5};
+  const double phi = deg_to_rad(15.0);
+  const CVec w = single_beam_weights(ula, phi);
+  const CVec q = quantize(w, QuantizationSpec::commodity_11ad());
+  const double peak = power_gain_db(ula, q, phi);
+  const double off = power_gain_db(ula, q, deg_to_rad(-45.0));
+  EXPECT_GT(peak - off, 8.0);  // beam still points the right way
+}
+
+TEST(Quantize, GainFloorClampsWeakElements) {
+  QuantizationSpec spec;
+  spec.phase_bits = 0;
+  spec.gain_range_db = 10.0;
+  spec.gain_step_db = 0.0;
+  // Second element requested 40 dB below the first: clamps to -10 dB.
+  CVec w{{1.0, 0.0}, {0.01, 0.0}};
+  const CVec q = quantize(w, spec);
+  const double rel_db = 20.0 * std::log10(std::abs(q[1]) / std::abs(q[0]));
+  EXPECT_NEAR(rel_db, -10.0, 0.1);
+}
+
+TEST(TotalRadiatedPower, SumsSquares) {
+  CVec w{{1.0, 0.0}, {0.0, 2.0}};
+  EXPECT_NEAR(total_radiated_power(w), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmr::array

@@ -1,0 +1,78 @@
+#include "baselines/beamspy.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace mmr::baselines {
+namespace {
+
+sim::ScenarioConfig cfg(std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.seed = seed;
+  c.sparse_room = true;
+  // Tight link margin: a blocked single beam must actually fall below
+  // the 6 dB decode floor for BeamSpy's trigger to fire.
+  c.tx_power_dbm = 14.0;
+  return c;
+}
+
+TEST(BeamSpy, OneTrainingOnStaticLink) {
+  sim::LinkWorld world = sim::make_indoor_world(cfg(3));
+  auto ctrl = sim::make_beamspy(world, cfg(3));
+  sim::RunConfig rc;
+  rc.duration_s = 0.3;
+  sim::run_experiment(world, *ctrl, rc);
+  EXPECT_EQ(ctrl->trainings(), 1);
+  EXPECT_EQ(ctrl->switches(), 0);
+}
+
+TEST(BeamSpy, SwitchesWithoutRetrainingOnBlockage) {
+  sim::LinkWorld world = sim::make_indoor_world(cfg(5));
+  // The blocker reaches the LOS only after the initial training.
+  world.add_blocker(
+      sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.13, 3.0, 30.0));
+  auto ctrl = sim::make_beamspy(world, cfg(5));
+  sim::RunConfig rc;
+  rc.duration_s = 0.2;
+  const auto result = sim::run_experiment(world, *ctrl, rc);
+  // The key BeamSpy behaviour: recovery via profile switch, not rescan.
+  EXPECT_GE(ctrl->switches(), 1);
+  EXPECT_EQ(ctrl->trainings(), 1);
+  // And the link should end healthy (switched to the glass reflector).
+  EXPECT_GT(result.samples.back().snr_db, 6.0);
+}
+
+TEST(BeamSpy, SwitchIsFasterThanRetraining) {
+  // The switch latency (one slot) is far below the SSB burst, so the
+  // reliability hit from a single blockage must be small.
+  sim::LinkWorld world = sim::make_indoor_world(cfg(7));
+  world.add_blocker(
+      sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.2, 2.0, 30.0));
+  auto ctrl = sim::make_beamspy(world, cfg(7));
+  sim::RunConfig rc;
+  rc.duration_s = 0.5;
+  const auto result = sim::run_experiment(world, *ctrl, rc);
+  EXPECT_GT(result.summary.reliability, 0.9);
+}
+
+TEST(BeamSpy, StaleProfileTriggersRetrain) {
+  // Block EVERY path: no alternate works, so after the stale timeout the
+  // profile must be rebuilt.
+  sim::LinkWorld world = sim::make_indoor_world(cfg(9));
+  channel::GeometricBlocker::Config bc;
+  bc.start = {0.7, 6.2};
+  bc.velocity = {0.0, 0.0};
+  bc.radius_m = 1.0;
+  bc.depth_db = 60.0;
+  world.add_blocker(channel::GeometricBlocker(bc));
+  auto ctrl = sim::make_beamspy(world, cfg(9));
+  sim::RunConfig rc;
+  rc.duration_s = 0.4;
+  sim::run_experiment(world, *ctrl, rc);
+  EXPECT_GE(ctrl->trainings(), 2);
+}
+
+}  // namespace
+}  // namespace mmr::baselines

@@ -1,0 +1,84 @@
+#include "baselines/oracle.h"
+
+#include <gtest/gtest.h>
+
+#include "array/geometry.h"
+#include "common/angles.h"
+#include "common/rng.h"
+#include "sim/scenario.h"
+
+namespace mmr::baselines {
+namespace {
+
+TEST(Oracle, WeightsAreConjugateNormalized) {
+  const CVec h{{1.0, 1.0}, {0.0, -2.0}};
+  Oracle oracle([&] { return h; });
+  oracle.start(0.0, {});
+  const CVec& w = oracle.tx_weights();
+  // w = conj(h)/||h||; ||h||^2 = 2 + 4 = 6.
+  const double inv = 1.0 / std::sqrt(6.0);
+  EXPECT_NEAR(std::abs(w[0] - cplx(1.0, -1.0) * inv), 0.0, 1e-12);
+  EXPECT_NEAR(std::abs(w[1] - cplx(0.0, 2.0) * inv), 0.0, 1e-12);
+  double norm2 = 0.0;
+  for (const cplx& c : w) norm2 += std::norm(c);
+  EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST(Oracle, AchievesMatchedFilterBound) {
+  // |h^T w| = ||h|| for the oracle, and no unit-norm w can beat it.
+  Rng rng(5);
+  CVec h(8);
+  double h_norm2 = 0.0;
+  for (auto& c : h) {
+    c = rng.complex_normal();
+    h_norm2 += std::norm(c);
+  }
+  Oracle oracle([&] { return h; });
+  oracle.start(0.0, {});
+  cplx proj{};
+  for (std::size_t n = 0; n < 8; ++n) proj += h[n] * oracle.tx_weights()[n];
+  EXPECT_NEAR(std::abs(proj), std::sqrt(h_norm2), 1e-9);
+  // Random unit-norm candidates never exceed it.
+  for (int trial = 0; trial < 50; ++trial) {
+    CVec w(8);
+    double w2 = 0.0;
+    for (auto& c : w) {
+      c = rng.complex_normal();
+      w2 += std::norm(c);
+    }
+    cplx p{};
+    for (std::size_t n = 0; n < 8; ++n) p += h[n] * w[n] / std::sqrt(w2);
+    EXPECT_LE(std::abs(p), std::sqrt(h_norm2) + 1e-9);
+  }
+}
+
+TEST(Oracle, AlwaysAvailable) {
+  Oracle oracle([] { return CVec{{1.0, 0.0}}; });
+  EXPECT_TRUE(oracle.link_available(0.0));
+}
+
+TEST(Oracle, TracksChannelChanges) {
+  CVec h{{1.0, 0.0}, {0.0, 0.0}};
+  Oracle oracle([&] { return h; });
+  oracle.start(0.0, {});
+  EXPECT_NEAR(std::abs(oracle.tx_weights()[0]), 1.0, 1e-12);
+  h = CVec{{0.0, 0.0}, {1.0, 0.0}};
+  oracle.step(1.0, {});
+  EXPECT_NEAR(std::abs(oracle.tx_weights()[1]), 1.0, 1e-12);
+}
+
+TEST(Oracle, BeatsEveryControllerOnStaticWorld) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = 21;
+  sim::LinkWorld world = sim::make_indoor_world(cfg);
+  Oracle oracle([&] { return world.true_per_antenna_channel(); });
+  oracle.start(0.0, {});
+  const double snr_oracle = world.true_snr_db(oracle.tx_weights());
+  // Single beam toward LOS.
+  const CVec single =
+      array::single_beam_weights(world.config().tx_ula, 0.0);
+  EXPECT_GE(snr_oracle, world.true_snr_db(single) - 0.3);
+}
+
+}  // namespace
+}  // namespace mmr::baselines

@@ -1,0 +1,81 @@
+#include "baselines/reactive_single_beam.h"
+
+#include <gtest/gtest.h>
+
+#include "common/angles.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace mmr::baselines {
+namespace {
+
+sim::ScenarioConfig cfg(std::uint64_t seed) {
+  sim::ScenarioConfig c;
+  c.seed = seed;
+  c.sparse_room = true;
+  return c;
+}
+
+TEST(Reactive, TrainsOnceOnStaticLink) {
+  sim::LinkWorld world = sim::make_indoor_world(cfg(3));
+  auto ctrl = sim::make_reactive(world, cfg(3));
+  sim::RunConfig rc;
+  rc.duration_s = 0.3;
+  sim::run_experiment(world, *ctrl, rc);
+  EXPECT_EQ(ctrl->trainings(), 1);
+}
+
+TEST(Reactive, PointsAtLosOnStaticLink) {
+  sim::LinkWorld world = sim::make_indoor_world(cfg(5));
+  auto ctrl = sim::make_reactive(world, cfg(5));
+  const auto link = world.probe_interface();
+  ctrl->start(0.0, link);
+  EXPECT_NEAR(rad_to_deg(ctrl->beam_angle_rad()), 0.0, 3.0);
+}
+
+TEST(Reactive, RetrainsAfterBlockage) {
+  sim::LinkWorld world = sim::make_indoor_world(cfg(7));
+  // Blocker crosses the LOS AFTER initial training (full depth roughly
+  // t in [0.15, 0.19]), so the baseline first locks onto the clear LOS
+  // and must then react to the outage.
+  world.add_blocker(
+      sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.17, 7.0));
+  auto ctrl = sim::make_reactive(world, cfg(7));
+  const auto link = world.probe_interface();
+  for (int i = 0; i < 120; ++i) {
+    const double t = i * 2.5e-3;
+    world.set_time(t);
+    if (i == 0) ctrl->start(t, link); else ctrl->step(t, link);
+  }
+  EXPECT_GE(ctrl->trainings(), 2);
+}
+
+TEST(Reactive, UnavailableDuringTraining) {
+  sim::LinkWorld world = sim::make_indoor_world(cfg(9));
+  auto ctrl = sim::make_reactive(world, cfg(9));
+  const auto link = world.probe_interface();
+  ctrl->start(0.0, link);
+  EXPECT_FALSE(ctrl->link_available(0.0));
+  EXPECT_TRUE(ctrl->link_available(1.0));
+}
+
+TEST(Reactive, BackoffLimitsRetrainRate) {
+  sim::LinkWorld world = sim::make_indoor_world(cfg(11));
+  // Block everything: no path survives, so every probe reads outage.
+  channel::GeometricBlocker::Config bc;
+  bc.start = {0.7, 6.2};  // right in front of the gNB
+  bc.velocity = {0.0, 0.0};
+  bc.radius_m = 1.0;
+  bc.depth_db = 60.0;
+  world.add_blocker(channel::GeometricBlocker(bc));
+  auto ctrl = sim::make_reactive(world, cfg(11));
+  sim::RunConfig rc;
+  rc.duration_s = 0.5;
+  sim::run_experiment(world, *ctrl, rc);
+  // retrain_backoff (10 ms) + training+latency (~18 ms) bound the count.
+  EXPECT_LE(ctrl->trainings(), 30);
+  EXPECT_GE(ctrl->trainings(), 2);
+}
+
+}  // namespace
+}  // namespace mmr::baselines

@@ -1,0 +1,84 @@
+#include "baselines/widebeam.h"
+
+#include <gtest/gtest.h>
+
+#include "array/pattern.h"
+#include "array/weights.h"
+#include "common/angles.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace mmr::baselines {
+namespace {
+
+const array::Ula kUla{8, 0.5};
+
+TEST(WidebeamWeights, UnitNorm) {
+  const CVec w = widebeam_weights(kUla, deg_to_rad(10.0), 4);
+  EXPECT_NEAR(array::total_radiated_power(w), 1.0, 1e-12);
+}
+
+TEST(WidebeamWeights, LowerPeakGain) {
+  const CVec wide = widebeam_weights(kUla, 0.0, 4);
+  const CVec narrow = array::single_beam_weights(kUla, 0.0);
+  const double g_wide = array::power_gain_db(kUla, wide, 0.0);
+  const double g_narrow = array::power_gain_db(kUla, narrow, 0.0);
+  // N/4 active elements: 10 log10(4) = 6 dB less gain.
+  EXPECT_NEAR(g_narrow - g_wide, 6.0, 0.3);
+}
+
+TEST(WidebeamWeights, WiderCoverage) {
+  const CVec wide = widebeam_weights(kUla, 0.0, 4);
+  const CVec narrow = array::single_beam_weights(kUla, 0.0);
+  // At 15 degrees off (beyond the narrow beam's null), the wide beam
+  // holds more relative gain.
+  const double off = deg_to_rad(15.0);
+  const double wide_drop = array::power_gain_db(kUla, wide, 0.0) -
+                           array::power_gain_db(kUla, wide, off);
+  const double narrow_drop = array::power_gain_db(kUla, narrow, 0.0) -
+                             array::power_gain_db(kUla, narrow, off);
+  EXPECT_LT(wide_drop, narrow_drop - 6.0);
+}
+
+TEST(WidebeamWeights, FactorOneIsNarrowBeam) {
+  const CVec w1 = widebeam_weights(kUla, deg_to_rad(5.0), 1);
+  const CVec narrow = array::single_beam_weights(kUla, deg_to_rad(5.0));
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_NEAR(std::abs(w1[n] - narrow[n]), 0.0, 1e-12);
+  }
+}
+
+TEST(Widebeam, ToleratesMisalignmentBetterThanNarrow) {
+  // A wide-beam link under user translation should retrain less often
+  // than the narrow reactive baseline.
+  sim::ScenarioConfig cfg;
+  cfg.seed = 13;
+  cfg.sparse_room = true;
+  sim::LinkWorld w1 = sim::make_indoor_world(cfg, {0.0, -1.5});
+  auto wide = sim::make_widebeam(w1, cfg);
+  sim::RunConfig rc;
+  rc.duration_s = 1.0;
+  sim::run_experiment(w1, *wide, rc);
+  sim::LinkWorld w2 = sim::make_indoor_world(cfg, {0.0, -1.5});
+  auto narrow = sim::make_reactive(w2, cfg);
+  sim::run_experiment(w2, *narrow, rc);
+  EXPECT_LE(wide->trainings(), narrow->trainings());
+}
+
+TEST(Widebeam, ThroughputBelowNarrowOnStaticLink) {
+  sim::ScenarioConfig cfg;
+  cfg.seed = 15;
+  sim::LinkWorld w1 = sim::make_indoor_world(cfg);
+  auto wide = sim::make_widebeam(w1, cfg);
+  sim::RunConfig rc;
+  rc.duration_s = 0.3;
+  const auto r_wide = sim::run_experiment(w1, *wide, rc);
+  sim::LinkWorld w2 = sim::make_indoor_world(cfg);
+  auto narrow = sim::make_reactive(w2, cfg);
+  const auto r_narrow = sim::run_experiment(w2, *narrow, rc);
+  EXPECT_LT(r_wide.summary.mean_throughput_bps,
+            r_narrow.summary.mean_throughput_bps);
+}
+
+}  // namespace
+}  // namespace mmr::baselines

@@ -1,0 +1,98 @@
+#include "channel/geometry2d.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmr::channel {
+namespace {
+
+TEST(Geometry2d, VectorBasics) {
+  const Vec2 a{3.0, 4.0};
+  EXPECT_NEAR(length(a), 5.0, 1e-12);
+  EXPECT_NEAR(distance({0, 0}, a), 5.0, 1e-12);
+  EXPECT_NEAR(dot(a, {1.0, 0.0}), 3.0, 1e-12);
+  EXPECT_NEAR(cross({1.0, 0.0}, {0.0, 1.0}), 1.0, 1e-12);
+  const Vec2 n = normalized(a);
+  EXPECT_NEAR(length(n), 1.0, 1e-12);
+}
+
+TEST(Geometry2d, NormalizedZeroIsZero) {
+  const Vec2 z = normalized({0.0, 0.0});
+  EXPECT_EQ(z.x, 0.0);
+  EXPECT_EQ(z.y, 0.0);
+}
+
+TEST(Geometry2d, Heading) {
+  EXPECT_NEAR(heading({1.0, 0.0}), 0.0, 1e-12);
+  EXPECT_NEAR(heading({0.0, 1.0}), 1.5707963, 1e-6);
+  EXPECT_NEAR(heading({-1.0, 0.0}), 3.1415926, 1e-6);
+}
+
+TEST(Mirror, AcrossHorizontalLine) {
+  const Segment wall{{0.0, 2.0}, {10.0, 2.0}};
+  const Vec2 image = mirror_across(wall, {3.0, 0.0});
+  EXPECT_NEAR(image.x, 3.0, 1e-12);
+  EXPECT_NEAR(image.y, 4.0, 1e-12);
+}
+
+TEST(Mirror, AcrossDiagonalLine) {
+  // Line y = x: mirror of (2, 0) is (0, 2).
+  const Segment wall{{0.0, 0.0}, {5.0, 5.0}};
+  const Vec2 image = mirror_across(wall, {2.0, 0.0});
+  EXPECT_NEAR(image.x, 0.0, 1e-12);
+  EXPECT_NEAR(image.y, 2.0, 1e-12);
+}
+
+TEST(Mirror, PointOnLineIsFixed) {
+  const Segment wall{{0.0, 0.0}, {1.0, 1.0}};
+  const Vec2 image = mirror_across(wall, {0.5, 0.5});
+  EXPECT_NEAR(image.x, 0.5, 1e-12);
+  EXPECT_NEAR(image.y, 0.5, 1e-12);
+}
+
+TEST(Intersect, ProperCrossing) {
+  const Segment seg{{0.0, 0.0}, {2.0, 2.0}};
+  const auto hit = intersect(seg, {0.0, 2.0}, {2.0, 0.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-12);
+  EXPECT_NEAR(hit->y, 1.0, 1e-12);
+}
+
+TEST(Intersect, MissReturnsNullopt) {
+  const Segment seg{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_FALSE(intersect(seg, {2.0, 1.0}, {3.0, -1.0}).has_value());
+  EXPECT_FALSE(intersect(seg, {0.0, 1.0}, {1.0, 2.0}).has_value());
+}
+
+TEST(Intersect, ParallelReturnsNullopt) {
+  const Segment seg{{0.0, 0.0}, {1.0, 0.0}};
+  EXPECT_FALSE(intersect(seg, {0.0, 1.0}, {1.0, 1.0}).has_value());
+}
+
+TEST(Intersect, EndpointTouchCounts) {
+  const Segment seg{{0.0, 0.0}, {2.0, 0.0}};
+  const auto hit = intersect(seg, {1.0, 0.0}, {1.0, 1.0});
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_NEAR(hit->x, 1.0, 1e-9);
+  EXPECT_NEAR(hit->y, 0.0, 1e-9);
+}
+
+TEST(PointSegmentDistance, PerpendicularFoot) {
+  const Segment seg{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_NEAR(point_segment_distance(seg, {5.0, 3.0}), 3.0, 1e-12);
+}
+
+TEST(PointSegmentDistance, BeyondEndpointsUsesEndpoint) {
+  const Segment seg{{0.0, 0.0}, {10.0, 0.0}};
+  EXPECT_NEAR(point_segment_distance(seg, {13.0, 4.0}), 5.0, 1e-12);
+  EXPECT_NEAR(point_segment_distance(seg, {-3.0, 4.0}), 5.0, 1e-12);
+}
+
+TEST(PointSegmentDistance, DegenerateSegment) {
+  const Segment seg{{1.0, 1.0}, {1.0, 1.0}};
+  EXPECT_NEAR(point_segment_distance(seg, {4.0, 5.0}), 5.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace mmr::channel

@@ -1,0 +1,98 @@
+#include "channel/irs.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/pathloss.h"
+#include "common/angles.h"
+#include "common/constants.h"
+#include "common/units.h"
+
+namespace mmr::channel {
+namespace {
+
+const Pose kTx{{0.0, 0.0}, 0.0};
+const Pose kRx{{10.0, 0.0}, kPi};
+
+TEST(Irs, GeometryOfEngineeredPath) {
+  IrsPanel panel;
+  panel.position = {5.0, 5.0};
+  const Path p = irs_path(panel, kTx, kRx, kCarrier28GHz);
+  EXPECT_FALSE(p.is_los);
+  EXPECT_EQ(p.reflector_id, -2);
+  EXPECT_NEAR(rad_to_deg(p.aod_rad), 45.0, 1e-9);
+  EXPECT_NEAR(p.delay_s, 2.0 * std::hypot(5.0, 5.0) / kSpeedOfLight, 1e-15);
+  EXPECT_NEAR(p.reflection_point.x, 5.0, 0.0);
+}
+
+TEST(Irs, ProductDistanceLawWithGain) {
+  IrsPanel panel;
+  panel.position = {5.0, 5.0};
+  panel.gain_db = 60.0;
+  const Path p = irs_path(panel, kTx, kRx, kCarrier28GHz);
+  const double d = std::hypot(5.0, 5.0);  // both hops are 5*sqrt(2) m
+  // Power: -(FSPL(d1) + FSPL(d2)) + panel gain - absorption, plus the
+  // cos(AoD) element pattern (amplitude factor -> 20 log10 in power).
+  const double expected_db =
+      -2.0 * free_space_path_loss_db(d, kCarrier28GHz) + 60.0 +
+      to_db_amp(std::cos(deg_to_rad(45.0))) -
+      atmospheric_absorption_db(2.0 * d, kCarrier28GHz);
+  EXPECT_NEAR(to_db(std::norm(p.gain)), expected_db, 0.01);
+}
+
+TEST(Irs, MoreGainMeansStrongerPath) {
+  IrsPanel weak, strong;
+  weak.position = strong.position = {5.0, 4.0};
+  weak.gain_db = 40.0;
+  strong.gain_db = 60.0;
+  const Path pw = irs_path(weak, kTx, kRx, kCarrier28GHz);
+  const Path ps = irs_path(strong, kTx, kRx, kCarrier28GHz);
+  EXPECT_NEAR(to_db(std::norm(ps.gain) / std::norm(pw.gain)), 20.0, 1e-9);
+}
+
+TEST(Irs, UnconfiguredPanelHasNoPath) {
+  IrsPanel panel;
+  panel.position = {5.0, 5.0};
+  panel.configured = false;
+  const Path p = irs_path(panel, kTx, kRx, kCarrier28GHz);
+  EXPECT_EQ(std::norm(p.gain), 0.0);
+}
+
+TEST(Irs, BehindArrayIsMasked) {
+  IrsPanel panel;
+  panel.position = {-5.0, 1.0};  // behind the gNB
+  const Path p = irs_path(panel, kTx, kRx, kCarrier28GHz);
+  EXPECT_EQ(std::norm(p.gain), 0.0);
+}
+
+TEST(Irs, DegeneratePlacementIsRejectedGracefully) {
+  IrsPanel panel;
+  panel.position = kTx.position;  // on top of the gNB
+  const Path p = irs_path(panel, kTx, kRx, kCarrier28GHz);
+  EXPECT_EQ(std::norm(p.gain), 0.0);
+}
+
+TEST(Irs, SixtyDbPanelWithinFewDbOfSpecularWall) {
+  // The headline design point: a ~60 dB panel at room scale produces a
+  // path comparable to a glass-wall reflection.
+  IrsPanel panel;
+  panel.position = {5.0, 1.5};
+  const Path irs = irs_path(panel, kTx, kRx, kCarrier28GHz);
+  // Specular equivalent: wall along y = 1.5.
+  Environment env(kCarrier28GHz);
+  env.add_wall({{{-5.0, 1.5}, {15.0, 1.5}}, Material::glass()});
+  const auto paths = env.trace(kTx, kRx);
+  const Path* wall = nullptr;
+  for (const auto& p : paths) {
+    if (!p.is_los) wall = &p;
+  }
+  ASSERT_NE(wall, nullptr);
+  const double rel_db =
+      to_db(std::norm(irs.gain) / std::norm(wall->gain));
+  EXPECT_GT(rel_db, -8.0);
+  EXPECT_LT(rel_db, 8.0);
+}
+
+}  // namespace
+}  // namespace mmr::channel

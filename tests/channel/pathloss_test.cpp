@@ -1,0 +1,79 @@
+#include "channel/pathloss.h"
+
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+
+namespace mmr::channel {
+namespace {
+
+TEST(PathLoss, KnownFsplValues) {
+  // FSPL(1 m, 28 GHz) = 20 log10(4 pi * 28e9 / c) ~ 61.4 dB.
+  EXPECT_NEAR(free_space_path_loss_db(1.0, 28e9), 61.4, 0.2);
+  // +20 dB per decade of distance.
+  EXPECT_NEAR(free_space_path_loss_db(10.0, 28e9) -
+                  free_space_path_loss_db(1.0, 28e9),
+              20.0, 1e-9);
+}
+
+TEST(PathLoss, HigherFrequencyLosesMore) {
+  const double d = 10.0;
+  const double diff = free_space_path_loss_db(d, kCarrier60GHz) -
+                      free_space_path_loss_db(d, kCarrier28GHz);
+  // 20 log10(60/28) ~ 6.6 dB.
+  EXPECT_NEAR(diff, 6.6, 0.1);
+}
+
+TEST(PathLoss, MonotoneInDistance) {
+  double prev = 0.0;
+  for (double d = 1.0; d < 100.0; d *= 1.5) {
+    const double pl = free_space_path_loss_db(d, 28e9);
+    EXPECT_GT(pl, prev);
+    prev = pl;
+  }
+}
+
+TEST(Absorption, SixtyGhzDominates) {
+  const double a28 = atmospheric_absorption_db(1000.0, kCarrier28GHz);
+  const double a60 = atmospheric_absorption_db(1000.0, kCarrier60GHz);
+  EXPECT_NEAR(a28, kOxygenAbsorption28GHzDbPerKm, 1e-9);
+  EXPECT_NEAR(a60, kOxygenAbsorption60GHzDbPerKm, 1e-9);
+  EXPECT_GT(a60, 100.0 * a28);
+}
+
+TEST(Absorption, LinearInDistance) {
+  EXPECT_NEAR(atmospheric_absorption_db(500.0, kCarrier60GHz),
+              kOxygenAbsorption60GHzDbPerKm / 2.0, 1e-9);
+  EXPECT_EQ(atmospheric_absorption_db(0.0, kCarrier60GHz), 0.0);
+}
+
+TEST(Absorption, InterpolatesBetweenAnchors) {
+  const double mid = atmospheric_absorption_db(1000.0, 44e9);
+  EXPECT_GT(mid, kOxygenAbsorption28GHzDbPerKm);
+  EXPECT_LT(mid, kOxygenAbsorption60GHzDbPerKm);
+}
+
+TEST(PropagationLoss, IsSumOfComponents) {
+  const double d = 80.0;
+  EXPECT_NEAR(propagation_loss_db(d, kCarrier60GHz),
+              free_space_path_loss_db(d, kCarrier60GHz) +
+                  atmospheric_absorption_db(d, kCarrier60GHz),
+              1e-12);
+}
+
+TEST(Materials, OrderedByReflectivity) {
+  EXPECT_LT(Material::metal().reflection_loss_db,
+            Material::glass().reflection_loss_db);
+  EXPECT_LT(Material::glass().reflection_loss_db,
+            Material::concrete().reflection_loss_db);
+  EXPECT_LT(Material::concrete().reflection_loss_db,
+            Material::wood().reflection_loss_db);
+}
+
+TEST(PathLoss, RejectsBadArgs) {
+  EXPECT_THROW(free_space_path_loss_db(0.0, 28e9), std::logic_error);
+  EXPECT_THROW(free_space_path_loss_db(1.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::channel

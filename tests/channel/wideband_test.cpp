@@ -1,0 +1,181 @@
+#include "channel/wideband.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/pattern.h"
+#include "common/angles.h"
+#include "common/constants.h"
+
+namespace mmr::channel {
+namespace {
+
+Path make_path(double aod_deg, double gain_amp, double phase_rad,
+               double delay_ns, bool los = true) {
+  Path p;
+  p.aod_rad = deg_to_rad(aod_deg);
+  p.aoa_rad = 0.0;
+  p.gain = std::polar(gain_amp, phase_rad);
+  p.delay_s = delay_ns * 1e-9;
+  p.is_los = los;
+  return p;
+}
+
+const WidebandSpec kSpec{28e9, 400e6, 64};
+const array::Ula kUla{8, 0.5};
+
+TEST(Wideband, SinglePathFlatSpectrum) {
+  const std::vector<Path> paths{make_path(10.0, 1e-4, 0.3, 5.0)};
+  const CVec w = array::single_beam_weights(kUla, deg_to_rad(10.0));
+  const CVec csi = effective_csi(paths, kUla, w, kSpec, RxFrontend::omni());
+  ASSERT_EQ(csi.size(), 64u);
+  const double mag0 = std::abs(csi[0]);
+  for (const cplx& h : csi) EXPECT_NEAR(std::abs(h), mag0, 1e-12);
+  // Matched beam: |H| = gain * sqrt(N).
+  EXPECT_NEAR(mag0, 1e-4 * std::sqrt(8.0), 1e-9);
+}
+
+TEST(Wideband, TwoPathFringePeriodMatchesDelaySpread) {
+  // Two equal paths 10 ns apart: |H(f)|^2 oscillates with period
+  // 1/10ns = 100 MHz across the band.
+  const std::vector<Path> paths{make_path(0.0, 1e-4, 0.0, 0.0),
+                                make_path(0.0, 1e-4, 0.0, 10.0, false)};
+  CVec w(kUla.num_elements, cplx{1.0 / std::sqrt(8.0), 0.0});  // boresight
+  const CVec csi = effective_csi(paths, kUla, w, kSpec, RxFrontend::omni());
+  // Count minima: 400 MHz / 100 MHz = 4 fringes.
+  int minima = 0;
+  for (std::size_t k = 1; k + 1 < csi.size(); ++k) {
+    if (std::abs(csi[k]) < std::abs(csi[k - 1]) &&
+        std::abs(csi[k]) < std::abs(csi[k + 1])) {
+      ++minima;
+    }
+  }
+  EXPECT_GE(minima, 3);
+  EXPECT_LE(minima, 5);
+}
+
+TEST(Wideband, PathAmplitudeIncludesAllGains) {
+  const Path p = make_path(20.0, 2e-4, 0.0, 0.0);
+  const CVec w = array::single_beam_weights(kUla, deg_to_rad(20.0));
+  const cplx alpha = path_amplitude(p, kUla, w, RxFrontend::omni(3.0));
+  EXPECT_NEAR(std::abs(alpha), 2e-4 * std::sqrt(8.0) * 3.0, 1e-9);
+}
+
+TEST(Wideband, CirPeaksAtPathDelays) {
+  const std::vector<Path> paths{make_path(0.0, 1e-4, 0.0, 0.0),
+                                make_path(25.0, 0.5e-4, 1.0, 12.5, false)};
+  // Omni-ish weights so both paths radiate.
+  CVec w(kUla.num_elements, cplx{});
+  w[0] = cplx{1.0, 0.0};
+  const CVec cir =
+      effective_cir(paths, kUla, w, kSpec, 16, RxFrontend::omni());
+  // Path delays 0 ns and 12.5 ns = taps 0 and 5 at Ts = 2.5 ns.
+  const double t0 = std::abs(cir[0]);
+  const double t5 = std::abs(cir[5]);
+  EXPECT_GT(t0, std::abs(cir[2]));
+  EXPECT_GT(t5, std::abs(cir[3]));
+  EXPECT_GT(t0, t5);  // first path is stronger
+}
+
+TEST(Wideband, CirTimingOffsetShiftsPeak) {
+  const std::vector<Path> paths{make_path(0.0, 1e-4, 0.0, 0.0)};
+  CVec w(kUla.num_elements, cplx{});
+  w[0] = cplx{1.0, 0.0};
+  const CVec cir = effective_cir(paths, kUla, w, kSpec, 16,
+                                 RxFrontend::omni(), 2.5e-9);
+  EXPECT_GT(std::abs(cir[1]), std::abs(cir[0]));
+}
+
+TEST(Wideband, ReceivedPowerMatchesCsiMean) {
+  const std::vector<Path> paths{make_path(0.0, 1e-4, 0.0, 0.0),
+                                make_path(30.0, 0.7e-4, 0.4, 3.0, false)};
+  const CVec w = array::single_beam_weights(kUla, 0.0);
+  const CVec csi = effective_csi(paths, kUla, w, kSpec, RxFrontend::omni());
+  double mean = 0.0;
+  for (const cplx& h : csi) mean += std::norm(h);
+  mean /= static_cast<double>(csi.size());
+  EXPECT_NEAR(received_power(paths, kUla, w, kSpec, RxFrontend::omni()),
+              mean, 1e-20);
+}
+
+TEST(Wideband, CirEnergyApproximatesCsiMeanPower) {
+  // Parseval: full-length Nyquist CIR energy = mean subcarrier power.
+  const std::vector<Path> paths{make_path(0.0, 1e-4, 0.0, 0.0),
+                                make_path(15.0, 0.6e-4, 0.9, 4.0, false)};
+  const CVec w = array::single_beam_weights(kUla, 0.0);
+  const CVec cir =
+      effective_cir(paths, kUla, w, kSpec, 48, RxFrontend::omni());
+  double cir_energy = 0.0;
+  for (const cplx& h : cir) cir_energy += std::norm(h);
+  const double p = received_power(paths, kUla, w, kSpec, RxFrontend::omni());
+  EXPECT_NEAR(cir_energy / p, 1.0, 0.1);
+}
+
+TEST(Wideband, PerAntennaChannelMatchesSteeringSum) {
+  const std::vector<Path> paths{make_path(10.0, 1e-4, 0.2, 0.0),
+                                make_path(-25.0, 0.5e-4, -0.8, 2.0, false)};
+  const CVec h = per_antenna_channel(paths, kUla, RxFrontend::omni());
+  ASSERT_EQ(h.size(), 8u);
+  for (std::size_t n = 0; n < 8; ++n) {
+    cplx expected{};
+    for (const Path& p : paths) {
+      const CVec a = array::steering_vector(kUla, p.aod_rad);
+      expected += p.gain * a[n];
+    }
+    EXPECT_NEAR(std::abs(h[n] - expected), 0.0, 1e-15);
+  }
+}
+
+TEST(Wideband, OraclePerAntennaBeatsSingleBeamNarrowband) {
+  const std::vector<Path> paths{make_path(0.0, 1e-4, 0.0, 0.0),
+                                make_path(30.0, 0.8e-4, 1.2, 0.4, false)};
+  const CVec h = per_antenna_channel(paths, kUla, RxFrontend::omni());
+  // Oracle weights.
+  double norm2 = 0.0;
+  for (const cplx& c : h) norm2 += std::norm(c);
+  CVec oracle(h.size());
+  for (std::size_t n = 0; n < h.size(); ++n) {
+    oracle[n] = std::conj(h[n]) / std::sqrt(norm2);
+  }
+  const CVec single = array::single_beam_weights(kUla, 0.0);
+  const double p_oracle =
+      received_power(paths, kUla, oracle, kSpec, RxFrontend::omni());
+  const double p_single =
+      received_power(paths, kUla, single, kSpec, RxFrontend::omni());
+  EXPECT_GT(p_oracle, p_single);
+}
+
+TEST(Wideband, DirectionalRxAddsArrayGain) {
+  const std::vector<Path> paths{make_path(0.0, 1e-4, 0.0, 0.0)};
+  const CVec w = array::single_beam_weights(kUla, 0.0);
+  const array::Ula rx_ula{4, 0.5};
+  const RxFrontend rx_beam = RxFrontend::beam(
+      rx_ula, array::single_beam_weights(rx_ula, 0.0));
+  const double p_omni =
+      received_power(paths, kUla, w, kSpec, RxFrontend::omni());
+  const double p_dir = received_power(paths, kUla, w, kSpec, rx_beam);
+  EXPECT_NEAR(p_dir / p_omni, 4.0, 1e-9);  // N_rx gain
+}
+
+TEST(Wideband, FreqWeightsMatchesStaticWhenConstant) {
+  const std::vector<Path> paths{make_path(5.0, 1e-4, 0.0, 0.0),
+                                make_path(-15.0, 0.5e-4, 0.7, 1.0, false)};
+  const CVec w = array::single_beam_weights(kUla, deg_to_rad(5.0));
+  const CVec a = effective_csi(paths, kUla, w, kSpec, RxFrontend::omni());
+  const CVec b = effective_csi_freq_weights(
+      paths, kUla, [&](double) { return w; }, kSpec, RxFrontend::omni());
+  for (std::size_t k = 0; k < a.size(); ++k) {
+    EXPECT_NEAR(std::abs(a[k] - b[k]), 0.0, 1e-15);
+  }
+}
+
+TEST(WidebandSpec, GridProperties) {
+  EXPECT_NEAR(kSpec.subcarrier_spacing(), 6.25e6, 1e-3);
+  EXPECT_NEAR(kSpec.sample_period(), 2.5e-9, 1e-15);
+  // Centered grid: symmetric extremes.
+  EXPECT_NEAR(kSpec.freq_offset(0), -kSpec.freq_offset(63), 1e-6);
+}
+
+}  // namespace
+}  // namespace mmr::channel

@@ -1,0 +1,60 @@
+#include "common/angles.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmr {
+namespace {
+
+TEST(Angles, DegRadRoundTrip) {
+  for (double deg : {-180.0, -90.0, 0.0, 30.0, 45.0, 120.0}) {
+    EXPECT_NEAR(rad_to_deg(deg_to_rad(deg)), deg, 1e-12);
+  }
+}
+
+TEST(Angles, WrapPiRange) {
+  for (double a = -20.0; a <= 20.0; a += 0.37) {
+    const double w = wrap_pi(a);
+    EXPECT_GT(w, -kPi - 1e-12);
+    EXPECT_LE(w, kPi + 1e-12);
+    // Wrapped angle is congruent mod 2 pi.
+    EXPECT_NEAR(std::remainder(w - a, 2.0 * kPi), 0.0, 1e-9);
+  }
+}
+
+TEST(Angles, Wrap2PiRange) {
+  for (double a = -20.0; a <= 20.0; a += 0.41) {
+    const double w = wrap_2pi(a);
+    EXPECT_GE(w, 0.0);
+    EXPECT_LT(w, 2.0 * kPi + 1e-12);
+    EXPECT_NEAR(std::remainder(w - a, 2.0 * kPi), 0.0, 1e-9);
+  }
+}
+
+TEST(Angles, WrapIdentityInRange) {
+  EXPECT_NEAR(wrap_pi(1.0), 1.0, 1e-15);
+  EXPECT_NEAR(wrap_pi(-3.0), -3.0, 1e-15);
+  EXPECT_NEAR(wrap_2pi(3.0), 3.0, 1e-15);
+}
+
+TEST(Angles, AngleDiffShortestPath) {
+  EXPECT_NEAR(angle_diff(0.1, -0.1), 0.2, 1e-12);
+  // Across the wrap: 179 deg to -179 deg is 2 deg apart, not 358.
+  EXPECT_NEAR(std::abs(angle_diff(deg_to_rad(179.0), deg_to_rad(-179.0))),
+              deg_to_rad(2.0), 1e-9);
+}
+
+class WrapPeriodicityTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WrapPeriodicityTest, AddingFullTurnsIsIdentity) {
+  const double a = GetParam();
+  EXPECT_NEAR(wrap_pi(a + 2.0 * kPi), wrap_pi(a), 1e-9);
+  EXPECT_NEAR(wrap_pi(a - 6.0 * kPi), wrap_pi(a), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, WrapPeriodicityTest,
+                         ::testing::Values(-3.0, -0.5, 0.0, 0.7, 2.9));
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,58 @@
+#include "common/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace mmr {
+namespace {
+
+TEST(Table, PrintsHeaderRuleAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  t.add_row({"333", "4"});
+  std::ostringstream oss;
+  t.print(oss);
+  const std::string out = oss.str();
+  EXPECT_NE(out.find("a"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  EXPECT_NE(out.find("333"), std::string::npos);
+  // header + rule + 2 rows = 4 lines
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(Table, RejectsMismatchedRow) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::logic_error);
+}
+
+TEST(Table, NumFormatsFixedPrecision) {
+  EXPECT_EQ(Table::num(3.14159, 2), "3.14");
+  EXPECT_EQ(Table::num(-1.5, 1), "-1.5");
+  EXPECT_EQ(Table::num(2.0, 0), "2");
+}
+
+TEST(Table, RowsCount) {
+  Table t({"x"});
+  EXPECT_EQ(t.rows(), 0u);
+  t.add_row({"1"});
+  EXPECT_EQ(t.rows(), 1u);
+}
+
+TEST(Table, ColumnsAlignToWidestCell) {
+  Table t({"h", "k"});
+  t.add_row({"wide-cell", "x"});
+  std::ostringstream oss;
+  t.print(oss);
+  std::istringstream iss(oss.str());
+  std::string header, rule, row;
+  std::getline(iss, header);
+  std::getline(iss, rule);
+  std::getline(iss, row);
+  // The 'k' header should start after the widest first-column cell.
+  EXPECT_GE(header.find('k'), std::string("wide-cell").size());
+}
+
+}  // namespace
+}  // namespace mmr

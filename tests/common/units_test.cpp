@@ -1,0 +1,55 @@
+#include "common/units.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmr {
+namespace {
+
+TEST(Units, DbRoundTrip) {
+  for (double db : {-30.0, -3.0, 0.0, 3.0, 10.0, 27.0}) {
+    EXPECT_NEAR(to_db(from_db(db)), db, 1e-12);
+  }
+}
+
+TEST(Units, KnownValues) {
+  EXPECT_NEAR(to_db(2.0), 3.0103, 1e-3);
+  EXPECT_NEAR(to_db(10.0), 10.0, 1e-12);
+  EXPECT_NEAR(from_db(3.0), 1.9953, 1e-3);
+  EXPECT_NEAR(to_db_amp(10.0), 20.0, 1e-12);
+  EXPECT_NEAR(from_db_amp(6.0), 1.9953, 1e-3);
+}
+
+TEST(Units, AmplitudeVsPowerConsistency) {
+  // |a|^2 in dB-power equals a in dB-amplitude.
+  const double a = 0.37;
+  EXPECT_NEAR(to_db(a * a), to_db_amp(a), 1e-12);
+}
+
+TEST(Units, ZeroAndNegativeGiveMinusInfinity) {
+  EXPECT_TRUE(std::isinf(to_db(0.0)));
+  EXPECT_LT(to_db(0.0), 0.0);
+  EXPECT_TRUE(std::isinf(to_db_amp(-1.0)));
+}
+
+TEST(Units, DbmWatts) {
+  EXPECT_NEAR(dbm_to_watts(0.0), 1e-3, 1e-12);
+  EXPECT_NEAR(dbm_to_watts(30.0), 1.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(1.0), 30.0, 1e-9);
+  EXPECT_NEAR(watts_to_dbm(dbm_to_watts(17.0)), 17.0, 1e-9);
+}
+
+class DbMonotoneTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DbMonotoneTest, MonotoneIncreasing) {
+  const double x = GetParam();
+  EXPECT_LT(to_db(x), to_db(x * 1.5));
+  EXPECT_LT(from_db(to_db(x)), from_db(to_db(x) + 1.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DbMonotoneTest,
+                         ::testing::Values(1e-9, 1e-3, 0.5, 1.0, 7.3, 1e6));
+
+}  // namespace
+}  // namespace mmr

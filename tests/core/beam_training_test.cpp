@@ -1,0 +1,133 @@
+#include "core/beam_training.h"
+
+#include <gtest/gtest.h>
+
+#include "array/codebook.h"
+#include "channel/wideband.h"
+#include "common/angles.h"
+#include "common/rng.h"
+#include "phy/estimator.h"
+
+namespace mmr::core {
+namespace {
+
+const array::Ula kUla{8, 0.5};
+
+// Channel with paths planted at known angles.
+ProbeFn planted_channel(const std::vector<double>& angles_deg,
+                        const std::vector<double>& amps,
+                        std::uint64_t seed) {
+  auto paths = std::make_shared<std::vector<channel::Path>>();
+  for (std::size_t i = 0; i < angles_deg.size(); ++i) {
+    channel::Path p;
+    p.aod_rad = deg_to_rad(angles_deg[i]);
+    p.gain = cplx{amps[i], 0.0};
+    p.delay_s = static_cast<double>(i) * 1e-9;
+    p.is_los = (i == 0);
+    paths->push_back(p);
+  }
+  phy::EstimatorConfig c;
+  c.noise_gain_0db = 1e-12;
+  c.pilot_averaging_gain = 50.0;
+  auto est = std::make_shared<phy::ChannelEstimator>(c, Rng(seed));
+  channel::WidebandSpec spec{28e9, 400e6, 64};
+  return [paths, est, spec](const CVec& w) {
+    const CVec truth = channel::effective_csi(*paths, kUla, w, spec,
+                                              channel::RxFrontend::omni());
+    return est->estimate(truth);
+  };
+}
+
+array::Codebook sector() {
+  return array::Codebook(kUla, deg_to_rad(-60.0), deg_to_rad(60.0), 64);
+}
+
+TEST(Training, FindsSinglePlantedPath) {
+  const ProbeFn probe = planted_channel({20.0}, {1e-4}, 3);
+  TrainingConfig tc;
+  tc.top_k = 1;
+  const TrainingResult r = exhaustive_training(sector(), probe, tc);
+  ASSERT_EQ(r.beams.size(), 1u);
+  EXPECT_NEAR(rad_to_deg(r.beams[0].angle_rad), 20.0, 2.0);
+  EXPECT_EQ(r.probes_used, 64);
+}
+
+TEST(Training, FindsBothPathsInOrder) {
+  const ProbeFn probe = planted_channel({-10.0, 35.0}, {1e-4, 0.6e-4}, 5);
+  TrainingConfig tc;
+  tc.top_k = 2;
+  tc.min_separation_rad = deg_to_rad(8.0);
+  const TrainingResult r = exhaustive_training(sector(), probe, tc);
+  ASSERT_EQ(r.beams.size(), 2u);
+  EXPECT_NEAR(rad_to_deg(r.beams[0].angle_rad), -10.0, 2.0);
+  EXPECT_NEAR(rad_to_deg(r.beams[1].angle_rad), 35.0, 2.0);
+  EXPECT_GT(r.beams[0].mean_power, r.beams[1].mean_power);
+}
+
+TEST(Training, SeparationSuppressesSameLobePeaks) {
+  // One path: adjacent codebook entries all light up, but only one beam
+  // may be reported within the separation window.
+  const ProbeFn probe = planted_channel({0.0}, {1e-4}, 7);
+  TrainingConfig tc;
+  tc.top_k = 3;
+  tc.min_separation_rad = deg_to_rad(10.0);
+  tc.max_rel_power_db = 10.0;
+  const TrainingResult r = exhaustive_training(sector(), probe, tc);
+  for (std::size_t i = 0; i < r.beams.size(); ++i) {
+    for (std::size_t j = i + 1; j < r.beams.size(); ++j) {
+      EXPECT_GE(std::abs(r.beams[i].angle_rad - r.beams[j].angle_rad),
+                deg_to_rad(10.0));
+    }
+  }
+}
+
+TEST(Training, RelPowerFloorDropsWeakPathsAndSidelobeGhosts) {
+  // Second path 40 dB down: far below the floor. The floor must also
+  // reject the -13.2 dB sidelobe ghosts of the strong path.
+  const ProbeFn probe = planted_channel({0.0, 40.0}, {1e-4, 1e-6}, 9);
+  TrainingConfig tc;
+  tc.top_k = 3;
+  tc.max_rel_power_db = 12.0;
+  const TrainingResult r = exhaustive_training(sector(), probe, tc);
+  EXPECT_EQ(r.beams.size(), 1u);
+}
+
+TEST(Training, ScanProfileHasFullResolution) {
+  const ProbeFn probe = planted_channel({0.0}, {1e-4}, 11);
+  const TrainingResult r = exhaustive_training(sector(), probe);
+  EXPECT_EQ(r.scan_power.size(), 64u);
+  // Peak of the profile near the planted angle (codebook center).
+  const auto it = std::max_element(r.scan_power.begin(), r.scan_power.end());
+  const std::size_t idx = it - r.scan_power.begin();
+  EXPECT_NEAR(static_cast<double>(idx), 31.5, 2.5);
+}
+
+TEST(Training, AnglesAndPowersAccessors) {
+  const ProbeFn probe = planted_channel({-20.0, 20.0}, {1e-4, 0.8e-4}, 13);
+  TrainingConfig tc;
+  tc.top_k = 2;
+  const TrainingResult r = exhaustive_training(sector(), probe, tc);
+  EXPECT_EQ(r.angles().size(), r.beams.size());
+  EXPECT_EQ(r.powers().size(), r.beams.size());
+  EXPECT_EQ(r.powers()[0].size(), 64u);  // per-subcarrier
+}
+
+TEST(TopKPeaks, PureFunctionBehaviour) {
+  const RVec power{1.0, 5.0, 2.0, 8.0, 3.0};
+  const RVec angles{0.0, 0.1, 0.2, 0.3, 0.4};
+  TrainingConfig tc;
+  tc.top_k = 2;
+  tc.min_separation_rad = 0.15;
+  tc.max_rel_power_db = 20.0;
+  const auto peaks = top_k_peaks(power, angles, tc);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0], 3u);  // strongest
+  EXPECT_EQ(peaks[1], 1u);  // next separated peak
+}
+
+TEST(TopKPeaks, RejectsMismatchedSizes) {
+  EXPECT_THROW(top_k_peaks({1.0}, {0.0, 0.1}, {}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::core

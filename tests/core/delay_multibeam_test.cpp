@@ -1,0 +1,110 @@
+#include "core/delay_multibeam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/wideband.h"
+#include "common/angles.h"
+
+namespace mmr::core {
+namespace {
+
+const array::Ula kUla{16, 0.5};
+const channel::WidebandSpec kSpec{28e9, 400e6, 64};
+
+std::vector<channel::Path> two_path_channel(double delay_spread_s) {
+  channel::Path p0;
+  p0.aod_rad = deg_to_rad(-20.0);
+  p0.gain = cplx{1e-4, 0.0};
+  p0.delay_s = 0.0;
+  p0.is_los = true;
+  channel::Path p1;
+  p1.aod_rad = deg_to_rad(25.0);
+  p1.gain = cplx{1e-4, 0.0};  // equal strength
+  p1.delay_s = delay_spread_s;
+  return {p0, p1};
+}
+
+double min_max_ratio_db(const CVec& csi) {
+  double lo = 1e300, hi = 0.0;
+  for (const cplx& h : csi) {
+    lo = std::min(lo, std::norm(h));
+    hi = std::max(hi, std::norm(h));
+  }
+  return 10.0 * std::log10(hi / lo);
+}
+
+TEST(DelayMultibeam, CompensationFlattensResponse) {
+  // Paper Figs. 7-8: with 5-10 ns delay spread a phase-only multi-beam has
+  // deep frequency notches; true-time delays flatten them.
+  for (double spread_ns : {5.0, 10.0}) {
+    const auto paths = two_path_channel(spread_ns * 1e-9);
+    const std::vector<double> angles{paths[0].aod_rad, paths[1].aod_rad};
+    const std::vector<cplx> ratios{cplx{1.0, 0.0}, cplx{1.0, 0.0}};
+    const std::vector<double> delays{paths[0].delay_s, paths[1].delay_s};
+
+    auto comp =
+        build_delay_multibeam(kUla, angles, ratios, delays, true);
+    auto flat =
+        build_delay_multibeam(kUla, angles, ratios, delays, false);
+
+    const CVec csi_comp = channel::effective_csi_freq_weights(
+        paths, kUla, [&](double f) { return comp.weights_at(28e9, f); },
+        kSpec, channel::RxFrontend::omni());
+    const CVec csi_flat = channel::effective_csi_freq_weights(
+        paths, kUla, [&](double f) { return flat.weights_at(28e9, f); },
+        kSpec, channel::RxFrontend::omni());
+
+    const double ripple_comp = min_max_ratio_db(csi_comp);
+    const double ripple_flat = min_max_ratio_db(csi_flat);
+    EXPECT_LT(ripple_comp, 3.0) << "spread " << spread_ns << " ns";
+    EXPECT_GT(ripple_flat, 15.0) << "spread " << spread_ns << " ns";
+  }
+}
+
+TEST(DelayMultibeam, CompensatedBeatsUncompensatedMeanPower) {
+  const auto paths = two_path_channel(8e-9);
+  const std::vector<double> angles{paths[0].aod_rad, paths[1].aod_rad};
+  const std::vector<cplx> ratios{cplx{1.0, 0.0}, cplx{1.0, 0.0}};
+  const std::vector<double> delays{0.0, 8e-9};
+  auto comp = build_delay_multibeam(kUla, angles, ratios, delays, true);
+  auto flat = build_delay_multibeam(kUla, angles, ratios, delays, false);
+  auto mean_power = [&](const array::DelayPhasedArray& dpa) {
+    const CVec csi = channel::effective_csi_freq_weights(
+        paths, kUla, [&](double f) { return dpa.weights_at(28e9, f); },
+        kSpec, channel::RxFrontend::omni());
+    double acc = 0.0;
+    for (const cplx& h : csi) acc += std::norm(h);
+    return acc / static_cast<double>(csi.size());
+  };
+  EXPECT_GT(mean_power(comp), mean_power(flat) * 1.4);
+}
+
+TEST(DelayMultibeam, ZeroSpreadNeedsNoCompensation) {
+  const auto paths = two_path_channel(0.0);
+  const std::vector<double> angles{paths[0].aod_rad, paths[1].aod_rad};
+  const std::vector<cplx> ratios{cplx{1.0, 0.0}, cplx{1.0, 0.0}};
+  const std::vector<double> delays{0.0, 0.0};
+  auto comp = build_delay_multibeam(kUla, angles, ratios, delays, true);
+  // Compensating delays are all zero.
+  EXPECT_EQ(comp.subarray(0).delay_s, 0.0);
+  EXPECT_EQ(comp.subarray(1).delay_s, 0.0);
+}
+
+TEST(DelayMultibeam, AppliesConjugateRatios) {
+  const std::vector<double> angles{0.0, 0.4};
+  const std::vector<cplx> ratios{cplx{1.0, 0.0}, std::polar(0.5, 0.8)};
+  auto dpa = build_delay_multibeam(kUla, angles, ratios, {0.0, 0.0});
+  EXPECT_NEAR(std::abs(dpa.subarray(1).weight), 0.5, 1e-12);
+  EXPECT_NEAR(std::arg(dpa.subarray(1).weight), -0.8, 1e-12);
+}
+
+TEST(DelayMultibeam, RejectsMismatchedSizes) {
+  EXPECT_THROW(
+      build_delay_multibeam(kUla, {0.0, 0.1}, {cplx{1.0, 0.0}}, {0.0, 0.0}),
+      std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::core

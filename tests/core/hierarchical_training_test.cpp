@@ -1,0 +1,98 @@
+#include "core/hierarchical_training.h"
+
+#include <gtest/gtest.h>
+
+#include "array/pattern.h"
+#include "channel/wideband.h"
+#include "common/angles.h"
+#include "common/rng.h"
+#include "phy/estimator.h"
+
+namespace mmr::core {
+namespace {
+
+const array::Ula kUla{8, 0.5};
+
+ProbeFn single_path_probe(double angle_deg, std::uint64_t seed) {
+  auto paths = std::make_shared<std::vector<channel::Path>>();
+  channel::Path p;
+  p.aod_rad = deg_to_rad(angle_deg);
+  p.gain = cplx{1e-4, 0.0};
+  p.is_los = true;
+  paths->push_back(p);
+  phy::EstimatorConfig c;
+  c.noise_gain_0db = 1e-12;
+  c.pilot_averaging_gain = 50.0;
+  auto est = std::make_shared<phy::ChannelEstimator>(c, Rng(seed));
+  const channel::WidebandSpec spec{28e9, 400e6, 32};
+  return [paths, est, spec](const CVec& w) {
+    return est->estimate(channel::effective_csi(
+        *paths, kUla, w, spec, channel::RxFrontend::omni()));
+  };
+}
+
+TEST(WideProbe, UnitNorm) {
+  const CVec w = wide_probe_weights(kUla, deg_to_rad(-60.0), deg_to_rad(0.0));
+  double norm2 = 0.0;
+  for (const cplx& c : w) norm2 += std::norm(c);
+  EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST(WideProbe, CoversItsWindow) {
+  // Gain anywhere inside the window stays within ~5 dB of the window
+  // center (a wide beam, not a pencil).
+  const double lo = deg_to_rad(0.0);
+  const double hi = deg_to_rad(30.0);
+  const CVec w = wide_probe_weights(kUla, lo, hi);
+  const double center_gain =
+      array::power_gain_db(kUla, w, 0.5 * (lo + hi));
+  for (double a = lo; a <= hi; a += deg_to_rad(3.0)) {
+    EXPECT_GT(array::power_gain_db(kUla, w, a), center_gain - 5.0)
+        << "angle " << rad_to_deg(a);
+  }
+}
+
+TEST(WideProbe, NarrowWindowUsesFullAperture) {
+  const double hpbw =
+      array::half_power_beamwidth(kUla.num_elements, kUla.spacing_wavelengths);
+  const CVec w = wide_probe_weights(kUla, -hpbw / 2.0, hpbw / 2.0);
+  // Full aperture: every element active.
+  for (const cplx& c : w) EXPECT_GT(std::abs(c), 0.0);
+}
+
+class HierarchicalSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(HierarchicalSweep, ConvergesToPlantedPath) {
+  const double angle = GetParam();
+  const auto result = hierarchical_training(
+      kUla, single_path_probe(angle, 7 + static_cast<std::uint64_t>(angle)));
+  // Final window is one HPBW wide, so the answer is within ~half of one.
+  const double hpbw_deg = rad_to_deg(array::half_power_beamwidth(
+      kUla.num_elements, kUla.spacing_wavelengths));
+  EXPECT_NEAR(rad_to_deg(result.angle_rad), angle, hpbw_deg * 0.75);
+}
+
+INSTANTIATE_TEST_SUITE_P(Angles, HierarchicalSweep,
+                         ::testing::Values(-45.0, -20.0, -5.0, 0.0, 10.0,
+                                           33.0, 52.0));
+
+TEST(Hierarchical, LogarithmicProbeCount) {
+  const auto result = hierarchical_training(kUla, single_path_probe(15.0, 3));
+  // 120-degree sector down to ~12.8-degree HPBW: ~4 levels, 2 probes each.
+  EXPECT_LE(result.probes_used, 10);
+  EXPECT_GE(result.probes_used, 6);
+}
+
+TEST(Hierarchical, FarFewerProbesThanExhaustive) {
+  const auto result = hierarchical_training(kUla, single_path_probe(0.0, 5));
+  EXPECT_LT(result.probes_used, 16);  // exhaustive would be 64
+}
+
+TEST(Hierarchical, ReportsWinnerPower) {
+  const auto result = hierarchical_training(kUla, single_path_probe(10.0, 9));
+  EXPECT_GT(result.mean_power, 0.0);
+  EXPECT_GT(result.levels, 0);
+}
+
+}  // namespace
+}  // namespace mmr::core

@@ -1,0 +1,72 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace mmr::core {
+namespace {
+
+LinkSample sample(double snr_db, double tput, bool available = true) {
+  LinkSample s;
+  s.snr_db = snr_db;
+  s.throughput_bps = tput;
+  s.available = available;
+  return s;
+}
+
+TEST(Metrics, PerfectLink) {
+  const std::vector<LinkSample> samples(10, sample(20.0, 1e9));
+  const LinkSummary s = summarize_link(samples, 6.0, 400e6);
+  EXPECT_EQ(s.reliability, 1.0);
+  EXPECT_NEAR(s.mean_throughput_bps, 1e9, 1e-3);
+  EXPECT_NEAR(s.mean_spectral_efficiency, 2.5, 1e-9);
+  EXPECT_NEAR(s.throughput_reliability_product, 1e9, 1e-3);
+  EXPECT_EQ(s.num_samples, 10u);
+}
+
+TEST(Metrics, OutageReducesReliability) {
+  std::vector<LinkSample> samples;
+  for (int i = 0; i < 8; ++i) samples.push_back(sample(20.0, 1e9));
+  samples.push_back(sample(3.0, 0.0));  // SNR outage
+  samples.push_back(sample(2.0, 0.0));
+  const LinkSummary s = summarize_link(samples, 6.0, 400e6);
+  EXPECT_NEAR(s.reliability, 0.8, 1e-12);
+}
+
+TEST(Metrics, UnavailabilityCountsAgainstReliability) {
+  // Paper Section 3.1: training time reduces reliability even at high SNR.
+  std::vector<LinkSample> samples(9, sample(20.0, 1e9));
+  samples.push_back(sample(20.0, 1e9, /*available=*/false));
+  const LinkSummary s = summarize_link(samples, 6.0, 400e6);
+  EXPECT_NEAR(s.reliability, 0.9, 1e-12);
+}
+
+TEST(Metrics, UnavailableThroughputZeroed) {
+  std::vector<LinkSample> samples{sample(20.0, 1e9),
+                                  sample(20.0, 1e9, false)};
+  const LinkSummary s = summarize_link(samples, 6.0, 400e6);
+  EXPECT_NEAR(s.mean_throughput_bps, 0.5e9, 1e-3);
+}
+
+TEST(Metrics, ProductCombinesBoth) {
+  std::vector<LinkSample> samples{sample(20.0, 1e9), sample(3.0, 0.0)};
+  const LinkSummary s = summarize_link(samples, 6.0, 400e6);
+  EXPECT_NEAR(s.throughput_reliability_product, 0.5 * 0.5e9, 1e-3);
+}
+
+TEST(Metrics, ExactlyAtThresholdIsUsable) {
+  std::vector<LinkSample> samples{sample(6.0, 1e8)};
+  const LinkSummary s = summarize_link(samples, 6.0, 400e6);
+  EXPECT_EQ(s.reliability, 1.0);
+}
+
+TEST(Metrics, RejectsEmptyOrBadBandwidth) {
+  const std::vector<LinkSample> empty;
+  const std::vector<LinkSample> one{sample(10.0, 1e8)};
+  EXPECT_THROW(summarize_link(empty, 6.0, 400e6), std::logic_error);
+  EXPECT_THROW(summarize_link(one, 6.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::core

@@ -1,0 +1,155 @@
+#include "core/multibeam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/pattern.h"
+#include "common/angles.h"
+#include "common/units.h"
+
+namespace mmr::core {
+namespace {
+
+const array::Ula kUla{8, 0.5};
+
+TEST(Multibeam, SingleComponentEqualsSingleBeam) {
+  const double phi = deg_to_rad(17.0);
+  const MultiBeam mb = synthesize_multibeam(kUla, {{phi, cplx{1.0, 0.0}}});
+  const CVec expected = array::single_beam_weights(kUla, phi);
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_NEAR(std::abs(mb.weights[n] - expected[n]), 0.0, 1e-12);
+  }
+  EXPECT_NEAR(mb.gain_norm, 1.0, 1e-12);
+}
+
+TEST(Multibeam, UnitNormAlways) {
+  const MultiBeam mb = synthesize_multibeam(
+      kUla, {{deg_to_rad(-20.0), cplx{1.0, 0.0}},
+             {deg_to_rad(25.0), std::polar(0.5, 1.2)}});
+  double norm2 = 0.0;
+  for (const cplx& w : mb.weights) norm2 += std::norm(w);
+  EXPECT_NEAR(norm2, 1.0, 1e-12);
+}
+
+TEST(Multibeam, TwoLobesAppearInPattern) {
+  const double a0 = deg_to_rad(-25.0);
+  const double a1 = deg_to_rad(25.0);
+  const MultiBeam mb = synthesize_multibeam(
+      kUla, {{a0, cplx{1.0, 0.0}}, {a1, cplx{1.0, 0.0}}});
+  const double g0 = array::power_gain_db(kUla, mb.weights, a0);
+  const double g1 = array::power_gain_db(kUla, mb.weights, a1);
+  const double g_mid = array::power_gain_db(kUla, mb.weights, 0.0);
+  EXPECT_GT(g0, g_mid + 3.0);
+  EXPECT_GT(g1, g_mid + 3.0);
+  // Equal coefficients: equal lobes, each ~3 dB below a full single beam.
+  EXPECT_NEAR(g0, g1, 0.5);
+  EXPECT_NEAR(g0, to_db(8.0) - 3.0, 1.0);
+}
+
+TEST(Multibeam, GainNormMatchesSeparatedBeams) {
+  // For well-separated beams ||w0 + c w1||^2 ~ 1 + |c|^2.
+  const MultiBeam mb = synthesize_multibeam(
+      kUla, {{deg_to_rad(-30.0), cplx{1.0, 0.0}},
+             {deg_to_rad(30.0), std::polar(0.7, 0.5)}});
+  EXPECT_NEAR(mb.gain_norm * mb.gain_norm, 1.49, 0.1);
+}
+
+TEST(Multibeam, CoefficientsScaleLobePowers) {
+  // Use a 32-element array: with only 8 elements the strong lobe's
+  // sidelobes leak into the weak lobe and bias the ratio.
+  const array::Ula big{32, 0.5};
+  const double a0 = deg_to_rad(-25.0);
+  const double a1 = deg_to_rad(25.0);
+  const MultiBeam mb = synthesize_multibeam(
+      big, {{a0, cplx{1.0, 0.0}}, {a1, cplx{0.5, 0.0}}});
+  const double g0 = array::power_gain_db(big, mb.weights, a0);
+  const double g1 = array::power_gain_db(big, mb.weights, a1);
+  // Lobe power ratio = |c1/c0|^2 = -6 dB.
+  EXPECT_NEAR(g0 - g1, 6.0, 0.8);
+}
+
+TEST(ConstructiveComponents, ConjugatesRatios) {
+  const std::vector<double> angles{0.0, 0.3};
+  const std::vector<cplx> ratios{cplx{1.0, 0.0}, std::polar(0.6, 0.9)};
+  const auto comps = constructive_components(angles, ratios);
+  ASSERT_EQ(comps.size(), 2u);
+  EXPECT_NEAR(std::abs(comps[1].coefficient), 0.6, 1e-12);
+  EXPECT_NEAR(std::arg(comps[1].coefficient), -0.9, 1e-12);
+}
+
+TEST(IdealGain, MatchesOnePlusDeltaSquared) {
+  // Paper Eq. 9: SNR gain = 1 + delta^2 for a two-path channel.
+  EXPECT_NEAR(ideal_multibeam_gain({1.0, 1.0}), 2.0, 1e-12);
+  EXPECT_NEAR(ideal_multibeam_gain({1.0, 0.5}), 1.25, 1e-12);
+  EXPECT_NEAR(ideal_multibeam_gain({1.0, 0.5, 0.5}), 1.5, 1e-12);
+}
+
+TEST(TwoBeamGain, PerfectEstimateGivesOnePlusDeltaSquared) {
+  for (double delta : {0.0, 0.3, 0.5, 0.7071, 1.0}) {
+    for (double sigma : {-2.0, 0.0, 1.5}) {
+      EXPECT_NEAR(two_beam_gain(delta, sigma, delta, sigma),
+                  1.0 + delta * delta, 1e-12);
+    }
+  }
+}
+
+TEST(TwoBeamGain, EqualPathsGiveThreeDb) {
+  // The paper's introduction example: two equal paths -> 2x (3 dB).
+  EXPECT_NEAR(to_db(two_beam_gain(1.0, 0.0, 1.0, 0.0)), 3.0103, 1e-3);
+}
+
+TEST(TwoBeamGain, PhaseErrorOf180DegreesDestroys) {
+  // Fig. 14 / Fig. 15a: opposite phase makes it worse than single beam.
+  const double g = two_beam_gain(1.0, 0.0, 1.0, kPi);
+  EXPECT_NEAR(g, 0.0, 1e-12);
+}
+
+TEST(TwoBeamGain, ToleratesModeratePhaseError) {
+  // Paper Fig. 14: multi-beam beats single-beam for phase errors up to
+  // +/- 75 degrees (at delta = -3 dB).
+  const double delta = from_db_amp(-3.0);
+  for (double err_deg : {-75.0, -40.0, 0.0, 40.0, 75.0}) {
+    const double g =
+        two_beam_gain(delta, 0.0, delta, deg_to_rad(err_deg));
+    EXPECT_GT(g, 1.0) << "phase error " << err_deg;
+  }
+}
+
+TEST(TwoBeamGain, MaximizedAtTruePhase) {
+  const double delta = 0.6, sigma = -0.7;
+  const double best = two_beam_gain(delta, sigma, delta, sigma);
+  for (double off : {-1.0, -0.3, 0.3, 1.0}) {
+    EXPECT_LT(two_beam_gain(delta, sigma, delta, sigma + off), best + 1e-12);
+  }
+}
+
+class TwoBeamAmplitudeTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TwoBeamAmplitudeTest, MaximizedAtTrueAmplitude) {
+  const double delta = GetParam();
+  const double best = two_beam_gain(delta, 0.0, delta, 0.0);
+  for (double hat : {delta * 0.3, delta * 0.7, delta * 1.5, delta * 3.0}) {
+    EXPECT_LE(two_beam_gain(delta, 0.0, hat, 0.0), best + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, TwoBeamAmplitudeTest,
+                         ::testing::Values(0.2, 0.4, 0.6, 0.8, 1.0));
+
+TEST(TwoBeamGain, Figure14Anchor) {
+  // Paper Fig. 14: delta = -3 dB gives a peak gain of 1.76 dB.
+  const double delta = from_db_amp(-3.0);
+  EXPECT_NEAR(to_db(two_beam_gain(delta, 0.0, delta, 0.0)), 1.76, 0.05);
+}
+
+TEST(Multibeam, RejectsEmptyComponents) {
+  EXPECT_THROW(synthesize_multibeam(kUla, {}), std::logic_error);
+}
+
+TEST(IdealGain, RejectsNegativeDelta) {
+  EXPECT_THROW(ideal_multibeam_gain({1.0, -0.5}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::core

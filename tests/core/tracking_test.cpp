@@ -1,0 +1,159 @@
+#include "core/tracking.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "array/pattern.h"
+#include "common/angles.h"
+
+namespace mmr::core {
+namespace {
+
+TEST(InvertPattern, ZeroDropIsZeroOffset) {
+  EXPECT_EQ(invert_pattern_offset(8, 0.5, 0.0), 0.0);
+}
+
+class InvertRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(InvertRoundTripTest, RecoverOffsetFromItsOwnDrop) {
+  const double offset = deg_to_rad(GetParam());
+  const double drop_db = -array::ula_relative_gain_db(8, 0.5, offset);
+  const double recovered = invert_pattern_offset(8, 0.5, drop_db);
+  EXPECT_NEAR(recovered, offset, deg_to_rad(0.1));
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, InvertRoundTripTest,
+                         ::testing::Values(1.0, 2.0, 4.0, 6.0, 8.0, 10.0));
+
+TEST(InvertPattern, SaturatesBeyondMainLobe) {
+  // A 60 dB drop cannot be explained by main-lobe slide; result clamps
+  // near the first null.
+  const double first_null = std::asin(2.0 / 8.0);
+  const double inv = invert_pattern_offset(8, 0.5, 60.0);
+  EXPECT_LE(inv, first_null);
+  EXPECT_GT(inv, first_null * 0.9);
+}
+
+TEST(InvertPattern, MonotoneInDrop) {
+  double prev = 0.0;
+  for (double drop = 0.5; drop < 12.0; drop += 0.5) {
+    const double inv = invert_pattern_offset(16, 0.5, drop);
+    EXPECT_GT(inv, prev);
+    prev = inv;
+  }
+}
+
+TrackerConfig fast_config() {
+  TrackerConfig c;
+  c.forgetting_factor = 0.5;
+  c.blockage_drop_db = 10.0;
+  c.blockage_window_s = 6.0e-3;
+  c.blockage_persistence = 2;
+  c.recover_margin_db = 4.0;
+  c.fit_history = 4;
+  c.min_drop_for_realign_db = 2.0;
+  return c;
+}
+
+TEST(Tracker, RequiresReferenceBeforeUpdate) {
+  PerBeamTracker t(fast_config(), 8, 0.5);
+  EXPECT_FALSE(t.has_reference());
+  EXPECT_THROW(t.update(0.0, -60.0), std::logic_error);
+}
+
+TEST(Tracker, StablePowerStaysTracking) {
+  PerBeamTracker t(fast_config(), 8, 0.5);
+  t.reset_reference(-60.0);
+  for (int i = 0; i < 50; ++i) {
+    const auto up = t.update(i * 2.5e-3, -60.0);
+    EXPECT_EQ(up.state, BeamState::kTracking);
+    EXPECT_EQ(up.misalign_rad, 0.0);
+  }
+}
+
+TEST(Tracker, FastDeepDropDeclaresBlockageAfterPersistence) {
+  PerBeamTracker t(fast_config(), 8, 0.5);
+  t.reset_reference(-60.0);
+  t.update(0.0, -60.0);
+  t.update(2.5e-3, -60.0);
+  // First deep sample: not yet (persistence = 2).
+  auto up = t.update(5.0e-3, -85.0);
+  EXPECT_EQ(up.state, BeamState::kTracking);
+  // Second consecutive deep sample: blocked.
+  up = t.update(7.5e-3, -85.0);
+  EXPECT_EQ(up.state, BeamState::kBlocked);
+}
+
+TEST(Tracker, SingleSpikeDoesNotTriggerBlockage) {
+  PerBeamTracker t(fast_config(), 8, 0.5);
+  t.reset_reference(-60.0);
+  t.update(0.0, -60.0);
+  t.update(2.5e-3, -78.0);  // one noisy spike
+  const auto up = t.update(5.0e-3, -60.5);
+  EXPECT_EQ(up.state, BeamState::kTracking);
+}
+
+TEST(Tracker, RecoversWhenPowerReturns) {
+  PerBeamTracker t(fast_config(), 8, 0.5);
+  t.reset_reference(-60.0);
+  t.update(0.0, -60.0);
+  t.update(2.5e-3, -85.0);
+  t.update(5.0e-3, -85.0);
+  EXPECT_EQ(t.state(), BeamState::kBlocked);
+  const auto up = t.update(7.5e-3, -61.0);
+  EXPECT_EQ(up.state, BeamState::kTracking);
+}
+
+TEST(Tracker, GradualDropYieldsMisalignment) {
+  TrackerConfig c = fast_config();
+  c.fit_history = 4;
+  PerBeamTracker t(c, 8, 0.5);
+  t.reset_reference(-60.0);
+  // Slow decline: ~0.6 dB per sample, well under the blockage trigger.
+  double misalign = 0.0;
+  for (int i = 0; i < 12; ++i) {
+    const auto up = t.update(i * 2.5e-3, -60.0 - 0.6 * i);
+    EXPECT_EQ(up.state, BeamState::kTracking);
+    misalign = up.misalign_rad;
+  }
+  EXPECT_GT(misalign, 0.0);
+  EXPECT_LE(misalign, c.max_realign_rad + 1e-12);
+}
+
+TEST(Tracker, MisalignmentCappedAtConfig) {
+  TrackerConfig c = fast_config();
+  c.max_realign_rad = deg_to_rad(3.0);
+  c.blockage_drop_db = 50.0;  // disable blockage path for this test
+  PerBeamTracker t(c, 8, 0.5);
+  t.reset_reference(-60.0);
+  for (int i = 0; i < 12; ++i) {
+    const auto up = t.update(i * 2.5e-3, -69.0);
+    EXPECT_LE(up.misalign_rad, deg_to_rad(3.0) + 1e-12);
+  }
+}
+
+TEST(Tracker, SmallDropsDoNotRealign) {
+  TrackerConfig c = fast_config();
+  c.min_drop_for_realign_db = 3.0;
+  PerBeamTracker t(c, 8, 0.5);
+  t.reset_reference(-60.0);
+  for (int i = 0; i < 12; ++i) {
+    const auto up = t.update(i * 2.5e-3, -61.0);  // 1 dB below reference
+    EXPECT_EQ(up.misalign_rad, 0.0);
+  }
+}
+
+TEST(Tracker, ResetReferenceClearsState) {
+  PerBeamTracker t(fast_config(), 8, 0.5);
+  t.reset_reference(-60.0);
+  t.update(0.0, -85.0);
+  t.update(2.5e-3, -85.0);
+  EXPECT_EQ(t.state(), BeamState::kBlocked);
+  t.reset_reference(-85.0);
+  EXPECT_EQ(t.state(), BeamState::kTracking);
+  EXPECT_EQ(t.reference_power_db(), -85.0);
+}
+
+}  // namespace
+}  // namespace mmr::core

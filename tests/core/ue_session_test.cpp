@@ -1,0 +1,142 @@
+#include "core/ue_session.h"
+
+#include <gtest/gtest.h>
+
+#include "channel/wideband.h"
+#include "common/angles.h"
+#include "common/rng.h"
+#include "phy/estimator.h"
+#include "phy/link_budget.h"
+
+namespace mmr::core {
+namespace {
+
+struct JointFixture {
+  std::vector<channel::Path> paths;
+  array::Ula gnb_ula{8, 0.5};
+  array::Ula ue_ula{8, 0.5};
+  channel::WidebandSpec spec{28e9, 400e6, 64};
+  phy::ChannelEstimator est;
+
+  explicit JointFixture(std::uint64_t seed)
+      : est([] {
+              phy::EstimatorConfig c;
+              c.noise_gain_0db =
+                  phy::noise_reference(phy::LinkBudget::paper_indoor());
+              c.pilot_averaging_gain = 30.0;
+              return c;
+            }(),
+            Rng(seed)) {
+    channel::Path p0;
+    p0.aod_rad = deg_to_rad(-5.0);
+    p0.aoa_rad = deg_to_rad(8.0);
+    p0.gain = cplx{1e-4, 0.0};
+    p0.is_los = true;
+    channel::Path p1;
+    p1.aod_rad = deg_to_rad(28.0);
+    p1.aoa_rad = deg_to_rad(-25.0);
+    p1.gain = std::polar(0.6e-4, 1.0);
+    p1.delay_s = 6.0e-9;
+    paths = {p0, p1};
+  }
+
+  JointProbeFns probe() {
+    JointProbeFns fns;
+    fns.csi = [this](const CVec& tx, const CVec& rx) {
+      return est.estimate(channel::effective_csi(
+          paths, gnb_ula, tx, spec, channel::RxFrontend::beam(ue_ula, rx)));
+    };
+    fns.cir = [this](const CVec& tx, const CVec& rx, std::size_t taps) {
+      return channel::effective_cir(paths, gnb_ula, tx, spec, taps,
+                                    channel::RxFrontend::beam(ue_ula, rx));
+    };
+    return fns;
+  }
+
+  double snr_db(const CVec& tx, const CVec& rx) const {
+    return phy::LinkBudget::paper_indoor().snr_db(channel::received_power(
+        paths, gnb_ula, tx, spec, channel::RxFrontend::beam(ue_ula, rx)));
+  }
+
+  UeSessionConfig config() const {
+    UeSessionConfig c;
+    c.gnb_ula = gnb_ula;
+    c.ue_ula = ue_ula;
+    return c;
+  }
+};
+
+TEST(UeSession, TrainingFindsBothEndsAngles) {
+  JointFixture fx(3);
+  DirectionalUeSession session(fx.config());
+  session.train(fx.probe());
+  ASSERT_EQ(session.num_beams(), 2u);
+  // gNB angles near the planted departures, UE angles near the arrivals,
+  // with matched pairing (association).
+  EXPECT_NEAR(rad_to_deg(session.gnb_angles()[0]), -5.0, 3.0);
+  EXPECT_NEAR(rad_to_deg(session.ue_angles()[0]), 8.0, 4.0);
+  EXPECT_NEAR(rad_to_deg(session.gnb_angles()[1]), 28.0, 3.0);
+  EXPECT_NEAR(rad_to_deg(session.ue_angles()[1]), -25.0, 4.0);
+}
+
+TEST(UeSession, BothEndsBeamformingBeatsOmniUe) {
+  JointFixture fx(5);
+  DirectionalUeSession session(fx.config());
+  session.train(fx.probe());
+  // Directional UE should add roughly 10 log10(N_ue) of gain over one
+  // active element.
+  CVec omni(fx.ue_ula.num_elements, cplx{});
+  omni[0] = cplx{1.0, 0.0};
+  const double snr_dir = fx.snr_db(session.tx_weights(), session.rx_weights());
+  const double snr_omni = fx.snr_db(session.tx_weights(), omni);
+  EXPECT_GT(snr_dir, snr_omni + 5.0);
+}
+
+TEST(UeSession, QuietStepIsNone) {
+  JointFixture fx(7);
+  DirectionalUeSession session(fx.config());
+  session.train(fx.probe());
+  session.step(0.02, fx.probe());
+  EXPECT_EQ(session.last_motion(), MotionKind::kNone);
+}
+
+TEST(UeSession, RotationClassifiedAndRecovered) {
+  JointFixture fx(9);
+  DirectionalUeSession session(fx.config());
+  const auto link = fx.probe();
+  session.train(link);
+  const double snr0 = fx.snr_db(session.tx_weights(), session.rx_weights());
+  for (auto& p : fx.paths) p.aoa_rad += deg_to_rad(8.0);
+  session.step(0.02, link);
+  EXPECT_EQ(session.last_motion(), MotionKind::kRotation);
+  for (int i = 0; i < 4; ++i) session.step(0.04 + 0.02 * i, link);
+  const double snr1 = fx.snr_db(session.tx_weights(), session.rx_weights());
+  EXPECT_GT(snr1, snr0 - 1.5);
+}
+
+TEST(UeSession, TranslationClassifiedAndRecovered) {
+  JointFixture fx(11);
+  DirectionalUeSession session(fx.config());
+  const auto link = fx.probe();
+  session.train(link);
+  const double snr0 = fx.snr_db(session.tx_weights(), session.rx_weights());
+  // Path-dependent slide (paper Fig. 10): direct path swings more.
+  fx.paths[0].aod_rad += deg_to_rad(6.0);
+  fx.paths[0].aoa_rad -= deg_to_rad(6.0);
+  fx.paths[1].aod_rad += deg_to_rad(2.0);
+  fx.paths[1].aoa_rad -= deg_to_rad(2.0);
+  session.step(0.02, link);
+  EXPECT_EQ(session.last_motion(), MotionKind::kTranslation);
+  for (int i = 0; i < 5; ++i) session.step(0.04 + 0.02 * i, link);
+  const double snr1 = fx.snr_db(session.tx_weights(), session.rx_weights());
+  EXPECT_GT(snr1, snr0 - 2.5);
+}
+
+TEST(UeSession, StepBeforeTrainThrows) {
+  JointFixture fx(13);
+  DirectionalUeSession session(fx.config());
+  EXPECT_THROW(session.step(0.0, fx.probe()), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::core

@@ -1,0 +1,103 @@
+#include "core/ue.h"
+
+#include <gtest/gtest.h>
+
+#include "array/pattern.h"
+#include "common/angles.h"
+
+namespace mmr::core {
+namespace {
+
+TEST(Associate, MatchesByClosestTof) {
+  const RVec gnb{0.0, 5e-9, 12e-9};
+  const RVec ue{5.1e-9, 0.2e-9, 11.8e-9};
+  const auto pairs = associate_beams(gnb, ue, 1e-9);
+  ASSERT_EQ(pairs.size(), 3u);
+  EXPECT_EQ(pairs[0].ue_beam, 1u);
+  EXPECT_EQ(pairs[1].ue_beam, 0u);
+  EXPECT_EQ(pairs[2].ue_beam, 2u);
+}
+
+TEST(Associate, DropsPairsBeyondTolerance) {
+  const RVec gnb{0.0, 20e-9};
+  const RVec ue{0.1e-9};
+  const auto pairs = associate_beams(gnb, ue, 1e-9);
+  ASSERT_EQ(pairs.size(), 1u);
+  EXPECT_EQ(pairs[0].gnb_beam, 0u);
+}
+
+TEST(Associate, EachUeBeamUsedOnce) {
+  // Two gNB beams close to the same UE delay: only one may claim it.
+  const RVec gnb{0.0, 0.3e-9};
+  const RVec ue{0.1e-9};
+  const auto pairs = associate_beams(gnb, ue, 1e-9);
+  EXPECT_EQ(pairs.size(), 1u);
+}
+
+TEST(Classify, RotationOnlyUeDrops) {
+  EXPECT_EQ(classify_motion(0.2, 5.0), MotionKind::kRotation);
+}
+
+TEST(Classify, TranslationBothDrop) {
+  EXPECT_EQ(classify_motion(4.0, 4.0), MotionKind::kTranslation);
+}
+
+TEST(Classify, QuietIsNone) {
+  EXPECT_EQ(classify_motion(0.5, 0.5), MotionKind::kNone);
+}
+
+class RotationRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(RotationRoundTrip, InvertsUePattern) {
+  const double rot = deg_to_rad(GetParam());
+  const double drop = -array::ula_relative_gain_db(8, 0.5, rot);
+  EXPECT_NEAR(estimate_rotation_rad(8, 0.5, drop), rot, deg_to_rad(0.2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RotationRoundTrip,
+                         ::testing::Values(2.0, 4.0, 6.0, 8.0));
+
+class TranslationRoundTrip : public ::testing::TestWithParam<double> {};
+
+TEST_P(TranslationRoundTrip, InvertsSummedPattern) {
+  // Translation misaligns both ends by the same angle; the observed drop
+  // is the sum of both pattern losses (paper Section 4.4).
+  const double off = deg_to_rad(GetParam());
+  const double drop = -(array::ula_relative_gain_db(8, 0.5, off) +
+                        array::ula_relative_gain_db(4, 0.5, off));
+  EXPECT_NEAR(estimate_translation_offset_rad(8, 4, 0.5, drop), off,
+              deg_to_rad(0.2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, TranslationRoundTrip,
+                         ::testing::Values(1.0, 3.0, 5.0, 7.0));
+
+TEST(Translation, ZeroDropZeroOffset) {
+  EXPECT_EQ(estimate_translation_offset_rad(8, 8, 0.5, 0.0), 0.0);
+}
+
+TEST(Translation, SaturatesAtMainLobeEdge) {
+  const double off = estimate_translation_offset_rad(8, 8, 0.5, 80.0);
+  EXPECT_LE(off, std::asin(2.0 / 8.0));
+}
+
+TEST(Prescribe, RotationTurnsOnlyUe) {
+  const Realignment r = prescribe_realignment(MotionKind::kRotation, 0.1);
+  EXPECT_EQ(r.gnb_delta_rad, 0.0);
+  EXPECT_NEAR(r.ue_delta_rad, 0.1, 1e-15);
+}
+
+TEST(Prescribe, TranslationTurnsBothOpposite) {
+  const Realignment r = prescribe_realignment(MotionKind::kTranslation, 0.1);
+  EXPECT_NEAR(r.gnb_delta_rad, 0.1, 1e-15);
+  EXPECT_NEAR(r.ue_delta_rad, -0.1, 1e-15);
+}
+
+TEST(Prescribe, NoneIsIdentity) {
+  const Realignment r = prescribe_realignment(MotionKind::kNone, 0.1);
+  EXPECT_EQ(r.gnb_delta_rad, 0.0);
+  EXPECT_EQ(r.ue_delta_rad, 0.0);
+}
+
+}  // namespace
+}  // namespace mmr::core

@@ -1,0 +1,133 @@
+#include "dsp/fft.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/rng.h"
+
+namespace mmr::dsp {
+namespace {
+
+// Reference O(N^2) DFT.
+CVec naive_dft(const CVec& x, bool inverse) {
+  const std::size_t n = x.size();
+  CVec out(n, cplx{});
+  const double sign = inverse ? 1.0 : -1.0;
+  for (std::size_t k = 0; k < n; ++k) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double ang = sign * 2.0 * kPi * static_cast<double>(k * j) /
+                         static_cast<double>(n);
+      out[k] += x[j] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  if (inverse) {
+    for (auto& c : out) c /= static_cast<double>(n);
+  }
+  return out;
+}
+
+double max_err(const CVec& a, const CVec& b) {
+  double e = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) e = std::max(e, std::abs(a[i] - b[i]));
+  return e;
+}
+
+TEST(Fft, IsPow2) {
+  EXPECT_TRUE(is_pow2(1));
+  EXPECT_TRUE(is_pow2(2));
+  EXPECT_TRUE(is_pow2(64));
+  EXPECT_FALSE(is_pow2(0));
+  EXPECT_FALSE(is_pow2(3));
+  EXPECT_FALSE(is_pow2(96));
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  CVec x(8, cplx{});
+  x[0] = cplx{1.0, 0.0};
+  const CVec y = fft(x);
+  for (const cplx& c : y) EXPECT_NEAR(std::abs(c - cplx{1.0, 0.0}), 0.0, 1e-12);
+}
+
+TEST(Fft, DcGivesImpulse) {
+  CVec x(16, cplx{1.0, 0.0});
+  const CVec y = fft(x);
+  EXPECT_NEAR(std::abs(y[0]), 16.0, 1e-10);
+  for (std::size_t k = 1; k < y.size(); ++k) EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-10);
+}
+
+TEST(Fft, SingleToneLandsOnBin) {
+  const std::size_t n = 32;
+  const std::size_t bin = 5;
+  CVec x(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const double ang = 2.0 * kPi * static_cast<double>(bin * j) / n;
+    x[j] = cplx(std::cos(ang), std::sin(ang));
+  }
+  const CVec y = fft(x);
+  EXPECT_NEAR(std::abs(y[bin]), static_cast<double>(n), 1e-9);
+  for (std::size_t k = 0; k < n; ++k) {
+    if (k != bin) EXPECT_NEAR(std::abs(y[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Fft, RoundTripPow2) {
+  Rng rng(5);
+  CVec x(64);
+  for (auto& c : x) c = rng.complex_normal();
+  EXPECT_LT(max_err(ifft(fft(x)), x), 1e-10);
+}
+
+TEST(Fft, ParsevalPow2) {
+  Rng rng(6);
+  CVec x(128);
+  double time_energy = 0.0;
+  for (auto& c : x) {
+    c = rng.complex_normal();
+    time_energy += std::norm(c);
+  }
+  double freq_energy = 0.0;
+  for (const cplx& c : fft(x)) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / 128.0, time_energy, 1e-8);
+}
+
+class FftSizeTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftSizeTest, MatchesNaiveDft) {
+  Rng rng(GetParam());
+  CVec x(GetParam());
+  for (auto& c : x) c = rng.complex_normal();
+  EXPECT_LT(max_err(fft(x), naive_dft(x, false)), 1e-8);
+  EXPECT_LT(max_err(ifft(x), naive_dft(x, true)), 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftSizeTest,
+                         ::testing::Values(1, 2, 3, 5, 7, 8, 12, 16, 17, 30,
+                                           33, 64, 100));
+
+TEST(Fft, CircshiftBasic) {
+  CVec x{{1, 0}, {2, 0}, {3, 0}, {4, 0}};
+  const CVec y = circshift(x, 1);
+  EXPECT_EQ(y[1].real(), 1.0);
+  EXPECT_EQ(y[0].real(), 4.0);
+  const CVec z = circshift(x, -1);
+  EXPECT_EQ(z[0].real(), 2.0);
+  EXPECT_EQ(z[3].real(), 1.0);
+}
+
+TEST(Fft, CircshiftFullPeriodIsIdentity) {
+  CVec x{{1, 0}, {2, 0}, {3, 0}};
+  const CVec y = circshift(x, 3);
+  for (std::size_t i = 0; i < 3; ++i) EXPECT_EQ(y[i], x[i]);
+}
+
+TEST(Fft, FftshiftMovesDcToCenter) {
+  CVec x(8, cplx{});
+  x[0] = cplx{1.0, 0.0};
+  const CVec y = fftshift(x);
+  EXPECT_EQ(y[4].real(), 1.0);
+}
+
+}  // namespace
+}  // namespace mmr::dsp

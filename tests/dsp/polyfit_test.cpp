@@ -1,0 +1,81 @@
+#include "dsp/polyfit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mmr::dsp {
+namespace {
+
+TEST(Polyval, HornerEvaluation) {
+  // 2 + 3x + x^2 at x = 2 -> 12.
+  const RVec c{2.0, 3.0, 1.0};
+  EXPECT_NEAR(polyval(c, 2.0), 12.0, 1e-12);
+  EXPECT_NEAR(polyval(c, 0.0), 2.0, 1e-12);
+}
+
+TEST(Polyval, EmptyIsZero) { EXPECT_EQ(polyval({}, 5.0), 0.0); }
+
+class PolyfitExactTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PolyfitExactTest, RecoversExactPolynomial) {
+  const std::size_t degree = GetParam();
+  RVec coeffs(degree + 1);
+  for (std::size_t i = 0; i <= degree; ++i) {
+    coeffs[i] = 1.0 + static_cast<double>(i) * 0.5;
+  }
+  RVec xs, ys;
+  for (int i = 0; i < 20; ++i) {
+    const double x = -1.0 + 0.1 * i;
+    xs.push_back(x);
+    ys.push_back(polyval(coeffs, x));
+  }
+  const RVec fit = polyfit(xs, ys, degree);
+  ASSERT_EQ(fit.size(), degree + 1);
+  for (std::size_t i = 0; i <= degree; ++i) {
+    EXPECT_NEAR(fit[i], coeffs[i], 1e-6) << "coefficient " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, PolyfitExactTest,
+                         ::testing::Values(0, 1, 2, 3, 4));
+
+TEST(Polyfit, SmoothsNoise) {
+  // Quadratic + noise: fitted curve should be much closer to the truth
+  // than the raw samples are.
+  Rng rng(3);
+  const RVec truth{1.0, -2.0, 0.5};
+  RVec xs, ys;
+  double raw_err = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    const double x = 0.1 * i;
+    const double clean = polyval(truth, x);
+    const double noisy = clean + rng.normal(0.0, 0.5);
+    xs.push_back(x);
+    ys.push_back(noisy);
+    raw_err += std::abs(noisy - clean);
+  }
+  raw_err /= 50.0;
+  const RVec fit = polyfit(xs, ys, 2);
+  double fit_err = 0.0;
+  for (int i = 0; i < 50; ++i) {
+    fit_err += std::abs(polyval(fit, xs[i]) - polyval(truth, xs[i]));
+  }
+  fit_err /= 50.0;
+  EXPECT_LT(fit_err, raw_err / 2.0);
+}
+
+TEST(Polyfit, RejectsUnderdetermined) {
+  const RVec xs{0.0, 1.0};
+  const RVec ys{1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 2), std::logic_error);
+}
+
+TEST(Polyfit, RejectsMismatchedSizes) {
+  const RVec xs{0.0, 1.0, 2.0};
+  const RVec ys{1.0, 2.0};
+  EXPECT_THROW(polyfit(xs, ys, 1), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::dsp

@@ -1,0 +1,69 @@
+#include "dsp/sinc.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmr::dsp {
+namespace {
+
+TEST(Sinc, KnownValues) {
+  EXPECT_NEAR(sinc(0.0), 1.0, 1e-15);
+  EXPECT_NEAR(sinc(1.0), 0.0, 1e-15);
+  EXPECT_NEAR(sinc(2.0), 0.0, 1e-15);
+  EXPECT_NEAR(sinc(0.5), 2.0 / 3.14159265358979, 1e-9);
+}
+
+TEST(Sinc, Symmetry) {
+  for (double x : {0.1, 0.5, 1.3, 2.7}) EXPECT_NEAR(sinc(x), sinc(-x), 1e-15);
+}
+
+TEST(SampledSinc, PulseAtIntegerDelayIsKronecker) {
+  // tau = 3 Ts with B = 1/Ts: taps are sinc(n - 3) = delta[n-3].
+  const double ts = 2.5e-9;
+  const double bw = 1.0 / ts;
+  const RVec taps = sampled_sinc(8, ts, bw, 3.0 * ts);
+  for (std::size_t n = 0; n < 8; ++n) {
+    EXPECT_NEAR(taps[n], n == 3 ? 1.0 : 0.0, 1e-12);
+  }
+}
+
+TEST(SampledSinc, FractionalDelaySpreadsEnergy) {
+  const double ts = 2.5e-9;
+  const double bw = 1.0 / ts;
+  const RVec taps = sampled_sinc(16, ts, bw, 3.5 * ts);
+  // Peak split between taps 3 and 4.
+  EXPECT_NEAR(taps[3], taps[4], 1e-12);
+  EXPECT_GT(taps[3], 0.6);
+}
+
+TEST(SincInterpolate, RecoversBandlimitedSignal) {
+  // Build taps from a single fractional-delay pulse and interpolate back
+  // at that delay: must return the pulse amplitude.
+  const double ts = 2.5e-9;
+  const double bw = 1.0 / ts;
+  const double tau = 5.3 * ts;
+  const cplx amp{0.7, -0.2};
+  CVec taps(64);
+  for (std::size_t n = 0; n < taps.size(); ++n) {
+    taps[n] = amp * sampled_sinc_tap(n, ts, bw, tau);
+  }
+  const cplx rec = sinc_interpolate(taps, ts, bw, tau);
+  EXPECT_NEAR(std::abs(rec - amp), 0.0, 2e-2);
+}
+
+TEST(SincInterpolate, AtSampleInstantsReturnsTaps) {
+  const double ts = 1.0;
+  const double bw = 1.0;
+  CVec taps{{1.0, 0.0}, {2.0, 0.0}, {3.0, 0.0}};
+  EXPECT_NEAR(std::abs(sinc_interpolate(taps, ts, bw, 1.0) - cplx(2.0, 0.0)),
+              0.0, 1e-12);
+}
+
+TEST(SampledSinc, RejectsBadArgs) {
+  EXPECT_THROW(sampled_sinc_tap(0, 0.0, 1.0, 0.0), std::logic_error);
+  EXPECT_THROW(sampled_sinc_tap(0, 1.0, 0.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::dsp

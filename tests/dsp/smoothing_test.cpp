@@ -1,0 +1,77 @@
+#include "dsp/smoothing.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace mmr::dsp {
+namespace {
+
+TEST(Ewma, FirstSamplePrimes) {
+  Ewma f(0.9);
+  EXPECT_FALSE(f.primed());
+  EXPECT_EQ(f.update(5.0), 5.0);
+  EXPECT_TRUE(f.primed());
+  EXPECT_EQ(f.value(), 5.0);
+}
+
+TEST(Ewma, ConvergesToConstant) {
+  Ewma f(0.8);
+  f.update(0.0);
+  double y = 0.0;
+  for (int i = 0; i < 200; ++i) y = f.update(10.0);
+  EXPECT_NEAR(y, 10.0, 1e-6);
+}
+
+TEST(Ewma, UpdateRule) {
+  Ewma f(0.5);
+  f.update(0.0);
+  EXPECT_NEAR(f.update(4.0), 2.0, 1e-12);
+  EXPECT_NEAR(f.update(2.0), 2.0, 1e-12);
+}
+
+TEST(Ewma, ZeroRhoTracksInput) {
+  Ewma f(0.0);
+  f.update(1.0);
+  EXPECT_EQ(f.update(7.0), 7.0);
+}
+
+TEST(Ewma, ResetClearsState) {
+  Ewma f(0.5);
+  f.update(3.0);
+  f.reset();
+  EXPECT_FALSE(f.primed());
+  EXPECT_EQ(f.update(9.0), 9.0);
+}
+
+TEST(Ewma, ValueBeforePrimingThrows) {
+  Ewma f(0.5);
+  EXPECT_THROW(f.value(), std::logic_error);
+}
+
+TEST(Ewma, RejectsBadRho) {
+  EXPECT_THROW(Ewma(1.0), std::logic_error);
+  EXPECT_THROW(Ewma(-0.1), std::logic_error);
+}
+
+TEST(EwmaFilter, ReducesNoiseVariance) {
+  Rng rng(4);
+  RVec x(2000);
+  for (auto& v : x) v = rng.normal(0.0, 1.0);
+  const RVec y = ewma_filter(x, 0.9);
+  double var_x = 0.0, var_y = 0.0;
+  for (std::size_t i = 500; i < x.size(); ++i) {
+    var_x += x[i] * x[i];
+    var_y += y[i] * y[i];
+  }
+  // Steady-state variance ratio is (1-rho)/(1+rho) = 1/19.
+  EXPECT_LT(var_y, var_x / 8.0);
+}
+
+TEST(EwmaFilter, PreservesLength) {
+  const RVec x{1.0, 2.0, 3.0};
+  EXPECT_EQ(ewma_filter(x, 0.5).size(), 3u);
+}
+
+}  // namespace
+}  // namespace mmr::dsp

@@ -1,0 +1,88 @@
+#include "sim/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "sim/scenario.h"
+
+namespace mmr::sim {
+namespace {
+
+ScenarioConfig cfg(std::uint64_t seed) {
+  ScenarioConfig c;
+  c.seed = seed;
+  c.sparse_room = true;
+  return c;
+}
+
+TEST(Runner, ProducesExpectedSampleCount) {
+  LinkWorld world = make_indoor_world(cfg(3));
+  auto ctrl = make_reactive(world, cfg(3));
+  RunConfig rc;
+  rc.duration_s = 0.1;
+  rc.tick_s = 2.5e-3;
+  const RunResult r = run_experiment(world, *ctrl, rc);
+  EXPECT_EQ(r.samples.size(), 40u);
+  EXPECT_EQ(r.summary.num_samples, 40u);
+}
+
+TEST(Runner, InitialTrainingShowsAsUnavailable) {
+  LinkWorld world = make_indoor_world(cfg(5));
+  auto ctrl = make_reactive(world, cfg(5));
+  RunConfig rc;
+  rc.duration_s = 0.1;
+  const RunResult r = run_experiment(world, *ctrl, rc);
+  EXPECT_FALSE(r.samples.front().available);
+  EXPECT_TRUE(r.samples.back().available);
+  EXPECT_LT(r.summary.reliability, 1.0);
+}
+
+TEST(Runner, ThroughputZeroWhileUnavailable) {
+  LinkWorld world = make_indoor_world(cfg(7));
+  auto ctrl = make_reactive(world, cfg(7));
+  RunConfig rc;
+  rc.duration_s = 0.1;
+  const RunResult r = run_experiment(world, *ctrl, rc);
+  for (const auto& s : r.samples) {
+    if (!s.available) EXPECT_EQ(s.throughput_bps, 0.0);
+  }
+}
+
+TEST(Runner, SummaryConsistentWithSamples) {
+  LinkWorld world = make_indoor_world(cfg(9));
+  auto ctrl = make_reactive(world, cfg(9));
+  RunConfig rc;
+  rc.duration_s = 0.2;
+  const RunResult r = run_experiment(world, *ctrl, rc);
+  const auto manual = core::summarize_link(r.samples, rc.outage_snr_db,
+                                           world.config().spec.bandwidth_hz);
+  EXPECT_EQ(manual.reliability, r.summary.reliability);
+  EXPECT_EQ(manual.mean_throughput_bps, r.summary.mean_throughput_bps);
+}
+
+TEST(Runner, ProtocolOverheadReducesThroughput) {
+  LinkWorld w1 = make_indoor_world(cfg(11));
+  auto c1 = make_reactive(w1, cfg(11));
+  RunConfig rc1;
+  rc1.duration_s = 0.2;
+  rc1.protocol_overhead = 0.0;
+  const RunResult r1 = run_experiment(w1, *c1, rc1);
+  LinkWorld w2 = make_indoor_world(cfg(11));
+  auto c2 = make_reactive(w2, cfg(11));
+  RunConfig rc2 = rc1;
+  rc2.protocol_overhead = 0.2;
+  const RunResult r2 = run_experiment(w2, *c2, rc2);
+  EXPECT_NEAR(r2.summary.mean_throughput_bps /
+                  r1.summary.mean_throughput_bps,
+              0.8, 0.01);
+}
+
+TEST(Runner, RejectsBadConfig) {
+  LinkWorld world = make_indoor_world(cfg(13));
+  auto ctrl = make_reactive(world, cfg(13));
+  RunConfig rc;
+  rc.duration_s = 0.0;
+  EXPECT_THROW(run_experiment(world, *ctrl, rc), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::sim

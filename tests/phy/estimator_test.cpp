@@ -1,0 +1,123 @@
+#include "phy/estimator.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/angles.h"
+#include "common/rng.h"
+
+namespace mmr::phy {
+namespace {
+
+EstimatorConfig high_snr_config() {
+  EstimatorConfig c;
+  c.noise_gain_0db = 1e-10;
+  c.pilot_averaging_gain = 20.0;
+  return c;
+}
+
+CVec flat_csi(std::size_t n, double amp) {
+  return CVec(n, cplx{amp, 0.0});
+}
+
+TEST(Estimator, MagnitudeStableAcrossProbes) {
+  // The design invariant (Section 3.3): CFO/SFO scramble phase but |H|
+  // survives. Power estimates across probes must agree tightly.
+  ChannelEstimator est(high_snr_config(), Rng(3));
+  const CVec truth = flat_csi(64, 1e-3);  // ~70 dB above noise
+  const double p0 = est.estimate_power(truth);
+  for (int i = 0; i < 20; ++i) {
+    const double p = est.estimate_power(truth);
+    EXPECT_NEAR(p / p0, 1.0, 0.01);
+  }
+}
+
+TEST(Estimator, PhaseIsRandomizedBetweenProbes) {
+  ChannelEstimator est(high_snr_config(), Rng(5));
+  const CVec truth = flat_csi(64, 1e-3);
+  // Collect the common phase of consecutive probes: they should spread
+  // over the circle, not repeat.
+  std::vector<double> phases;
+  for (int i = 0; i < 50; ++i) {
+    const CVec e = est.estimate(truth);
+    phases.push_back(std::arg(e[0]));
+  }
+  double min_p = phases[0], max_p = phases[0];
+  for (double p : phases) {
+    min_p = std::min(min_p, p);
+    max_p = std::max(max_p, p);
+  }
+  EXPECT_GT(max_p - min_p, kPi);  // spans most of the circle
+}
+
+TEST(Estimator, SfoAddsLinearPhaseRamp) {
+  EstimatorConfig c = high_snr_config();
+  c.sfo_slope_std_rad = 0.05;
+  ChannelEstimator est(c, Rng(7));
+  const CVec truth = flat_csi(64, 1e-3);
+  const CVec e = est.estimate(truth);
+  // Unwrap adjacent-subcarrier phase differences: roughly constant slope.
+  std::vector<double> slopes;
+  for (std::size_t k = 1; k < e.size(); ++k) {
+    slopes.push_back(wrap_pi(std::arg(e[k]) - std::arg(e[k - 1])));
+  }
+  double mean_slope = 0.0;
+  for (double s : slopes) mean_slope += s;
+  mean_slope /= static_cast<double>(slopes.size());
+  double var = 0.0;
+  for (double s : slopes) var += (s - mean_slope) * (s - mean_slope);
+  var /= static_cast<double>(slopes.size());
+  // Slope variance should be small compared to the slope scale itself
+  // (the ramp is linear, not random per subcarrier).
+  EXPECT_LT(std::sqrt(var), 0.05);
+}
+
+TEST(Estimator, NoiseFloorsWeakChannels) {
+  // A channel 30 dB below the 0 dB reference should be noise-dominated.
+  EstimatorConfig c = high_snr_config();
+  c.pilot_averaging_gain = 1.0;
+  ChannelEstimator est(c, Rng(9));
+  const double weak_amp = std::sqrt(c.noise_gain_0db) / 31.0;
+  const CVec truth = flat_csi(256, weak_amp);
+  const double p = est.estimate_power(truth);
+  // Measured power dominated by noise ~ noise_gain_0db.
+  EXPECT_GT(p, std::norm(weak_amp) * 10.0);
+}
+
+TEST(Estimator, PilotAveragingReducesNoise) {
+  EstimatorConfig low = high_snr_config();
+  low.pilot_averaging_gain = 1.0;
+  EstimatorConfig high = high_snr_config();
+  high.pilot_averaging_gain = 100.0;
+  ChannelEstimator est_low(low, Rng(11));
+  ChannelEstimator est_high(high, Rng(11));
+  const CVec zero(256, cplx{});
+  // Pure-noise power ratio should be ~100x.
+  const double p_low = est_low.estimate_power(zero);
+  const double p_high = est_high.estimate_power(zero);
+  EXPECT_NEAR(p_low / p_high, 100.0, 40.0);
+}
+
+TEST(Estimator, TruePowerIsExact) {
+  const CVec csi{{3.0, 4.0}, {0.0, 0.0}};
+  EXPECT_NEAR(ChannelEstimator::true_power(csi), 12.5, 1e-12);
+}
+
+TEST(Estimator, NoiseReferenceMatchesBudget) {
+  const LinkBudget b = LinkBudget::paper_indoor();
+  const double g0 = noise_reference(b);
+  EXPECT_NEAR(b.snr_db(g0), 0.0, 1e-9);
+}
+
+TEST(Estimator, RejectsBadConfig) {
+  EstimatorConfig c;
+  c.noise_gain_0db = 0.0;
+  EXPECT_THROW(ChannelEstimator(c, Rng(1)), std::logic_error);
+  c.noise_gain_0db = 1e-10;
+  c.pilot_averaging_gain = 0.5;
+  EXPECT_THROW(ChannelEstimator(c, Rng(1)), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::phy

@@ -1,0 +1,53 @@
+#include "phy/link_budget.h"
+
+#include <gtest/gtest.h>
+
+#include "common/units.h"
+
+namespace mmr::phy {
+namespace {
+
+TEST(LinkBudget, NoiseFloor400MHz) {
+  // -174 + 10 log10(400e6) + 7 = -174 + 86 + 7 = -81 dBm.
+  const LinkBudget b = LinkBudget::paper_indoor();
+  EXPECT_NEAR(b.noise_floor_dbm(), -81.0, 0.1);
+}
+
+TEST(LinkBudget, NoiseFloorScalesWithBandwidth) {
+  LinkBudget narrow = LinkBudget::paper_indoor();
+  narrow.bandwidth_hz = 100e6;
+  const LinkBudget wide = LinkBudget::paper_indoor();
+  EXPECT_NEAR(wide.noise_floor_dbm() - narrow.noise_floor_dbm(), 6.02, 0.05);
+}
+
+TEST(LinkBudget, SnrRoundTrip) {
+  const LinkBudget b = LinkBudget::paper_indoor();
+  for (double snr : {-5.0, 0.0, 6.0, 27.0}) {
+    EXPECT_NEAR(b.snr_db(b.gain_for_snr(snr)), snr, 1e-9);
+  }
+}
+
+TEST(LinkBudget, SnrLinearInGainDb) {
+  const LinkBudget b = LinkBudget::paper_indoor();
+  const double g = 1e-8;
+  EXPECT_NEAR(b.snr_db(g * 10.0) - b.snr_db(g), 10.0, 1e-9);
+}
+
+TEST(LinkBudget, PaperIndoorCalibration) {
+  // 7 m indoor link with 8-element beamforming gain should land around
+  // the paper's measured ~27-31 dB SNR. End-to-end channel gain:
+  // -FSPL(7m, 28GHz) + 9 dB array gain ~ -69 dB.
+  const LinkBudget b = LinkBudget::paper_indoor();
+  const double snr = b.snr_db(from_db(-69.0));
+  EXPECT_GT(snr, 25.0);
+  EXPECT_LT(snr, 33.0);
+}
+
+TEST(LinkBudget, RejectsBadBandwidth) {
+  LinkBudget b;
+  b.bandwidth_hz = 0.0;
+  EXPECT_THROW(b.noise_floor_dbm(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::phy

@@ -1,0 +1,82 @@
+#include "phy/mcs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/constants.h"
+
+namespace mmr::phy {
+namespace {
+
+TEST(Mcs, OutageBelowSixDb) {
+  const McsTable& t = McsTable::nr();
+  EXPECT_EQ(t.select(5.9), nullptr);
+  EXPECT_EQ(t.spectral_efficiency(0.0), 0.0);
+  EXPECT_EQ(t.throughput_bps(-10.0, 400e6), 0.0);
+}
+
+TEST(Mcs, LowestMcsAtThreshold) {
+  const McsTable& t = McsTable::nr();
+  const McsEntry* e = t.select(kOutageSnrDb);
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(e->spectral_efficiency, 0.0);
+  EXPECT_LT(e->spectral_efficiency, 1.0);
+}
+
+TEST(Mcs, EfficiencyMonotoneInSnr) {
+  const McsTable& t = McsTable::nr();
+  double prev = -1.0;
+  for (double snr = 0.0; snr < 40.0; snr += 0.5) {
+    const double se = t.spectral_efficiency(snr);
+    EXPECT_GE(se, prev);
+    prev = se;
+  }
+}
+
+TEST(Mcs, EfficiencyBelowShannon) {
+  // Every MCS must be below Shannon capacity at its threshold SNR.
+  const McsTable& t = McsTable::nr();
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const McsEntry& e = t.entry(i);
+    const double shannon =
+        std::log2(1.0 + std::pow(10.0, e.min_snr_db / 10.0));
+    EXPECT_LT(e.spectral_efficiency, shannon) << e.modulation;
+  }
+}
+
+TEST(Mcs, ThroughputScalesWithBandwidth) {
+  const McsTable& t = McsTable::nr();
+  EXPECT_NEAR(t.throughput_bps(20.0, 400e6) / t.throughput_bps(20.0, 100e6),
+              4.0, 1e-9);
+}
+
+TEST(Mcs, OverheadDiscountsThroughput) {
+  const McsTable& t = McsTable::nr();
+  const double full = t.throughput_bps(20.0, 400e6, 0.0);
+  const double with_oh = t.throughput_bps(20.0, 400e6, 0.25);
+  EXPECT_NEAR(with_oh / full, 0.75, 1e-12);
+}
+
+TEST(Mcs, PaperThroughputScale) {
+  // Paper Fig. 17c: ~600 Mbps at 400 MHz for a healthy link -> spectral
+  // efficiency ~1.5 b/s/Hz at mid-range SNR. Our table should produce
+  // hundreds of Mbps to Gbps in the 10-30 dB range.
+  const McsTable& t = McsTable::nr();
+  EXPECT_GT(t.throughput_bps(12.0, 400e6), 400e6);
+  EXPECT_LT(t.throughput_bps(12.0, 400e6), 1.2e9);
+}
+
+TEST(Mcs, TopEntryIs256Qam) {
+  const McsTable& t = McsTable::nr();
+  const McsEntry* e = t.select(50.0);
+  ASSERT_NE(e, nullptr);
+  EXPECT_EQ(std::string(e->modulation).find("256QAM"), 0u);
+}
+
+TEST(Mcs, RejectsBadOverhead) {
+  const McsTable& t = McsTable::nr();
+  EXPECT_THROW(t.throughput_bps(10.0, 400e6, 1.0), std::logic_error);
+  EXPECT_THROW(t.throughput_bps(10.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::phy

@@ -1,0 +1,32 @@
+#include "phy/numerology.h"
+
+#include <gtest/gtest.h>
+
+namespace mmr::phy {
+namespace {
+
+TEST(Numerology, Fr2Values) {
+  const Numerology n = Numerology::fr2_120khz();
+  EXPECT_NEAR(n.subcarrier_spacing_hz(), 120e3, 1e-6);
+  EXPECT_NEAR(n.slot_duration_s(), 0.125e-3, 1e-12);
+  // Paper: one OFDM symbol is 8.93 us at 120 kHz SCS.
+  EXPECT_NEAR(n.symbol_duration_s(), 8.93e-6, 0.01e-6);
+  EXPECT_NEAR(n.slots_per_second(), 8000.0, 1e-6);
+}
+
+TEST(Numerology, Mu0Is15kHz) {
+  const Numerology n{0};
+  EXPECT_NEAR(n.subcarrier_spacing_hz(), 15e3, 1e-9);
+  EXPECT_NEAR(n.slot_duration_s(), 1e-3, 1e-12);
+}
+
+TEST(Numerology, ScalingAcrossMu) {
+  for (unsigned mu = 0; mu <= 4; ++mu) {
+    const Numerology n{mu};
+    EXPECT_NEAR(n.subcarrier_spacing_hz() * n.slot_duration_s(), 15.0,
+                1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace mmr::phy

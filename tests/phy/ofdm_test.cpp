@@ -1,0 +1,158 @@
+#include "phy/ofdm.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "phy/qam.h"
+
+namespace mmr::phy {
+namespace {
+
+const OfdmConfig kCfg{64, 16};
+
+CVec random_grid(Rng& rng, std::size_t n) {
+  CVec g(n);
+  for (auto& c : g) {
+    c = map_symbol(Modulation::kQam16,
+                   static_cast<unsigned>(rng.uniform_index(16)));
+  }
+  return g;
+}
+
+TEST(Ofdm, ModulateDemodulateRoundTrip) {
+  Rng rng(3);
+  const CVec grid = random_grid(rng, kCfg.fft_size);
+  const CVec rx = ofdm_demodulate(kCfg, ofdm_modulate(kCfg, grid));
+  for (std::size_t k = 0; k < grid.size(); ++k) {
+    EXPECT_NEAR(std::abs(rx[k] - grid[k]), 0.0, 1e-10);
+  }
+}
+
+TEST(Ofdm, SymbolLengthIncludesCp) {
+  Rng rng(5);
+  const CVec tx = ofdm_modulate(kCfg, random_grid(rng, kCfg.fft_size));
+  EXPECT_EQ(tx.size(), 80u);
+}
+
+TEST(Ofdm, CyclicPrefixIsTail) {
+  Rng rng(7);
+  const CVec tx = ofdm_modulate(kCfg, random_grid(rng, kCfg.fft_size));
+  for (std::size_t i = 0; i < kCfg.cp_len; ++i) {
+    EXPECT_NEAR(std::abs(tx[i] - tx[kCfg.fft_size + i]), 0.0, 1e-12);
+  }
+}
+
+TEST(Ofdm, PowerPreserved) {
+  // sqrt(N) scaling: mean sample power == mean subcarrier power.
+  Rng rng(9);
+  const CVec grid = random_grid(rng, kCfg.fft_size);
+  const CVec tx = ofdm_modulate(kCfg, grid);
+  double p_time = 0.0;
+  for (std::size_t i = kCfg.cp_len; i < tx.size(); ++i) p_time += std::norm(tx[i]);
+  p_time /= static_cast<double>(kCfg.fft_size);
+  double p_freq = 0.0;
+  for (const cplx& c : grid) p_freq += std::norm(c);
+  p_freq /= static_cast<double>(grid.size());
+  EXPECT_NEAR(p_time / p_freq, 1.0, 1e-9);
+}
+
+TEST(Ofdm, ApplyCirIdentity) {
+  const CVec x{{1.0, 0.0}, {2.0, 0.0}};
+  const CVec y = apply_cir(x, {{1.0, 0.0}});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_EQ(y[0], x[0]);
+  EXPECT_EQ(y[1], x[1]);
+}
+
+TEST(Ofdm, ApplyCirDelays) {
+  const CVec x{{1.0, 0.0}};
+  const CVec y = apply_cir(x, {{0.0, 0.0}, {0.5, 0.0}});
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_NEAR(std::abs(y[1] - cplx(0.5, 0.0)), 0.0, 1e-12);
+}
+
+TEST(Ofdm, CpAbsorbsMultipathExactly) {
+  // A 2-tap channel within the CP leaves each subcarrier scaled by the
+  // channel's frequency response -- no inter-carrier interference.
+  Rng rng(11);
+  const CVec grid = random_grid(rng, kCfg.fft_size);
+  const CVec cir{{0.8, 0.1}, {0.0, 0.0}, {0.3, -0.2}};
+  const CVec rx_grid =
+      ofdm_demodulate(kCfg, apply_cir(ofdm_modulate(kCfg, grid), cir));
+  // Perfect equalization with the known frequency response must recover
+  // the grid exactly.
+  CVec h(kCfg.fft_size, cplx{});
+  for (std::size_t k = 0; k < kCfg.fft_size; ++k) {
+    for (std::size_t tap = 0; tap < cir.size(); ++tap) {
+      const double ang = -2.0 * 3.14159265358979 *
+                         static_cast<double>(k * tap) /
+                         static_cast<double>(kCfg.fft_size);
+      h[k] += cir[tap] * cplx(std::cos(ang), std::sin(ang));
+    }
+  }
+  for (std::size_t k = 0; k < kCfg.fft_size; ++k) {
+    EXPECT_NEAR(std::abs(rx_grid[k] / h[k] - grid[k]), 0.0, 1e-9);
+  }
+}
+
+TEST(Ofdm, LsEstimateAndEqualize) {
+  Rng rng(13);
+  const CVec pilots(kCfg.fft_size, cplx{1.0, 0.0});
+  const CVec cir{{0.9, 0.0}, {0.2, 0.3}};
+  const CVec rx =
+      ofdm_demodulate(kCfg, apply_cir(ofdm_modulate(kCfg, pilots), cir));
+  const CVec h = ls_channel_estimate(rx, pilots);
+  const CVec grid = random_grid(rng, kCfg.fft_size);
+  const CVec rx2 =
+      ofdm_demodulate(kCfg, apply_cir(ofdm_modulate(kCfg, grid), cir));
+  const CVec eq = equalize(rx2, h);
+  EXPECT_LT(measure_evm(eq, grid), 1e-9);
+}
+
+TEST(Ofdm, EvmMatchesSnrOnAwgnLink) {
+  // EVM ~ 1/sqrt(SNR) through the full waveform link.
+  Rng rng(17);
+  const double snr_db = 20.0;
+  const double noise_var = std::pow(10.0, -snr_db / 10.0);
+  const CVec grid = random_grid(rng, kCfg.fft_size);
+  double evm_acc = 0.0;
+  const int reps = 40;
+  for (int i = 0; i < reps; ++i) {
+    const auto result =
+        run_waveform_link(kCfg, grid, {{1.0, 0.0}}, noise_var, rng);
+    evm_acc += result.evm;
+  }
+  const double evm = evm_acc / reps;
+  // Equalization with a noisy pilot estimate roughly doubles the error
+  // power: EVM ~ sqrt(2/SNR).
+  EXPECT_NEAR(evm, std::sqrt(2.0 * noise_var), 0.5 * std::sqrt(noise_var));
+}
+
+TEST(Ofdm, MultipathLinkDecodesAtHighSnr) {
+  // QAM-64 frame through a 3-tap channel at 30 dB: zero symbol errors.
+  Rng rng(19);
+  std::vector<std::uint8_t> bits(kCfg.fft_size * 6);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  const CVec grid = modulate_bits(Modulation::kQam64, bits);
+  const CVec cir{{0.8, 0.0}, {0.3, 0.2}, {0.1, -0.1}};
+  const auto result = run_waveform_link(kCfg, grid, cir, 1e-4, rng);
+  const auto rx_bits = demodulate_bits(Modulation::kQam64, result.equalized);
+  int bit_errors = 0;
+  for (std::size_t i = 0; i < bits.size(); ++i) bit_errors += bits[i] != rx_bits[i];
+  // Deep per-subcarrier fades can cost a few bits even at 30 dB mean SNR;
+  // the frame must still be essentially clean.
+  EXPECT_LE(bit_errors, 4);
+}
+
+TEST(Ofdm, RejectsCirLongerThanCp) {
+  Rng rng(21);
+  const CVec grid = random_grid(rng, kCfg.fft_size);
+  const CVec long_cir(kCfg.cp_len + 2, cplx{0.1, 0.0});
+  EXPECT_THROW(run_waveform_link(kCfg, grid, long_cir, 1e-4, rng),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::phy

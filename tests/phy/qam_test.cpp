@@ -1,0 +1,125 @@
+#include "phy/qam.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace mmr::phy {
+namespace {
+
+const Modulation kAll[] = {Modulation::kQpsk, Modulation::kQam16,
+                           Modulation::kQam64, Modulation::kQam256};
+
+TEST(Qam, BitsPerSymbol) {
+  EXPECT_EQ(bits_per_symbol(Modulation::kQpsk), 2u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam16), 4u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam64), 6u);
+  EXPECT_EQ(bits_per_symbol(Modulation::kQam256), 8u);
+}
+
+class QamModTest : public ::testing::TestWithParam<Modulation> {};
+
+TEST_P(QamModTest, UnitAverageEnergy) {
+  const Modulation m = GetParam();
+  double energy = 0.0;
+  for (unsigned i = 0; i < constellation_size(m); ++i) {
+    energy += std::norm(map_symbol(m, i));
+  }
+  EXPECT_NEAR(energy / constellation_size(m), 1.0, 1e-12);
+}
+
+TEST_P(QamModTest, MapDemapRoundTrip) {
+  const Modulation m = GetParam();
+  for (unsigned i = 0; i < constellation_size(m); ++i) {
+    EXPECT_EQ(demap_symbol(m, map_symbol(m, i)), i);
+  }
+}
+
+TEST_P(QamModTest, AllPointsDistinct) {
+  const Modulation m = GetParam();
+  const unsigned n = constellation_size(m);
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) {
+      EXPECT_GT(std::abs(map_symbol(m, i) - map_symbol(m, j)), 1e-6);
+    }
+  }
+}
+
+TEST_P(QamModTest, GrayNeighborsDifferInOneBit) {
+  // Along each axis, adjacent constellation points must differ in exactly
+  // one bit (the Gray property that bounds BER).
+  const Modulation m = GetParam();
+  const unsigned n = constellation_size(m);
+  for (unsigned i = 0; i < n; ++i) {
+    const cplx p = map_symbol(m, i);
+    // Find the nearest horizontal neighbor.
+    unsigned best = i;
+    double best_d = 1e300;
+    for (unsigned j = 0; j < n; ++j) {
+      if (j == i) continue;
+      const cplx q = map_symbol(m, j);
+      if (std::abs(q.imag() - p.imag()) > 1e-9) continue;
+      const double d = std::abs(q.real() - p.real());
+      if (d < best_d) {
+        best_d = d;
+        best = j;
+      }
+    }
+    if (best == i) continue;  // edge point with no horizontal neighbor
+    const unsigned diff = i ^ best;
+    EXPECT_EQ(__builtin_popcount(diff), 1)
+        << "symbols " << i << " and " << best;
+  }
+}
+
+TEST_P(QamModTest, BitRoundTrip) {
+  const Modulation m = GetParam();
+  Rng rng(7);
+  std::vector<std::uint8_t> bits(bits_per_symbol(m) * 50);
+  for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+  const CVec symbols = modulate_bits(m, bits);
+  EXPECT_EQ(symbols.size(), 50u);
+  EXPECT_EQ(demodulate_bits(m, symbols), bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllOrders, QamModTest, ::testing::ValuesIn(kAll));
+
+TEST(Qam, AwgnSerMatchesTheory) {
+  // Monte-Carlo SER at a moderate SNR should match the closed form.
+  Rng rng(11);
+  const Modulation m = Modulation::kQam16;
+  const double snr_db = 12.0;
+  const double noise_var = std::pow(10.0, -snr_db / 10.0);
+  int errors = 0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const unsigned tx = static_cast<unsigned>(
+        rng.uniform_index(constellation_size(m)));
+    const cplx rx = map_symbol(m, tx) + rng.complex_normal(noise_var);
+    errors += (demap_symbol(m, rx) != tx);
+  }
+  const double ser = static_cast<double>(errors) / n;
+  const double theory = theoretical_ser(m, snr_db);
+  EXPECT_NEAR(ser, theory, theory * 0.15 + 1e-4);
+}
+
+TEST(Qam, HigherOrderNeedsMoreSnr) {
+  // At fixed SNR, SER grows with constellation order.
+  const double snr_db = 15.0;
+  double prev = -1.0;
+  for (Modulation m : kAll) {
+    const double ser = theoretical_ser(m, snr_db);
+    EXPECT_GT(ser, prev);
+    prev = ser;
+  }
+}
+
+TEST(Qam, ModulateRejectsPartialSymbols) {
+  EXPECT_THROW(modulate_bits(Modulation::kQam16, {1, 0, 1}),
+               std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::phy

@@ -1,0 +1,73 @@
+#include "phy/reference_signals.h"
+
+#include <gtest/gtest.h>
+
+namespace mmr::phy {
+namespace {
+
+const ReferenceSignalConfig kCfg{};
+
+TEST(RefSignals, SsbDuration) {
+  // 4 slots at 0.125 ms = 0.5 ms (paper Section 6.2).
+  EXPECT_NEAR(ssb_duration_s(kCfg), 0.5e-3, 1e-9);
+}
+
+TEST(RefSignals, CsiRsDuration) {
+  // Slot-granular: 0.125 ms (paper: "one CSI-RS occupies one slot").
+  EXPECT_NEAR(csi_rs_duration_s(kCfg, true), 0.125e-3, 1e-9);
+  // Symbol-level: 8.93 us.
+  EXPECT_NEAR(csi_rs_duration_s(kCfg, false), 8.93e-6, 0.01e-6);
+}
+
+TEST(RefSignals, FastTrainingMatchesPaperAnchors) {
+  // Paper Fig. 18d: 3 ms for an 8-antenna gNB, 6 ms for 64 antennas.
+  EXPECT_NEAR(fast_training_airtime_s(kCfg, 8), 3.0e-3, 0.1e-3);
+  EXPECT_NEAR(fast_training_airtime_s(kCfg, 64), 6.0e-3, 0.1e-3);
+}
+
+TEST(RefSignals, FastTrainingGrowsLogarithmically) {
+  const double t16 = fast_training_airtime_s(kCfg, 16);
+  const double t32 = fast_training_airtime_s(kCfg, 32);
+  const double t64 = fast_training_airtime_s(kCfg, 64);
+  EXPECT_NEAR(t32 - t16, t64 - t32, 1e-9);  // log scaling: equal increments
+}
+
+TEST(RefSignals, MmreliableRefinementMatchesPaper) {
+  // 3 probes for 2-beam (~0.4 ms), 5 probes for 3-beam (~0.6 ms).
+  EXPECT_NEAR(mmreliable_refinement_airtime_s(kCfg, 2), 0.375e-3, 1e-6);
+  EXPECT_NEAR(mmreliable_refinement_airtime_s(kCfg, 3), 0.625e-3, 1e-6);
+}
+
+TEST(RefSignals, MmreliableOverheadIndependentOfAntennas) {
+  // The whole point of Fig. 18d: the refinement cost depends only on the
+  // number of beams. (No antenna-count parameter even exists.)
+  const double two_beam = mmreliable_refinement_airtime_s(kCfg, 2);
+  EXPECT_LT(two_beam, fast_training_airtime_s(kCfg, 8) / 5.0);
+}
+
+TEST(RefSignals, ExhaustiveTrainingLinearInBeams) {
+  EXPECT_NEAR(exhaustive_training_airtime_s(kCfg, 64),
+              64.0 * ssb_duration_s(kCfg), 1e-12);
+}
+
+TEST(RefSignals, SsbBurstMatchesPaperFiveMs) {
+  // Paper Section 2.2: "a beam-training phase could take up to 5 ms to
+  // probe 64 beam directions".
+  EXPECT_NEAR(ssb_burst_airtime_s(kCfg, 64), 5.0e-3, 0.2e-3);
+}
+
+TEST(RefSignals, OverheadFraction) {
+  EXPECT_NEAR(overhead_fraction(5e-3, 20e-3), 0.25, 1e-12);
+  EXPECT_EQ(overhead_fraction(30e-3, 20e-3), 1.0);  // saturates
+  // Paper Section 5.2: 5 ms SSB every 1 s -> 0.5%.
+  EXPECT_NEAR(overhead_fraction(5e-3, 1.0), 0.005, 1e-9);
+}
+
+TEST(RefSignals, RejectsBadArgs) {
+  EXPECT_THROW(exhaustive_training_airtime_s(kCfg, 0), std::logic_error);
+  EXPECT_THROW(fast_training_airtime_s(kCfg, 1), std::logic_error);
+  EXPECT_THROW(overhead_fraction(1.0, 0.0), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr::phy
