@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig04_reflectors"
+  "../bench/bench_fig04_reflectors.pdb"
+  "CMakeFiles/bench_fig04_reflectors.dir/bench_fig04_reflectors.cpp.o"
+  "CMakeFiles/bench_fig04_reflectors.dir/bench_fig04_reflectors.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig04_reflectors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig11_superres"
+  "../bench/bench_fig11_superres.pdb"
+  "CMakeFiles/bench_fig11_superres.dir/bench_fig11_superres.cpp.o"
+  "CMakeFiles/bench_fig11_superres.dir/bench_fig11_superres.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_superres.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

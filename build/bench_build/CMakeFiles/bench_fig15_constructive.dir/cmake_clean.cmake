@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig15_constructive"
+  "../bench/bench_fig15_constructive.pdb"
+  "CMakeFiles/bench_fig15_constructive.dir/bench_fig15_constructive.cpp.o"
+  "CMakeFiles/bench_fig15_constructive.dir/bench_fig15_constructive.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_constructive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig16_blockage"
+  "../bench/bench_fig16_blockage.pdb"
+  "CMakeFiles/bench_fig16_blockage.dir/bench_fig16_blockage.cpp.o"
+  "CMakeFiles/bench_fig16_blockage.dir/bench_fig16_blockage.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig16_blockage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig17_tracking"
+  "../bench/bench_fig17_tracking.pdb"
+  "CMakeFiles/bench_fig17_tracking.dir/bench_fig17_tracking.cpp.o"
+  "CMakeFiles/bench_fig17_tracking.dir/bench_fig17_tracking.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

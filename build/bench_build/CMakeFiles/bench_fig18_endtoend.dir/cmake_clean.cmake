@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig18_endtoend"
+  "../bench/bench_fig18_endtoend.pdb"
+  "CMakeFiles/bench_fig18_endtoend.dir/bench_fig18_endtoend.cpp.o"
+  "CMakeFiles/bench_fig18_endtoend.dir/bench_fig18_endtoend.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18_endtoend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

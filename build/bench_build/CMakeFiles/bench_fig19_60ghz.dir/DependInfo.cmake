@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig19_60ghz.cpp" "bench_build/CMakeFiles/bench_fig19_60ghz.dir/bench_fig19_60ghz.cpp.o" "gcc" "bench_build/CMakeFiles/bench_fig19_60ghz.dir/bench_fig19_60ghz.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mmr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/mmr_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

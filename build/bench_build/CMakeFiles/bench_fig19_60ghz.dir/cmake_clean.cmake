@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_fig19_60ghz"
+  "../bench/bench_fig19_60ghz.pdb"
+  "CMakeFiles/bench_fig19_60ghz.dir/bench_fig19_60ghz.cpp.o"
+  "CMakeFiles/bench_fig19_60ghz.dir/bench_fig19_60ghz.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_60ghz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

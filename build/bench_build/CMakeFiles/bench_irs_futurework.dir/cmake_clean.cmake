@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_irs_futurework"
+  "../bench/bench_irs_futurework.pdb"
+  "CMakeFiles/bench_irs_futurework.dir/bench_irs_futurework.cpp.o"
+  "CMakeFiles/bench_irs_futurework.dir/bench_irs_futurework.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_irs_futurework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

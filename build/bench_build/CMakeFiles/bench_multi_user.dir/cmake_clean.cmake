@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_multi_user"
+  "../bench/bench_multi_user.pdb"
+  "CMakeFiles/bench_multi_user.dir/bench_multi_user.cpp.o"
+  "CMakeFiles/bench_multi_user.dir/bench_multi_user.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multi_user.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

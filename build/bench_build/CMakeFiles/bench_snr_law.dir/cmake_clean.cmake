@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_snr_law"
+  "../bench/bench_snr_law.pdb"
+  "CMakeFiles/bench_snr_law.dir/bench_snr_law.cpp.o"
+  "CMakeFiles/bench_snr_law.dir/bench_snr_law.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_snr_law.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ue_directional"
+  "../bench/bench_ue_directional.pdb"
+  "CMakeFiles/bench_ue_directional.dir/bench_ue_directional.cpp.o"
+  "CMakeFiles/bench_ue_directional.dir/bench_ue_directional.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ue_directional.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

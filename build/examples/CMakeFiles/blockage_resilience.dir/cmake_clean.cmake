@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/blockage_resilience.dir/blockage_resilience.cpp.o"
+  "CMakeFiles/blockage_resilience.dir/blockage_resilience.cpp.o.d"
+  "blockage_resilience"
+  "blockage_resilience.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/blockage_resilience.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

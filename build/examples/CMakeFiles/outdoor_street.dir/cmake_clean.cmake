@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outdoor_street.dir/outdoor_street.cpp.o"
+  "CMakeFiles/outdoor_street.dir/outdoor_street.cpp.o.d"
+  "outdoor_street"
+  "outdoor_street.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outdoor_street.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/array/codebook.cpp" "src/array/CMakeFiles/mmr_array.dir/codebook.cpp.o" "gcc" "src/array/CMakeFiles/mmr_array.dir/codebook.cpp.o.d"
+  "/root/repo/src/array/delay_array.cpp" "src/array/CMakeFiles/mmr_array.dir/delay_array.cpp.o" "gcc" "src/array/CMakeFiles/mmr_array.dir/delay_array.cpp.o.d"
+  "/root/repo/src/array/geometry.cpp" "src/array/CMakeFiles/mmr_array.dir/geometry.cpp.o" "gcc" "src/array/CMakeFiles/mmr_array.dir/geometry.cpp.o.d"
+  "/root/repo/src/array/pattern.cpp" "src/array/CMakeFiles/mmr_array.dir/pattern.cpp.o" "gcc" "src/array/CMakeFiles/mmr_array.dir/pattern.cpp.o.d"
+  "/root/repo/src/array/weights.cpp" "src/array/CMakeFiles/mmr_array.dir/weights.cpp.o" "gcc" "src/array/CMakeFiles/mmr_array.dir/weights.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_array.dir/codebook.cpp.o"
+  "CMakeFiles/mmr_array.dir/codebook.cpp.o.d"
+  "CMakeFiles/mmr_array.dir/delay_array.cpp.o"
+  "CMakeFiles/mmr_array.dir/delay_array.cpp.o.d"
+  "CMakeFiles/mmr_array.dir/geometry.cpp.o"
+  "CMakeFiles/mmr_array.dir/geometry.cpp.o.d"
+  "CMakeFiles/mmr_array.dir/pattern.cpp.o"
+  "CMakeFiles/mmr_array.dir/pattern.cpp.o.d"
+  "CMakeFiles/mmr_array.dir/weights.cpp.o"
+  "CMakeFiles/mmr_array.dir/weights.cpp.o.d"
+  "libmmr_array.a"
+  "libmmr_array.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_array.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/beamspy.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/beamspy.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/beamspy.cpp.o.d"
+  "/root/repo/src/baselines/oracle.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/oracle.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/oracle.cpp.o.d"
+  "/root/repo/src/baselines/reactive_single_beam.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/reactive_single_beam.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/reactive_single_beam.cpp.o.d"
+  "/root/repo/src/baselines/widebeam.cpp" "src/baselines/CMakeFiles/mmr_baselines.dir/widebeam.cpp.o" "gcc" "src/baselines/CMakeFiles/mmr_baselines.dir/widebeam.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/mmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/mmr_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

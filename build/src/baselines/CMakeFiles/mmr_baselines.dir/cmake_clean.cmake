@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_baselines.dir/beamspy.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/beamspy.cpp.o.d"
+  "CMakeFiles/mmr_baselines.dir/oracle.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/oracle.cpp.o.d"
+  "CMakeFiles/mmr_baselines.dir/reactive_single_beam.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/reactive_single_beam.cpp.o.d"
+  "CMakeFiles/mmr_baselines.dir/widebeam.cpp.o"
+  "CMakeFiles/mmr_baselines.dir/widebeam.cpp.o.d"
+  "libmmr_baselines.a"
+  "libmmr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

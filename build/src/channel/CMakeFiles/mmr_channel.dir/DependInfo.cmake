@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/channel/blockage.cpp" "src/channel/CMakeFiles/mmr_channel.dir/blockage.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/blockage.cpp.o.d"
+  "/root/repo/src/channel/environment.cpp" "src/channel/CMakeFiles/mmr_channel.dir/environment.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/environment.cpp.o.d"
+  "/root/repo/src/channel/geometry2d.cpp" "src/channel/CMakeFiles/mmr_channel.dir/geometry2d.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/geometry2d.cpp.o.d"
+  "/root/repo/src/channel/irs.cpp" "src/channel/CMakeFiles/mmr_channel.dir/irs.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/irs.cpp.o.d"
+  "/root/repo/src/channel/mobility.cpp" "src/channel/CMakeFiles/mmr_channel.dir/mobility.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/mobility.cpp.o.d"
+  "/root/repo/src/channel/path.cpp" "src/channel/CMakeFiles/mmr_channel.dir/path.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/path.cpp.o.d"
+  "/root/repo/src/channel/pathloss.cpp" "src/channel/CMakeFiles/mmr_channel.dir/pathloss.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/pathloss.cpp.o.d"
+  "/root/repo/src/channel/wideband.cpp" "src/channel/CMakeFiles/mmr_channel.dir/wideband.cpp.o" "gcc" "src/channel/CMakeFiles/mmr_channel.dir/wideband.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/mmr_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

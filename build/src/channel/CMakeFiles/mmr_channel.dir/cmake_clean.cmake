@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_channel.dir/blockage.cpp.o"
+  "CMakeFiles/mmr_channel.dir/blockage.cpp.o.d"
+  "CMakeFiles/mmr_channel.dir/environment.cpp.o"
+  "CMakeFiles/mmr_channel.dir/environment.cpp.o.d"
+  "CMakeFiles/mmr_channel.dir/geometry2d.cpp.o"
+  "CMakeFiles/mmr_channel.dir/geometry2d.cpp.o.d"
+  "CMakeFiles/mmr_channel.dir/irs.cpp.o"
+  "CMakeFiles/mmr_channel.dir/irs.cpp.o.d"
+  "CMakeFiles/mmr_channel.dir/mobility.cpp.o"
+  "CMakeFiles/mmr_channel.dir/mobility.cpp.o.d"
+  "CMakeFiles/mmr_channel.dir/path.cpp.o"
+  "CMakeFiles/mmr_channel.dir/path.cpp.o.d"
+  "CMakeFiles/mmr_channel.dir/pathloss.cpp.o"
+  "CMakeFiles/mmr_channel.dir/pathloss.cpp.o.d"
+  "CMakeFiles/mmr_channel.dir/wideband.cpp.o"
+  "CMakeFiles/mmr_channel.dir/wideband.cpp.o.d"
+  "libmmr_channel.a"
+  "libmmr_channel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_common.dir/rng.cpp.o"
+  "CMakeFiles/mmr_common.dir/rng.cpp.o.d"
+  "CMakeFiles/mmr_common.dir/stats.cpp.o"
+  "CMakeFiles/mmr_common.dir/stats.cpp.o.d"
+  "CMakeFiles/mmr_common.dir/table.cpp.o"
+  "CMakeFiles/mmr_common.dir/table.cpp.o.d"
+  "libmmr_common.a"
+  "libmmr_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/beam_training.cpp" "src/core/CMakeFiles/mmr_core.dir/beam_training.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/beam_training.cpp.o.d"
+  "/root/repo/src/core/delay_multibeam.cpp" "src/core/CMakeFiles/mmr_core.dir/delay_multibeam.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/delay_multibeam.cpp.o.d"
+  "/root/repo/src/core/hierarchical_training.cpp" "src/core/CMakeFiles/mmr_core.dir/hierarchical_training.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/hierarchical_training.cpp.o.d"
+  "/root/repo/src/core/maintenance.cpp" "src/core/CMakeFiles/mmr_core.dir/maintenance.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/maintenance.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/core/CMakeFiles/mmr_core.dir/metrics.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/metrics.cpp.o.d"
+  "/root/repo/src/core/multi_user.cpp" "src/core/CMakeFiles/mmr_core.dir/multi_user.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/multi_user.cpp.o.d"
+  "/root/repo/src/core/multibeam.cpp" "src/core/CMakeFiles/mmr_core.dir/multibeam.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/multibeam.cpp.o.d"
+  "/root/repo/src/core/probing.cpp" "src/core/CMakeFiles/mmr_core.dir/probing.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/probing.cpp.o.d"
+  "/root/repo/src/core/superres.cpp" "src/core/CMakeFiles/mmr_core.dir/superres.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/superres.cpp.o.d"
+  "/root/repo/src/core/tracking.cpp" "src/core/CMakeFiles/mmr_core.dir/tracking.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/tracking.cpp.o.d"
+  "/root/repo/src/core/ue.cpp" "src/core/CMakeFiles/mmr_core.dir/ue.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/ue.cpp.o.d"
+  "/root/repo/src/core/ue_session.cpp" "src/core/CMakeFiles/mmr_core.dir/ue_session.cpp.o" "gcc" "src/core/CMakeFiles/mmr_core.dir/ue_session.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/mmr_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmr_phy.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

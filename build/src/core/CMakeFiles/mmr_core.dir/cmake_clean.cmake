@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_core.dir/beam_training.cpp.o"
+  "CMakeFiles/mmr_core.dir/beam_training.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/delay_multibeam.cpp.o"
+  "CMakeFiles/mmr_core.dir/delay_multibeam.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/hierarchical_training.cpp.o"
+  "CMakeFiles/mmr_core.dir/hierarchical_training.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/maintenance.cpp.o"
+  "CMakeFiles/mmr_core.dir/maintenance.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/metrics.cpp.o"
+  "CMakeFiles/mmr_core.dir/metrics.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/multi_user.cpp.o"
+  "CMakeFiles/mmr_core.dir/multi_user.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/multibeam.cpp.o"
+  "CMakeFiles/mmr_core.dir/multibeam.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/probing.cpp.o"
+  "CMakeFiles/mmr_core.dir/probing.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/superres.cpp.o"
+  "CMakeFiles/mmr_core.dir/superres.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/tracking.cpp.o"
+  "CMakeFiles/mmr_core.dir/tracking.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/ue.cpp.o"
+  "CMakeFiles/mmr_core.dir/ue.cpp.o.d"
+  "CMakeFiles/mmr_core.dir/ue_session.cpp.o"
+  "CMakeFiles/mmr_core.dir/ue_session.cpp.o.d"
+  "libmmr_core.a"
+  "libmmr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dsp/fft.cpp" "src/dsp/CMakeFiles/mmr_dsp.dir/fft.cpp.o" "gcc" "src/dsp/CMakeFiles/mmr_dsp.dir/fft.cpp.o.d"
+  "/root/repo/src/dsp/linalg.cpp" "src/dsp/CMakeFiles/mmr_dsp.dir/linalg.cpp.o" "gcc" "src/dsp/CMakeFiles/mmr_dsp.dir/linalg.cpp.o.d"
+  "/root/repo/src/dsp/polyfit.cpp" "src/dsp/CMakeFiles/mmr_dsp.dir/polyfit.cpp.o" "gcc" "src/dsp/CMakeFiles/mmr_dsp.dir/polyfit.cpp.o.d"
+  "/root/repo/src/dsp/sinc.cpp" "src/dsp/CMakeFiles/mmr_dsp.dir/sinc.cpp.o" "gcc" "src/dsp/CMakeFiles/mmr_dsp.dir/sinc.cpp.o.d"
+  "/root/repo/src/dsp/smoothing.cpp" "src/dsp/CMakeFiles/mmr_dsp.dir/smoothing.cpp.o" "gcc" "src/dsp/CMakeFiles/mmr_dsp.dir/smoothing.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_dsp.dir/fft.cpp.o"
+  "CMakeFiles/mmr_dsp.dir/fft.cpp.o.d"
+  "CMakeFiles/mmr_dsp.dir/linalg.cpp.o"
+  "CMakeFiles/mmr_dsp.dir/linalg.cpp.o.d"
+  "CMakeFiles/mmr_dsp.dir/polyfit.cpp.o"
+  "CMakeFiles/mmr_dsp.dir/polyfit.cpp.o.d"
+  "CMakeFiles/mmr_dsp.dir/sinc.cpp.o"
+  "CMakeFiles/mmr_dsp.dir/sinc.cpp.o.d"
+  "CMakeFiles/mmr_dsp.dir/smoothing.cpp.o"
+  "CMakeFiles/mmr_dsp.dir/smoothing.cpp.o.d"
+  "libmmr_dsp.a"
+  "libmmr_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/phy/estimator.cpp" "src/phy/CMakeFiles/mmr_phy.dir/estimator.cpp.o" "gcc" "src/phy/CMakeFiles/mmr_phy.dir/estimator.cpp.o.d"
+  "/root/repo/src/phy/link_budget.cpp" "src/phy/CMakeFiles/mmr_phy.dir/link_budget.cpp.o" "gcc" "src/phy/CMakeFiles/mmr_phy.dir/link_budget.cpp.o.d"
+  "/root/repo/src/phy/mcs.cpp" "src/phy/CMakeFiles/mmr_phy.dir/mcs.cpp.o" "gcc" "src/phy/CMakeFiles/mmr_phy.dir/mcs.cpp.o.d"
+  "/root/repo/src/phy/numerology.cpp" "src/phy/CMakeFiles/mmr_phy.dir/numerology.cpp.o" "gcc" "src/phy/CMakeFiles/mmr_phy.dir/numerology.cpp.o.d"
+  "/root/repo/src/phy/ofdm.cpp" "src/phy/CMakeFiles/mmr_phy.dir/ofdm.cpp.o" "gcc" "src/phy/CMakeFiles/mmr_phy.dir/ofdm.cpp.o.d"
+  "/root/repo/src/phy/qam.cpp" "src/phy/CMakeFiles/mmr_phy.dir/qam.cpp.o" "gcc" "src/phy/CMakeFiles/mmr_phy.dir/qam.cpp.o.d"
+  "/root/repo/src/phy/reference_signals.cpp" "src/phy/CMakeFiles/mmr_phy.dir/reference_signals.cpp.o" "gcc" "src/phy/CMakeFiles/mmr_phy.dir/reference_signals.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmr_dsp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

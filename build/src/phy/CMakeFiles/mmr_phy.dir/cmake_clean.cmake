@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmr_phy.dir/estimator.cpp.o"
+  "CMakeFiles/mmr_phy.dir/estimator.cpp.o.d"
+  "CMakeFiles/mmr_phy.dir/link_budget.cpp.o"
+  "CMakeFiles/mmr_phy.dir/link_budget.cpp.o.d"
+  "CMakeFiles/mmr_phy.dir/mcs.cpp.o"
+  "CMakeFiles/mmr_phy.dir/mcs.cpp.o.d"
+  "CMakeFiles/mmr_phy.dir/numerology.cpp.o"
+  "CMakeFiles/mmr_phy.dir/numerology.cpp.o.d"
+  "CMakeFiles/mmr_phy.dir/ofdm.cpp.o"
+  "CMakeFiles/mmr_phy.dir/ofdm.cpp.o.d"
+  "CMakeFiles/mmr_phy.dir/qam.cpp.o"
+  "CMakeFiles/mmr_phy.dir/qam.cpp.o.d"
+  "CMakeFiles/mmr_phy.dir/reference_signals.cpp.o"
+  "CMakeFiles/mmr_phy.dir/reference_signals.cpp.o.d"
+  "libmmr_phy.a"
+  "libmmr_phy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmr_phy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/array_tests.dir/array/codebook_test.cpp.o"
+  "CMakeFiles/array_tests.dir/array/codebook_test.cpp.o.d"
+  "CMakeFiles/array_tests.dir/array/delay_array_test.cpp.o"
+  "CMakeFiles/array_tests.dir/array/delay_array_test.cpp.o.d"
+  "CMakeFiles/array_tests.dir/array/geometry_test.cpp.o"
+  "CMakeFiles/array_tests.dir/array/geometry_test.cpp.o.d"
+  "CMakeFiles/array_tests.dir/array/pattern_test.cpp.o"
+  "CMakeFiles/array_tests.dir/array/pattern_test.cpp.o.d"
+  "CMakeFiles/array_tests.dir/array/weights_test.cpp.o"
+  "CMakeFiles/array_tests.dir/array/weights_test.cpp.o.d"
+  "array_tests"
+  "array_tests.pdb"
+  "array_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/array_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/channel_tests.dir/channel/blockage_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/blockage_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/environment_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/environment_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/geometry2d_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/geometry2d_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/irs_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/irs_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/mobility_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/mobility_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/pathloss_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/pathloss_test.cpp.o.d"
+  "CMakeFiles/channel_tests.dir/channel/wideband_test.cpp.o"
+  "CMakeFiles/channel_tests.dir/channel/wideband_test.cpp.o.d"
+  "channel_tests"
+  "channel_tests.pdb"
+  "channel_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/channel_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

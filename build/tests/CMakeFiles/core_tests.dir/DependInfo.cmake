@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/beam_training_test.cpp" "tests/CMakeFiles/core_tests.dir/core/beam_training_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/beam_training_test.cpp.o.d"
+  "/root/repo/tests/core/delay_multibeam_test.cpp" "tests/CMakeFiles/core_tests.dir/core/delay_multibeam_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/delay_multibeam_test.cpp.o.d"
+  "/root/repo/tests/core/hierarchical_training_test.cpp" "tests/CMakeFiles/core_tests.dir/core/hierarchical_training_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/hierarchical_training_test.cpp.o.d"
+  "/root/repo/tests/core/metrics_test.cpp" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "/root/repo/tests/core/multi_user_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multi_user_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multi_user_test.cpp.o.d"
+  "/root/repo/tests/core/multibeam_test.cpp" "tests/CMakeFiles/core_tests.dir/core/multibeam_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/multibeam_test.cpp.o.d"
+  "/root/repo/tests/core/probing_test.cpp" "tests/CMakeFiles/core_tests.dir/core/probing_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/probing_test.cpp.o.d"
+  "/root/repo/tests/core/superres_test.cpp" "tests/CMakeFiles/core_tests.dir/core/superres_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/superres_test.cpp.o.d"
+  "/root/repo/tests/core/tracking_test.cpp" "tests/CMakeFiles/core_tests.dir/core/tracking_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/tracking_test.cpp.o.d"
+  "/root/repo/tests/core/ue_session_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ue_session_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ue_session_test.cpp.o.d"
+  "/root/repo/tests/core/ue_test.cpp" "tests/CMakeFiles/core_tests.dir/core/ue_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/ue_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/mmr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/mmr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/mmr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/channel/CMakeFiles/mmr_channel.dir/DependInfo.cmake"
+  "/root/repo/build/src/phy/CMakeFiles/mmr_phy.dir/DependInfo.cmake"
+  "/root/repo/build/src/array/CMakeFiles/mmr_array.dir/DependInfo.cmake"
+  "/root/repo/build/src/dsp/CMakeFiles/mmr_dsp.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/mmr_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

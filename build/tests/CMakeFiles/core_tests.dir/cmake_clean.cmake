@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/beam_training_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/beam_training_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/delay_multibeam_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/delay_multibeam_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/hierarchical_training_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/hierarchical_training_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/metrics_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multi_user_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multi_user_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/multibeam_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/multibeam_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/probing_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/probing_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/superres_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/superres_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/tracking_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/tracking_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ue_session_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ue_session_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/ue_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/ue_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phy_tests.dir/phy/estimator_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/estimator_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/link_budget_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/link_budget_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/mcs_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/mcs_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/numerology_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/numerology_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/ofdm_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/ofdm_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/qam_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/qam_test.cpp.o.d"
+  "CMakeFiles/phy_tests.dir/phy/reference_signals_test.cpp.o"
+  "CMakeFiles/phy_tests.dir/phy/reference_signals_test.cpp.o.d"
+  "phy_tests"
+  "phy_tests.pdb"
+  "phy_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phy_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
