@@ -22,6 +22,8 @@
 #include "phy/estimator.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
+#include "sim/sweep.h"
+#include "sweep_cli.h"
 
 using namespace mmr;
 
@@ -37,9 +39,10 @@ std::vector<channel::Path> rotated(const std::vector<channel::Path>& paths,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_sweep_cli(argc, argv);
   sim::ScenarioConfig cfg;
-  cfg.seed = 11;
+  cfg.seed = opts.seed > 0 ? opts.seed : 11;
   // Controlled 2-path channel for the tracking micro-benchmarks: the
   // paper rotates its array on a precision gantry against a LOS path and
   // one 30-degree reflection; angular separation and a few ns of excess
@@ -137,16 +140,29 @@ int main() {
 
   std::printf("\n=== Fig. 17c: throughput under 1.5 m/s translation ===\n");
   {
-    Table t({"scheme", "mean tput (Mbps)", "min tput (Mbps)",
-             "end-of-run tput (Mbps)"});
     struct Variant {
       const char* name;
       bool tracking;
       bool cc;
     };
-    for (const Variant v : {Variant{"no tracking", false, false},
-                            Variant{"tracking only", true, false},
-                            Variant{"tracking + CC", true, true}}) {
+    const std::vector<Variant> variants = {{"no tracking", false, false},
+                                           {"tracking only", true, false},
+                                           {"tracking + CC", true, true}};
+    struct VariantOut {
+      core::LinkSummary summary;
+      double min_tput = 1e18, end_tput = 0.0;
+    };
+    // One sweep trial per ablation variant; all three share the fixed
+    // scenario seed, so --jobs only changes wall-clock, never the table.
+    sim::SweepConfig sc;
+    sc.num_trials = variants.size();
+    sc.jobs = opts.jobs;
+    sc.base_seed = cfg.seed;
+    sim::SweepRunner sweep(sc);
+    std::vector<std::string> labels(sc.num_trials);
+    const auto trials = sweep.run([&](sim::TrialContext& ctx) {
+      const Variant v = variants[ctx.index];
+      labels[ctx.index] = v.name;
       sim::LinkWorld w = sim::make_indoor_world(cfg, {0.0, -1.5});
       core::MaintenanceConfig mc;
       mc.max_beams = 2;
@@ -158,19 +174,36 @@ int main() {
           w.config().tx_ula, sim::sector_codebook(w.config().tx_ula), mc);
       sim::RunConfig rc;
       const auto r = sim::run_experiment(w, ablated, rc);
-      double min_tput = 1e18, end_tput = 0.0;
+      VariantOut out;
+      out.summary = r.summary;
       for (const auto& s : r.samples) {
-        if (s.t_s > 0.1) min_tput = std::min(min_tput, s.throughput_bps);
-        if (s.t_s > 0.9) end_tput = std::max(end_tput, s.throughput_bps);
+        if (s.t_s > 0.1) out.min_tput = std::min(out.min_tput, s.throughput_bps);
+        if (s.t_s > 0.9) out.end_tput = std::max(out.end_tput, s.throughput_bps);
       }
-      t.add_row({v.name, Table::num(r.summary.mean_throughput_bps / 1e6, 0),
-                 Table::num(min_tput / 1e6, 0),
-                 Table::num(end_tput / 1e6, 0)});
+      return out;
+    });
+
+    Table t({"scheme", "mean tput (Mbps)", "min tput (Mbps)",
+             "end-of-run tput (Mbps)"});
+    for (std::size_t i = 0; i < variants.size(); ++i) {
+      const VariantOut& out = trials[i].value;
+      t.add_row({variants[i].name,
+                 Table::num(out.summary.mean_throughput_bps / 1e6, 0),
+                 Table::num(out.min_tput / 1e6, 0),
+                 Table::num(out.end_tput / 1e6, 0)});
     }
     t.print(std::cout);
     std::printf("paper shape: without tracking throughput collapses by the "
                 "end of the run; tracking+CC holds it; dropping CC costs "
                 "on the order of 100 Mbps.\n");
+
+    std::vector<sim::SweepTrial<core::LinkSummary>> summaries(trials.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      summaries[i] = {trials[i].index, trials[i].wall_s, trials[i].cpu_s,
+                      trials[i].value.summary};
+    }
+    sim::write_sweep_json(std::cout, "fig17c_tracking_ablation", summaries,
+                          sweep.timing(), labels);
   }
   return 0;
 }

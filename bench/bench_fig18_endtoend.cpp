@@ -4,6 +4,12 @@
 //  (b) mobile links with blockage: reliability distribution (paper:
 //      mmReliable ~1.0 median, reactive 0.65, widebeam 0.5).
 //  (c) throughput-reliability product (paper: 2.3x over reactive).
+//
+// Both campaigns run on the deterministic sweep engine: pass --jobs N to
+// fan trials across threads (output is bit-identical to --jobs 1),
+// --trials N to scale the per-scheme mobile-run count. Each bench section
+// ends with a JSON line carrying per-trial wall-clock and the
+// serial-equivalent speedup.
 #include <cstdio>
 #include <functional>
 #include <iostream>
@@ -13,6 +19,8 @@
 #include "common/table.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
+#include "sim/sweep.h"
+#include "sweep_cli.h"
 
 using namespace mmr;
 
@@ -60,72 +68,112 @@ sim::ScenarioConfig base_cfg(std::uint64_t seed) {
 
 }  // namespace
 
-int main() {
-  std::printf("=== Fig. 18a: static link with 0/1/2 blockers ===\n");
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_sweep_cli(argc, argv);
+  const std::size_t runs = opts.trials > 0 ? opts.trials : 20;
+  const std::uint64_t seed = opts.seed > 0 ? opts.seed : 100;
+  const auto all = schemes();
+  const std::size_t jobs =
+      opts.jobs == 0 ? ThreadPool::hardware_jobs() : opts.jobs;
+
+  std::printf("=== Fig. 18a: static link with 0/1/2 blockers (jobs=%zu) "
+              "===\n", jobs);
   {
+    // One trial per (scheme, blocker count); all share the seed-31 room.
+    sim::SweepConfig sc;
+    sc.num_trials = all.size() * 3;
+    sc.jobs = opts.jobs;
+    sc.base_seed = 31;
+    sim::SweepRunner sweep(sc);
+    std::vector<std::string> labels(sc.num_trials);
+    const auto trials = sweep.run([&](sim::TrialContext& ctx) {
+      const std::size_t scheme_idx = ctx.index / 3;
+      const int nb = static_cast<int>(ctx.index % 3);
+      const auto c = base_cfg(31);
+      sim::LinkWorld world = sim::make_indoor_world(c);
+      if (nb >= 1) {
+        world.add_blocker(
+            sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.4, 1.0, 30.0));
+      }
+      if (nb >= 2) {
+        world.add_blocker(
+            sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.75, 1.2, 30.0));
+      }
+      auto ctrl = all[scheme_idx].make(world, c);
+      labels[ctx.index] =
+          std::string(all[scheme_idx].name) + "/" + std::to_string(nb) + "b";
+      return sim::run_experiment(world, *ctrl).summary;
+    });
+
     Table t({"scheme", "0 blockers (Mbps)", "1 blocker (Mbps)",
              "2 blockers (Mbps)", "drop w/ 2 (%)"});
-    for (const Scheme& s : schemes()) {
+    for (std::size_t s = 0; s < all.size(); ++s) {
       RVec tput;
       for (int nb = 0; nb <= 2; ++nb) {
-        const auto c = base_cfg(31);
-        sim::LinkWorld world = sim::make_indoor_world(c);
-        if (nb >= 1) {
-          world.add_blocker(
-              sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.4, 1.0, 30.0));
-        }
-        if (nb >= 2) {
-          world.add_blocker(
-              sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.75, 1.2, 30.0));
-        }
-        auto ctrl = s.make(world, c);
-        sim::RunConfig rc;
-        const auto r = sim::run_experiment(world, *ctrl, rc);
-        tput.push_back(r.summary.mean_throughput_bps / 1e6);
+        tput.push_back(trials[s * 3 + nb].value.mean_throughput_bps / 1e6);
       }
-      t.add_row({s.name, Table::num(tput[0], 0), Table::num(tput[1], 0),
+      t.add_row({all[s].name, Table::num(tput[0], 0), Table::num(tput[1], 0),
                  Table::num(tput[2], 0),
                  Table::num(100.0 * (1.0 - tput[2] / tput[0]), 1)});
     }
     t.print(std::cout);
     std::printf("paper shape: mmReliable loses only a few %% with two "
                 "blockers; single-beam baselines lose far more.\n");
+    sim::write_sweep_json(std::cout, "fig18a_static_blockers", trials,
+                          sweep.timing(), labels);
   }
 
-  std::printf("\n=== Fig. 18b/c: mobile links with blockage (%d runs each) "
-              "===\n", 20);
+  std::printf("\n=== Fig. 18b/c: mobile links with blockage (%zu runs per "
+              "scheme, jobs=%zu) ===\n", runs, jobs);
   {
+    // One trial per (scheme, run). All schemes face the SAME world
+    // realization for a given run: every random draw comes from the
+    // run-indexed fork of the base seed, never from the trial index, so
+    // the comparison stays paired and the sweep stays deterministic.
+    sim::SweepConfig sc;
+    sc.num_trials = all.size() * runs;
+    sc.jobs = opts.jobs;
+    sc.base_seed = seed;
+    sim::SweepRunner sweep(sc);
+    std::vector<std::string> labels(sc.num_trials);
+    const auto trials = sweep.run([&](sim::TrialContext& ctx) {
+      const std::size_t scheme_idx = ctx.index / runs;
+      const std::size_t run = ctx.index % runs;
+      auto c = base_cfg(Rng::derive_stream_seed(seed, run));
+      // Per-run randomized motion + one or two crossing blockers
+      // (paper: blockage 100-500 ms during each 1 s mobile run).
+      Rng rng = Rng(seed).fork(run);
+      const double vy = rng.uniform(-1.5, -0.4);
+      sim::LinkWorld world = sim::make_indoor_world(c, {0.0, vy});
+      world.add_blocker(sim::crossing_blocker(
+          {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.3, 0.55),
+          rng.uniform(1.0, 2.5), 30.0));
+      if (rng.bernoulli(0.4)) {
+        world.add_blocker(sim::crossing_blocker(
+            {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.65, 0.85),
+            rng.uniform(1.5, 3.0), 30.0));
+      }
+      auto ctrl = all[scheme_idx].make(world, c);
+      labels[ctx.index] =
+          std::string(all[scheme_idx].name) + "/run" + std::to_string(run);
+      return sim::run_experiment(world, *ctrl).summary;
+    });
+
     Table t({"scheme", "reliability p25", "median", "p75",
              "mean tput (Mbps)", "T x R product (Mbps)"});
     double mmr_trp = 0.0, reactive_trp = 0.0;
-    for (const Scheme& s : schemes()) {
+    for (std::size_t s = 0; s < all.size(); ++s) {
       RVec rel, tput, trp;
-      for (int run = 0; run < 20; ++run) {
-        auto c = base_cfg(100 + run);
-        // Per-run randomized motion + one or two crossing blockers
-        // (paper: blockage 100-500 ms during each 1 s mobile run).
-        Rng rng(500 + run);
-        const double vy = rng.uniform(-1.5, -0.4);
-        sim::LinkWorld world = sim::make_indoor_world(c, {0.0, vy});
-        world.add_blocker(sim::crossing_blocker(
-            {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.3, 0.55),
-            rng.uniform(1.0, 2.5), 30.0));
-        if (rng.bernoulli(0.4)) {
-          world.add_blocker(sim::crossing_blocker(
-              {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.65, 0.85),
-              rng.uniform(1.5, 3.0), 30.0));
-        }
-        auto ctrl = s.make(world, c);
-        sim::RunConfig rc;
-        const auto r = sim::run_experiment(world, *ctrl, rc);
-        rel.push_back(r.summary.reliability);
-        tput.push_back(r.summary.mean_throughput_bps / 1e6);
-        trp.push_back(r.summary.throughput_reliability_product / 1e6);
+      for (std::size_t run = 0; run < runs; ++run) {
+        const auto& summary = trials[s * runs + run].value;
+        rel.push_back(summary.reliability);
+        tput.push_back(summary.mean_throughput_bps / 1e6);
+        trp.push_back(summary.throughput_reliability_product / 1e6);
       }
       const double trp_mean = mean(trp);
-      if (std::string(s.name) == "mmReliable") mmr_trp = trp_mean;
-      if (std::string(s.name) == "reactive") reactive_trp = trp_mean;
-      t.add_row({s.name, Table::num(percentile(rel, 25.0), 3),
+      if (std::string(all[s].name) == "mmReliable") mmr_trp = trp_mean;
+      if (std::string(all[s].name) == "reactive") reactive_trp = trp_mean;
+      t.add_row({all[s].name, Table::num(percentile(rel, 25.0), 3),
                  Table::num(median(rel), 3),
                  Table::num(percentile(rel, 75.0), 3),
                  Table::num(mean(tput), 0), Table::num(trp_mean, 0)});
@@ -135,6 +183,12 @@ int main() {
                 "%.2fx (paper: 2.3x)\n", mmr_trp / reactive_trp);
     std::printf("paper shape: mmReliable reliability near 1.0 and the "
                 "highest T x R product; reactive and widebeam trail.\n");
+    std::printf("sweep wall-clock %.2f s vs %.2f s serial-equivalent: "
+                "%.2fx speedup with %zu jobs\n", sweep.timing().wall_s,
+                sweep.timing().serial_equivalent_s,
+                sweep.timing().speedup(), sweep.jobs());
+    sim::write_sweep_json(std::cout, "fig18bc_mobile_blockage", trials,
+                          sweep.timing(), labels);
   }
   return 0;
 }

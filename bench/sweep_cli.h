@@ -1,0 +1,56 @@
+// Shared command-line handling for the sweep-engine benches.
+//
+// Every ported figure bench accepts:
+//   --jobs N     worker threads for the Monte-Carlo sweep (0 = all
+//                hardware threads; default 1 = serial). Parallel output is
+//                bit-identical to serial for the same seed.
+//   --trials N   scale the per-scheme trial count where the bench sweeps
+//                seeds (0 = keep the bench's default).
+//   --seed S     override the sweep's base seed.
+// and ends its report with one JSON line (sweep timing, per-trial
+// wall-clock and LinkSummary values, aggregate) for machine consumption.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace mmr::bench {
+
+struct SweepCliOptions {
+  std::size_t jobs = 1;
+  std::size_t trials = 0;  ///< 0 = bench default
+  std::uint64_t seed = 0;  ///< 0 = bench default
+};
+
+inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
+  SweepCliOptions opts;
+  auto value_of = [&](int& i, const char* flag) -> const char* {
+    const std::size_t flag_len = std::strlen(flag);
+    if (std::strncmp(argv[i], flag, flag_len) == 0) {
+      if (argv[i][flag_len] == '=') return argv[i] + flag_len + 1;
+      if (argv[i][flag_len] == '\0' && i + 1 < argc) return argv[++i];
+    }
+    return nullptr;
+  };
+  for (int i = 1; i < argc; ++i) {
+    if (const char* v = value_of(i, "--jobs")) {
+      opts.jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    } else if (const char* v2 = value_of(i, "--trials")) {
+      opts.trials = static_cast<std::size_t>(std::strtoull(v2, nullptr, 10));
+    } else if (const char* v3 = value_of(i, "--seed")) {
+      opts.seed = std::strtoull(v3, nullptr, 10);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--jobs N] [--trials N] [--seed S]\n"
+                   "unknown argument: %s\n",
+                   argv[0], argv[i]);
+      std::exit(2);
+    }
+  }
+  return opts;
+}
+
+}  // namespace mmr::bench

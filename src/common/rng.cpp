@@ -23,7 +23,7 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 
 }  // namespace
 
-Rng::Rng(std::uint64_t seed) {
+Rng::Rng(std::uint64_t seed) : seed_(seed) {
   std::uint64_t sm = seed;
   for (auto& word : s_) word = splitmix64(sm);
 }
@@ -92,5 +92,21 @@ double Rng::exponential(double mean) {
 }
 
 Rng Rng::fork() { return Rng(next_u64()); }
+
+Rng Rng::fork(std::uint64_t stream_id) const {
+  return Rng(derive_stream_seed(seed_, stream_id));
+}
+
+std::uint64_t Rng::derive_stream_seed(std::uint64_t base_seed,
+                                      std::uint64_t stream_id) {
+  // Two splitmix64 rounds decorrelate adjacent stream ids; mixing the
+  // hashed base seed into the stream counter keeps streams of different
+  // base seeds disjoint (base 1 / stream 2 != base 2 / stream 1).
+  std::uint64_t sm = base_seed;
+  const std::uint64_t base_hash = splitmix64(sm);
+  sm = base_hash ^ (stream_id + 0x6A09E667F3BCC909ull);
+  (void)splitmix64(sm);
+  return splitmix64(sm);
+}
 
 }  // namespace mmr

@@ -44,9 +44,25 @@ class Rng {
   double exponential(double mean);
 
   /// Fork an independent stream (e.g. one per experiment repetition).
+  /// Mutates this generator: consecutive calls return different streams.
   Rng fork();
 
+  /// Fork the sub-stream `stream_id` of this generator's seed. Pure: the
+  /// result depends only on (construction seed, stream_id), never on how
+  /// many draws or forks happened in between, so parallel Monte-Carlo
+  /// trials get identical streams regardless of scheduling or call order.
+  Rng fork(std::uint64_t stream_id) const;
+
+  /// Seed of the independent sub-stream `stream_id` under `base_seed`
+  /// (splitmix64-based mixing; what fork(stream_id) seeds its child with).
+  static std::uint64_t derive_stream_seed(std::uint64_t base_seed,
+                                          std::uint64_t stream_id);
+
+  /// The seed this generator was constructed with.
+  std::uint64_t seed() const { return seed_; }
+
  private:
+  std::uint64_t seed_;
   std::uint64_t s_[4];
   double cached_normal_ = 0.0;
   bool has_cached_normal_ = false;

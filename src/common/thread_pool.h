@@ -1,0 +1,79 @@
+// Work-stealing thread pool for trial-level parallelism.
+//
+// Each worker owns a deque: it pops its own work LIFO (cache-warm) and
+// steals FIFO from siblings when idle, so uneven trial durations balance
+// without a central bottleneck. The pool makes no ordering promises --
+// determinism is the caller's job (see sim::SweepRunner, which gives every
+// trial an independent seed-derived Rng stream and writes results into
+// index-addressed slots).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <type_traits>
+#include <vector>
+
+namespace mmr {
+
+class ThreadPool {
+ public:
+  /// Spawn `num_threads` workers; 0 means hardware_jobs().
+  explicit ThreadPool(std::size_t num_threads = 0);
+
+  /// Drains every queued task, then joins the workers. Work submitted
+  /// before destruction is guaranteed to run.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Submit a nullary callable; the future carries its result or its
+  /// exception.
+  template <typename F>
+  auto submit(F&& f) -> std::future<std::invoke_result_t<std::decay_t<F>>> {
+    using R = std::invoke_result_t<std::decay_t<F>>;
+    auto task = std::make_shared<std::packaged_task<R()>>(std::forward<F>(f));
+    std::future<R> future = task->get_future();
+    enqueue([task] { (*task)(); });
+    return future;
+  }
+
+  /// Run body(i) for every i in [0, n) across the pool and block until all
+  /// complete. If any invocation throws, the exception from the lowest
+  /// index is rethrown (the remaining iterations still run). Must be
+  /// called from outside the pool's own workers.
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
+
+  /// Hardware concurrency, clamped to at least 1.
+  static std::size_t hardware_jobs();
+
+ private:
+  struct WorkerQueue {
+    std::mutex mutex;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void enqueue(std::function<void()> task);
+  bool try_pop(std::size_t worker, std::function<void()>& task);
+  void worker_loop(std::size_t worker);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+  std::atomic<std::size_t> next_queue_{0};
+  std::atomic<std::size_t> pending_{0};
+  std::mutex wake_mutex_;
+  std::condition_variable wake_;
+  bool stop_ = false;  // guarded by wake_mutex_
+};
+
+}  // namespace mmr

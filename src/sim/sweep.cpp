@@ -1,0 +1,126 @@
+#include "sim/sweep.h"
+
+#include <algorithm>
+#include <chrono>
+
+#ifdef __unix__
+#include <time.h>
+#endif
+
+#include "common/error.h"
+#include "common/stats.h"
+
+namespace mmr::sim {
+
+double thread_cpu_now_s() {
+#ifdef __unix__
+  timespec ts;
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) + 1e-9 * ts.tv_nsec;
+  }
+#endif
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+SweepRunner::SweepRunner(SweepConfig config) : config_(config) {
+  MMR_EXPECTS(config_.num_trials > 0);
+  jobs_ = config_.jobs == 0 ? ThreadPool::hardware_jobs() : config_.jobs;
+}
+
+SweepSummary summarize_sweep(
+    std::span<const SweepTrial<core::LinkSummary>> trials) {
+  MMR_EXPECTS(!trials.empty());
+  SweepSummary out;
+  out.num_trials = trials.size();
+  RVec rel, outage, tput, trp;
+  rel.reserve(trials.size());
+  outage.reserve(trials.size());
+  tput.reserve(trials.size());
+  trp.reserve(trials.size());
+  for (const auto& trial : trials) {
+    rel.push_back(trial.value.reliability);
+    outage.push_back(1.0 - trial.value.reliability);
+    tput.push_back(trial.value.mean_throughput_bps);
+    trp.push_back(trial.value.throughput_reliability_product);
+  }
+  out.mean_reliability = mean(rel);
+  out.median_reliability = median(rel);
+  out.p25_reliability = percentile(rel, 25.0);
+  out.p75_reliability = percentile(rel, 75.0);
+  out.median_outage = median(outage);
+  out.mean_throughput_bps = mean(tput);
+  out.median_throughput_bps = median(tput);
+  out.mean_trp_bps = mean(trp);
+  out.median_trp_bps = median(trp);
+  return out;
+}
+
+namespace {
+
+void json_kv(std::ostream& os, const char* key, double value,
+             bool trailing_comma = true) {
+  os << "\"" << key << "\": " << value;
+  if (trailing_comma) os << ", ";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+void write_sweep_json(std::ostream& os, const std::string& bench_name,
+                      std::span<const SweepTrial<core::LinkSummary>> trials,
+                      const SweepTiming& timing,
+                      std::span<const std::string> labels) {
+  MMR_EXPECTS(labels.empty() || labels.size() == trials.size());
+  const auto flags = os.flags();
+  const auto precision = os.precision();
+  os.precision(10);
+  os << "{\"bench\": \"" << json_escape(bench_name) << "\", ";
+  os << "\"jobs\": " << timing.jobs << ", ";
+  json_kv(os, "wall_s", timing.wall_s);
+  json_kv(os, "serial_equivalent_s", timing.serial_equivalent_s);
+  json_kv(os, "speedup", timing.speedup());
+  os << "\"trials\": [";
+  for (std::size_t i = 0; i < trials.size(); ++i) {
+    const auto& trial = trials[i];
+    if (i > 0) os << ", ";
+    os << "{\"index\": " << trial.index << ", ";
+    if (!labels.empty()) {
+      os << "\"label\": \"" << json_escape(labels[i]) << "\", ";
+    }
+    json_kv(os, "wall_s", trial.wall_s);
+    json_kv(os, "cpu_s", trial.cpu_s);
+    json_kv(os, "reliability", trial.value.reliability);
+    json_kv(os, "mean_throughput_bps", trial.value.mean_throughput_bps);
+    json_kv(os, "trp_bps", trial.value.throughput_reliability_product,
+            /*trailing_comma=*/false);
+    os << "}";
+  }
+  os << "], ";
+  const SweepSummary agg = summarize_sweep(trials);
+  os << "\"aggregate\": {";
+  json_kv(os, "mean_reliability", agg.mean_reliability);
+  json_kv(os, "median_reliability", agg.median_reliability);
+  json_kv(os, "p25_reliability", agg.p25_reliability);
+  json_kv(os, "p75_reliability", agg.p75_reliability);
+  json_kv(os, "median_outage", agg.median_outage);
+  json_kv(os, "mean_throughput_bps", agg.mean_throughput_bps);
+  json_kv(os, "median_throughput_bps", agg.median_throughput_bps);
+  json_kv(os, "mean_trp_bps", agg.mean_trp_bps);
+  json_kv(os, "median_trp_bps", agg.median_trp_bps, /*trailing_comma=*/false);
+  os << "}}\n";
+  os.flags(flags);
+  os.precision(precision);
+}
+
+}  // namespace mmr::sim
