@@ -5,10 +5,16 @@
 //    stored single-beam weights (fast enough for the FPGA path).
 #include <benchmark/benchmark.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "array/codebook.h"
+#include "array/pattern.h"
+#include "array/pattern_cache.h"
 #include "channel/wideband.h"
 #include "common/angles.h"
 #include "common/rng.h"
+#include "common/units.h"
 #include "core/multibeam.h"
 #include "core/probing.h"
 #include "core/superres.h"
@@ -113,5 +119,141 @@ void BM_CodebookConstruction(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CodebookConstruction);
+
+// ---------------------------------------------------------------------------
+// Kernel before/after benchmarks. The *_Scalar variants inline the
+// pre-kernel implementation shapes (per-angle steering-vector temporary +
+// materialized dot); the *_Batched / *_Fused / *_Cached variants are the
+// production paths. Every variant reports items_per_second via
+// SetItemsProcessed (one item = one evaluated angle), so the before/after
+// throughput ratio is read directly off --benchmark_format=json.
+// ---------------------------------------------------------------------------
+
+CVec scalar_steering(const array::Ula& ula, double phi_rad) {
+  CVec a(ula.num_elements);
+  const double k = 2.0 * kPi * ula.spacing_wavelengths * std::sin(phi_rad);
+  for (std::size_t n = 0; n < ula.num_elements; ++n) {
+    const double ang = -k * static_cast<double>(n);
+    a[n] = cplx(std::cos(ang), std::sin(ang));
+  }
+  return a;
+}
+
+RVec bench_angle_grid(std::size_t points) {
+  RVec phis(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    phis[i] = deg_to_rad(-60.0) +
+              deg_to_rad(120.0) * static_cast<double>(i) /
+                  static_cast<double>(points - 1);
+  }
+  return phis;
+}
+
+void BM_SteeringVectorGrid_Scalar(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  const RVec phis = bench_angle_grid(181);
+  for (auto _ : state) {
+    for (double phi : phis) {
+      CVec a = scalar_steering(ula, phi);
+      benchmark::DoNotOptimize(a.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(phis.size()));
+}
+BENCHMARK(BM_SteeringVectorGrid_Scalar);
+
+void BM_SteeringVectorGrid_Batched(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  const RVec phis = bench_angle_grid(181);
+  for (auto _ : state) {
+    dsp::CplxBatch batch = array::steering_vector_batch(ula, phis);
+    benchmark::DoNotOptimize(batch.row_re(0));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(phis.size()));
+}
+BENCHMARK(BM_SteeringVectorGrid_Batched);
+
+void BM_SingleBeamWeights_Scalar(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  const RVec phis = bench_angle_grid(64);
+  for (auto _ : state) {
+    for (double phi : phis) {
+      CVec w = array::single_beam_weights(ula, phi);
+      benchmark::DoNotOptimize(w.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(phis.size()));
+}
+BENCHMARK(BM_SingleBeamWeights_Scalar);
+
+void BM_SingleBeamWeights_Cached(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  const RVec phis = bench_angle_grid(64);
+  array::PatternCache& cache = array::PatternCache::instance();
+  for (auto _ : state) {
+    for (double phi : phis) {
+      auto w = cache.beam_weights(ula, phi);
+      benchmark::DoNotOptimize(w->data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(phis.size()));
+}
+BENCHMARK(BM_SingleBeamWeights_Cached);
+
+void BM_PatternCut_Scalar(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  const CVec w = array::single_beam_weights(ula, 0.0);
+  constexpr std::size_t kPoints = 181;
+  for (auto _ : state) {
+    // Pre-kernel pattern_cut shape: per-angle steering temporary +
+    // materialized dot + dB conversion.
+    array::PatternCut cut;
+    cut.angle_rad = bench_angle_grid(kPoints);
+    cut.gain_db.resize(kPoints);
+    for (std::size_t i = 0; i < kPoints; ++i) {
+      const CVec a = scalar_steering(ula, cut.angle_rad[i]);
+      cplx af{};
+      for (std::size_t n = 0; n < a.size(); ++n) af += a[n] * w[n];
+      cut.gain_db[i] = to_db(std::norm(af));
+    }
+    benchmark::DoNotOptimize(cut.gain_db.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPoints));
+}
+BENCHMARK(BM_PatternCut_Scalar);
+
+void BM_PatternCut_Fused(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  const CVec w = array::single_beam_weights(ula, 0.0);
+  constexpr std::size_t kPoints = 181;
+  for (auto _ : state) {
+    array::PatternCut cut = array::pattern_cut(
+        ula, w, deg_to_rad(-60.0), deg_to_rad(60.0), kPoints);
+    benchmark::DoNotOptimize(cut.gain_db.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPoints));
+}
+BENCHMARK(BM_PatternCut_Fused);
+
+void BM_PatternCut_Cached(benchmark::State& state) {
+  const array::Ula ula{64, 0.5};
+  const CVec w = array::single_beam_weights(ula, 0.0);
+  constexpr std::size_t kPoints = 181;
+  array::PatternCache& cache = array::PatternCache::instance();
+  for (auto _ : state) {
+    auto cut = cache.cut(ula, w, deg_to_rad(-60.0), deg_to_rad(60.0),
+                         kPoints);
+    benchmark::DoNotOptimize(cut->gain_db.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kPoints));
+}
+BENCHMARK(BM_PatternCut_Cached);
 
 }  // namespace

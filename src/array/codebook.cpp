@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "array/pattern_cache.h"
 #include "common/error.h"
 
 namespace mmr::array {
@@ -14,11 +15,12 @@ Codebook::Codebook(const Ula& ula, double lo_rad, double hi_rad,
   MMR_EXPECTS(hi_rad > lo_rad);
   angles_.resize(size);
   weights_.reserve(size);
+  PatternCache& cache = PatternCache::instance();
   for (std::size_t i = 0; i < size; ++i) {
     const double phi = lo_rad + (hi_rad - lo_rad) * static_cast<double>(i) /
                                     static_cast<double>(size - 1);
     angles_[i] = phi;
-    weights_.push_back(single_beam_weights(ula_, phi));
+    weights_.push_back(cache.beam_weights(ula_, phi));
   }
 }
 
@@ -29,7 +31,7 @@ double Codebook::angle(std::size_t idx) const {
 
 const CVec& Codebook::weights(std::size_t idx) const {
   MMR_EXPECTS(idx < weights_.size());
-  return weights_[idx];
+  return *weights_[idx];
 }
 
 std::size_t Codebook::nearest(double phi_rad) const {

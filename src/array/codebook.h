@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstddef>
+#include <memory>
 
 #include "array/geometry.h"
 #include "common/types.h"
@@ -32,7 +33,9 @@ class Codebook {
  private:
   Ula ula_;
   RVec angles_;
-  std::vector<CVec> weights_;
+  /// Shared, immutable weight vectors from the process-wide PatternCache:
+  /// every sweep worker's codebook for the same sector aliases one copy.
+  std::vector<std::shared_ptr<const CVec>> weights_;
 };
 
 }  // namespace mmr::array

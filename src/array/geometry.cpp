@@ -4,6 +4,7 @@
 
 #include "common/angles.h"
 #include "common/error.h"
+#include "dsp/kernels.h"
 
 namespace mmr::array {
 
@@ -11,11 +12,8 @@ CVec steering_vector(const Ula& ula, double phi_rad) {
   MMR_EXPECTS(ula.num_elements >= 1);
   MMR_EXPECTS(ula.spacing_wavelengths > 0.0);
   CVec a(ula.num_elements);
-  const double k = 2.0 * kPi * ula.spacing_wavelengths * std::sin(phi_rad);
-  for (std::size_t n = 0; n < ula.num_elements; ++n) {
-    const double ang = -k * static_cast<double>(n);
-    a[n] = cplx(std::cos(ang), std::sin(ang));
-  }
+  dsp::phasor_ramp(steering_phase_step(ula, phi_rad), ula.num_elements,
+                   a.data());
   return a;
 }
 

@@ -13,8 +13,10 @@
 // and the matched single-beam weight is conj(a(phi)) / sqrt(N) (Eq. 6).
 #pragma once
 
+#include <cmath>
 #include <cstddef>
 
+#include "common/angles.h"
 #include "common/types.h"
 
 namespace mmr::array {
@@ -24,6 +26,14 @@ struct Ula {
   /// Element spacing in carrier wavelengths (paper: d = lambda/2).
   double spacing_wavelengths = 0.5;
 };
+
+/// Electrical phase step between adjacent elements toward phi:
+/// 2 pi (d/lambda) sin(phi). Element n's steering phase is -step * n.
+/// Inline so the scalar and batched paths evaluate the identical
+/// expression (bit-compatibility of the dsp::kernels layer rests on it).
+inline double steering_phase_step(const Ula& ula, double phi_rad) {
+  return 2.0 * kPi * ula.spacing_wavelengths * std::sin(phi_rad);
+}
 
 /// Steering vector a(phi) at the carrier frequency; phi is the azimuth
 /// departure angle in radians, measured from broadside.

@@ -2,18 +2,20 @@
 
 #include <cmath>
 
+#include "array/pattern_cache.h"
 #include "common/angles.h"
 #include "common/error.h"
 #include "common/units.h"
+#include "dsp/kernels.h"
 
 namespace mmr::array {
 
 cplx array_factor(const Ula& ula, const CVec& weights, double phi_rad) {
   MMR_EXPECTS(weights.size() == ula.num_elements);
-  const CVec a = steering_vector(ula, phi_rad);
-  cplx acc{};
-  for (std::size_t n = 0; n < a.size(); ++n) acc += a[n] * weights[n];
-  return acc;
+  // Fused phasor dot: no steering-vector temporary; same op order as the
+  // materialized path (see dsp/kernels.h bit-compatibility contract).
+  return dsp::dot_phasor_ramp(steering_phase_step(ula, phi_rad),
+                              weights.data(), weights.size());
 }
 
 double power_gain(const Ula& ula, const CVec& weights, double phi_rad) {
@@ -26,18 +28,20 @@ double power_gain_db(const Ula& ula, const CVec& weights, double phi_rad) {
 
 PatternCut pattern_cut(const Ula& ula, const CVec& weights, double lo_rad,
                        double hi_rad, std::size_t points) {
+  // Reject degenerate grids loudly (common::error) instead of returning an
+  // empty or NaN-filled cut: points < 2 cannot span an interval, reversed
+  // or non-finite bounds would silently poison every downstream figure.
   MMR_EXPECTS(points >= 2);
+  MMR_EXPECTS(std::isfinite(lo_rad) && std::isfinite(hi_rad));
   MMR_EXPECTS(hi_rad > lo_rad);
+  MMR_EXPECTS(weights.size() == ula.num_elements);
   PatternCut cut;
   cut.angle_rad.resize(points);
-  cut.gain_db.resize(points);
   for (std::size_t i = 0; i < points; ++i) {
-    const double phi =
-        lo_rad + (hi_rad - lo_rad) * static_cast<double>(i) /
-                     static_cast<double>(points - 1);
-    cut.angle_rad[i] = phi;
-    cut.gain_db[i] = power_gain_db(ula, weights, phi);
+    cut.angle_rad[i] = lo_rad + (hi_rad - lo_rad) * static_cast<double>(i) /
+                                    static_cast<double>(points - 1);
   }
+  cut.gain_db = power_gain_db_batch(ula, weights, cut.angle_rad);
   return cut;
 }
 

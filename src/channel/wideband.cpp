@@ -6,6 +6,7 @@
 #include "array/pattern.h"
 #include "common/angles.h"
 #include "common/error.h"
+#include "dsp/kernels.h"
 #include "dsp/sinc.h"
 
 namespace mmr::channel {
@@ -16,6 +17,14 @@ double min_delay(const std::vector<Path>& paths) {
   double d = paths.front().delay_s;
   for (const Path& p : paths) d = std::min(d, p.delay_s);
   return d;
+}
+
+RVec freq_grid(const WidebandSpec& spec) {
+  RVec freqs(spec.num_subcarriers);
+  for (std::size_t k = 0; k < spec.num_subcarriers; ++k) {
+    freqs[k] = spec.freq_offset(k);
+  }
+  return freqs;
 }
 
 }  // namespace
@@ -54,13 +63,13 @@ CVec effective_csi(const std::vector<Path>& paths, const array::Ula& tx_ula,
   MMR_EXPECTS(!paths.empty());
   const double t0 = min_delay(paths);
   CVec csi(spec.num_subcarriers, cplx{});
+  // Subcarrier grid computed once, shared across paths; the per-path delay
+  // rotation is the batched kernel (same op order as the scalar loop).
+  const RVec freqs = freq_grid(spec);
   for (const Path& p : paths) {
     const cplx alpha = path_amplitude(p, tx_ula, tx_weights, rx);
-    const double excess = p.delay_s - t0;
-    for (std::size_t k = 0; k < spec.num_subcarriers; ++k) {
-      const double ang = -2.0 * kPi * spec.freq_offset(k) * excess;
-      csi[k] += alpha * cplx(std::cos(ang), std::sin(ang));
-    }
+    dsp::accumulate_delay_phasors(alpha, freqs.data(), p.delay_s - t0,
+                                  csi.data(), csi.size());
   }
   return csi;
 }
@@ -72,8 +81,9 @@ CVec effective_csi_freq_weights(
   MMR_EXPECTS(!paths.empty());
   const double t0 = min_delay(paths);
   CVec csi(spec.num_subcarriers, cplx{});
+  const RVec freqs = freq_grid(spec);
   for (std::size_t k = 0; k < spec.num_subcarriers; ++k) {
-    const double f = spec.freq_offset(k);
+    const double f = freqs[k];
     const CVec w = weights_at(f);
     cplx acc{};
     for (const Path& p : paths) {
@@ -121,9 +131,11 @@ CVec per_antenna_channel(const std::vector<Path>& paths,
                          const array::Ula& tx_ula, const RxFrontend& rx) {
   CVec h(tx_ula.num_elements, cplx{});
   for (const Path& p : paths) {
-    const CVec a = array::steering_vector(tx_ula, p.aod_rad);
     const cplx g = p.effective_gain() * rx.response(p.aoa_rad);
-    for (std::size_t n = 0; n < h.size(); ++n) h[n] += g * a[n];
+    // Fused steering accumulate: h[n] += g * a(aod)[n] without the
+    // steering-vector temporary.
+    dsp::axpy_phasor_ramp(g, array::steering_phase_step(tx_ula, p.aod_rad),
+                          h.data(), h.size());
   }
   return h;
 }

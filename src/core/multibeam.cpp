@@ -2,7 +2,9 @@
 
 #include <cmath>
 
+#include "array/pattern_cache.h"
 #include "common/error.h"
+#include "dsp/kernels.h"
 
 namespace mmr::core {
 
@@ -12,11 +14,14 @@ MultiBeam synthesize_multibeam(const array::Ula& ula,
   MultiBeam mb;
   mb.components = components;
   mb.weights.assign(ula.num_elements, cplx{});
+  // The probing/tracking loops resynthesize multi-beams from the same few
+  // trained angles every tick: pull the matched single-beam weights from
+  // the shared PatternCache and scale-add them with the batched kernel.
+  array::PatternCache& cache = array::PatternCache::instance();
   for (const BeamComponent& c : components) {
-    const CVec w = array::single_beam_weights(ula, c.angle_rad);
-    for (std::size_t n = 0; n < w.size(); ++n) {
-      mb.weights[n] += c.coefficient * w[n];
-    }
+    const std::shared_ptr<const CVec> w =
+        cache.beam_weights(ula, c.angle_rad);
+    dsp::axpy(c.coefficient, w->data(), mb.weights.data(), w->size());
   }
   double norm2 = 0.0;
   for (const cplx& w : mb.weights) norm2 += std::norm(w);

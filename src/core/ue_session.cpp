@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "array/codebook.h"
+#include "array/pattern_cache.h"
 #include "array/weights.h"
 #include "common/error.h"
 #include "common/units.h"
@@ -78,8 +79,10 @@ void DirectionalUeSession::train(const JointProbeFns& link) {
   const array::Codebook ue_cb(config_.ue_ula, config_.sector_lo_rad,
                               config_.sector_hi_rad, config_.ue_codebook_size);
   ue_angles_.clear();
+  array::PatternCache& cache = array::PatternCache::instance();
   for (double gnb_angle : gnb_angles_) {
-    const CVec tx = array::single_beam_weights(config_.gnb_ula, gnb_angle);
+    const auto tx_w = cache.beam_weights(config_.gnb_ula, gnb_angle);
+    const CVec& tx = *tx_w;
     double best_p = -1.0;
     double best_angle = 0.0;
     for (std::size_t i = 0; i < ue_cb.size(); ++i) {
@@ -97,10 +100,10 @@ void DirectionalUeSession::train(const JointProbeFns& link) {
   // 3. Per-beam nominal delays for the superres dictionary.
   nominal_delays_.clear();
   for (std::size_t k = 0; k < gnb_angles_.size(); ++k) {
-    const CVec tx = array::single_beam_weights(config_.gnb_ula, gnb_angles_[k]);
-    const CVec rx = array::single_beam_weights(config_.ue_ula, ue_angles_[k]);
+    const auto tx_w = cache.beam_weights(config_.gnb_ula, gnb_angles_[k]);
+    const auto rx_w = cache.beam_weights(config_.ue_ula, ue_angles_[k]);
     ++probes_;
-    const CVec cir = link.cir(tx, rx, config_.cir_taps);
+    const CVec cir = link.cir(*tx_w, *rx_w, config_.cir_taps);
     nominal_delays_.push_back(
         estimate_peak_delay(cir, 1.0 / config_.bandwidth_hz));
   }

@@ -1,0 +1,78 @@
+#include "dsp/kernels.h"
+
+#include <cmath>
+
+#include "common/angles.h"
+
+namespace mmr::dsp {
+
+CVec CplxBatch::row(std::size_t r) const {
+  CVec out(cols_);
+  const double* re = row_re(r);
+  const double* im = row_im(r);
+  for (std::size_t c = 0; c < cols_; ++c) out[c] = cplx(re[c], im[c]);
+  return out;
+}
+
+cplx unit_phasor(double step, std::size_t i) {
+  const double ang = -step * static_cast<double>(i);
+  return cplx(std::cos(ang), std::sin(ang));
+}
+
+void phasor_ramp(double step, std::size_t n, cplx* dst) {
+  for (std::size_t i = 0; i < n; ++i) dst[i] = unit_phasor(step, i);
+}
+
+void phasor_ramp(double step, std::size_t n, double* dst_re, double* dst_im) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const double ang = -step * static_cast<double>(i);
+    dst_re[i] = std::cos(ang);
+    dst_im[i] = std::sin(ang);
+  }
+}
+
+cplx dot_phasor_ramp(double step, const cplx* w, std::size_t n) {
+  cplx acc{};
+  std::size_t i = 0;
+  // Unrolled by 4 into ONE accumulator: the additions stay in element
+  // order, so the sum rounds exactly like the scalar reference loop.
+  for (; i + 4 <= n; i += 4) {
+    acc += unit_phasor(step, i) * w[i];
+    acc += unit_phasor(step, i + 1) * w[i + 1];
+    acc += unit_phasor(step, i + 2) * w[i + 2];
+    acc += unit_phasor(step, i + 3) * w[i + 3];
+  }
+  for (; i < n; ++i) acc += unit_phasor(step, i) * w[i];
+  return acc;
+}
+
+cplx cdot(const cplx* a, const cplx* b, std::size_t n) {
+  cplx acc{};
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc += a[i] * b[i];
+    acc += a[i + 1] * b[i + 1];
+    acc += a[i + 2] * b[i + 2];
+    acc += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+void axpy(cplx alpha, const cplx* x, cplx* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void axpy_phasor_ramp(cplx alpha, double step, cplx* y, std::size_t n) {
+  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * unit_phasor(step, i);
+}
+
+void accumulate_delay_phasors(cplx alpha, const double* freqs, double delay_s,
+                              cplx* dst, std::size_t n) {
+  for (std::size_t k = 0; k < n; ++k) {
+    const double ang = -2.0 * kPi * freqs[k] * delay_s;
+    dst[k] += alpha * cplx(std::cos(ang), std::sin(ang));
+  }
+}
+
+}  // namespace mmr::dsp

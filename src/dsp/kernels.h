@@ -1,0 +1,88 @@
+// Batched complex microkernels: phasor ramps (steering-vector innards),
+// fused phasor inner products (array factors), and complex axpy — the
+// primitives every beamforming hot loop reduces to.
+//
+// Bit-compatibility contract: every kernel performs the SAME per-element
+// floating-point operations in the SAME order as the scalar loops it
+// replaces (array/geometry.cpp, array/pattern.cpp, channel/wideband.cpp
+// as of PR-1). Manual unrolling never reassociates the accumulation, so a
+// kernel result is reproducible against a naive reference to <= 1 ULP
+// (empirically bit-identical; enforced by tests/dsp/kernel_differential_test
+// over >= 1e4 randomized cases). This is what lets the PatternCache hand
+// one worker's result to every other sweep worker without perturbing the
+// golden figures.
+#pragma once
+
+#include <cstddef>
+
+#include "common/types.h"
+
+namespace mmr::dsp {
+
+/// SoA batch of `rows` complex vectors of length `cols` in ONE contiguous
+/// allocation. Row r's layout is [re x cols][im x cols], so a row's two
+/// planes are adjacent in memory and a row can be processed without
+/// touching any other row's cache lines.
+class CplxBatch {
+ public:
+  CplxBatch() = default;
+  CplxBatch(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(2 * rows * cols, 0.0) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double* row_re(std::size_t r) { return data_.data() + 2 * r * cols_; }
+  double* row_im(std::size_t r) { return row_re(r) + cols_; }
+  const double* row_re(std::size_t r) const {
+    return data_.data() + 2 * r * cols_;
+  }
+  const double* row_im(std::size_t r) const { return row_re(r) + cols_; }
+
+  cplx at(std::size_t r, std::size_t c) const {
+    return cplx(row_re(r)[c], row_im(r)[c]);
+  }
+
+  /// Materialize row r as an interleaved complex vector.
+  CVec row(std::size_t r) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  RVec data_;
+};
+
+/// Unit phasor exp(-j step i): the per-element op of a steering vector
+/// with electrical phase step `step` between adjacent elements.
+cplx unit_phasor(double step, std::size_t i);
+
+/// Fill dst[i] = exp(-j step i) for i in [0, n) (interleaved complex).
+void phasor_ramp(double step, std::size_t n, cplx* dst);
+
+/// SoA variant: dst_re[i] = cos(-step i), dst_im[i] = sin(-step i).
+void phasor_ramp(double step, std::size_t n, double* dst_re, double* dst_im);
+
+/// Fused array factor: sum_i exp(-j step i) * w[i], without materializing
+/// the phasor ramp. Sequential single-accumulator sum (unrolled by 4, no
+/// reassociation) — matches `steering_vector` + sequential dot bit for bit.
+cplx dot_phasor_ramp(double step, const cplx* w, std::size_t n);
+
+/// Unconjugated complex inner product sum_i a[i] * b[i], sequential
+/// single-accumulator order (unrolled by 4, no reassociation).
+cplx cdot(const cplx* a, const cplx* b, std::size_t n);
+
+/// y[i] += alpha * x[i] for i in [0, n).
+void axpy(cplx alpha, const cplx* x, cplx* y, std::size_t n);
+
+/// Fused steering accumulate: y[i] += alpha * exp(-j step i). Replaces
+/// "build steering vector, then scale-add" without the temporary.
+void axpy_phasor_ramp(cplx alpha, double step, cplx* y, std::size_t n);
+
+/// Per-subcarrier delay rotation accumulate (paper Eq. 26 inner loop):
+/// dst[k] += alpha * exp(j * ((-2 pi) * freqs[k]) * delay_s). The phase is
+/// evaluated as ((-2 pi) * f) * delay — the exact association order of the
+/// scalar loop it replaces in channel/wideband.cpp.
+void accumulate_delay_phasors(cplx alpha, const double* freqs, double delay_s,
+                              cplx* dst, std::size_t n);
+
+}  // namespace mmr::dsp

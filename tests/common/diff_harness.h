@@ -1,0 +1,106 @@
+// Differential-testing harness: compare a fast/batched/cached
+// implementation against a scalar reference over randomized inputs, with
+// failures reported in ULPs (units in the last place) rather than
+// absolute tolerances — the right metric for a "bit-compatible kernel"
+// claim, since it is scale-free and saturates at exactly the reordering
+// noise a kernel is allowed to introduce.
+//
+// Usage pattern (see tests/dsp/kernel_differential_test.cpp):
+//
+//   UlpAudit audit("steering batch");
+//   for (case : randomized cases from Rng::fork(i))
+//     audit.compare(batched_result, reference_result, /*max_ulp=*/1);
+//   audit.finish(kMinCases);   // fails if coverage fell short
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "common/types.h"
+
+namespace mmr::testing {
+
+/// Monotone unsigned key for a double: lexicographic bit order matching
+/// numeric order (the classic radix-sort float mapping). Adjacent
+/// representable doubles map to adjacent keys.
+inline std::uint64_t ordered_double_key(double x) {
+  std::uint64_t u = std::bit_cast<std::uint64_t>(x);
+  constexpr std::uint64_t kSign = 1ull << 63;
+  return (u & kSign) ? ~u : (u | kSign);
+}
+
+/// Distance in ULPs between two doubles. Equal values (including +0/-0)
+/// are 0; any NaN involvement saturates to uint64 max.
+inline std::uint64_t ulp_distance(double a, double b) {
+  if (a == b) return 0;
+  if (std::isnan(a) || std::isnan(b)) {
+    return std::numeric_limits<std::uint64_t>::max();
+  }
+  const std::uint64_t ka = ordered_double_key(a);
+  const std::uint64_t kb = ordered_double_key(b);
+  return ka > kb ? ka - kb : kb - ka;
+}
+
+/// Component-wise ULP distance of two complex values (max over re/im).
+inline std::uint64_t ulp_distance(const cplx& a, const cplx& b) {
+  return std::max(ulp_distance(a.real(), b.real()),
+                  ulp_distance(a.imag(), b.imag()));
+}
+
+/// Accumulates scalar comparisons across a randomized campaign: every
+/// compare() is one audited case; finish() asserts the campaign actually
+/// covered the promised number of cases and reports the worst ULP seen.
+class UlpAudit {
+ public:
+  explicit UlpAudit(std::string label) : label_(std::move(label)) {}
+
+  template <typename T>
+  void compare(const T& got, const T& ref, std::uint64_t max_ulp) {
+    const std::uint64_t d = ulp_distance(got, ref);
+    ++cases_;
+    if (d > max_ulp_seen_) max_ulp_seen_ = d;
+    if (d > max_ulp) {
+      ++failures_;
+      // Cap the spam: a broken kernel fails thousands of cases.
+      if (failures_ <= 5) {
+        ADD_FAILURE() << label_ << ": case " << cases_ << " differs by " << d
+                      << " ULP (allowed " << max_ulp << "), got " << got
+                      << " vs reference " << ref;
+      }
+    }
+  }
+
+  template <typename T>
+  void compare_vec(const std::vector<T>& got, const std::vector<T>& ref,
+                   std::uint64_t max_ulp) {
+    ASSERT_EQ(got.size(), ref.size()) << label_;
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      compare(got[i], ref[i], max_ulp);
+    }
+  }
+
+  std::uint64_t max_ulp_seen() const { return max_ulp_seen_; }
+  std::size_t cases() const { return cases_; }
+
+  /// Close the audit: the suite's coverage claim is part of the test.
+  void finish(std::size_t min_cases) const {
+    EXPECT_GE(cases_, min_cases)
+        << label_ << ": randomized campaign smaller than promised";
+    EXPECT_EQ(failures_, 0u)
+        << label_ << ": " << failures_ << " of " << cases_
+        << " cases exceeded the ULP budget (worst " << max_ulp_seen_ << ")";
+  }
+
+ private:
+  std::string label_;
+  std::size_t cases_ = 0;
+  std::size_t failures_ = 0;
+  std::uint64_t max_ulp_seen_ = 0;
+};
+
+}  // namespace mmr::testing

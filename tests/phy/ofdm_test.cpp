@@ -30,6 +30,47 @@ TEST(Ofdm, ModulateDemodulateRoundTrip) {
   }
 }
 
+TEST(Ofdm, PropertyIfftFftRoundTripAcrossSizesAndOrders) {
+  // Property: ofdm_demodulate(ofdm_modulate(grid)) reconstructs ANY
+  // subcarrier grid to numerical tolerance, for every FFT size the
+  // simulator uses and every constellation order, with each repetition on
+  // an independent Rng::fork sub-stream.
+  const Modulation kOrders[] = {Modulation::kQpsk, Modulation::kQam16,
+                                Modulation::kQam64, Modulation::kQam256};
+  const Rng base(0x0FD312EA1ull);
+  std::uint64_t stream = 0;
+  for (const std::size_t fft_size : {32u, 64u, 128u, 256u}) {
+    const OfdmConfig cfg{fft_size, fft_size / 4};
+    for (const Modulation m : kOrders) {
+      Rng rng = base.fork(stream++);
+      CVec grid(cfg.fft_size);
+      for (auto& c : grid) {
+        c = map_symbol(
+            m, static_cast<unsigned>(rng.uniform_index(constellation_size(m))));
+      }
+      const CVec tx = ofdm_modulate(cfg, grid);
+      ASSERT_EQ(tx.size(), cfg.symbol_len());
+      const CVec rx = ofdm_demodulate(cfg, tx);
+      ASSERT_EQ(rx.size(), cfg.fft_size);
+      double worst = 0.0;
+      for (std::size_t k = 0; k < grid.size(); ++k) {
+        worst = std::max(worst, std::abs(rx[k] - grid[k]));
+      }
+      EXPECT_LT(worst, 1e-9) << "fft=" << fft_size << " order="
+                             << bits_per_symbol(m);
+    }
+    // Unstructured (Gaussian) grids as well: the property must not rely on
+    // constellation symmetry.
+    Rng rng = base.fork(stream++);
+    CVec grid(cfg.fft_size);
+    for (auto& c : grid) c = rng.complex_normal();
+    const CVec rx = ofdm_demodulate(cfg, ofdm_modulate(cfg, grid));
+    for (std::size_t k = 0; k < grid.size(); ++k) {
+      EXPECT_NEAR(std::abs(rx[k] - grid[k]), 0.0, 1e-9);
+    }
+  }
+}
+
 TEST(Ofdm, SymbolLengthIncludesCp) {
   Rng rng(5);
   const CVec tx = ofdm_modulate(kCfg, random_grid(rng, kCfg.fft_size));

@@ -84,6 +84,51 @@ TEST_P(QamModTest, BitRoundTrip) {
   EXPECT_EQ(demodulate_bits(m, symbols), bits);
 }
 
+TEST_P(QamModTest, PropertyRandomBitsRoundTripOverForkedStreams) {
+  // Property: demodulate(modulate(bits)) == bits for ANY bit vector, not
+  // just one frozen frame. Each repetition draws from an independent
+  // Rng::fork sub-stream, so a failure reproduces from (seed, stream)
+  // alone.
+  const Modulation m = GetParam();
+  const Rng base(0xFADEDB175ull + bits_per_symbol(m));
+  for (std::uint64_t stream = 0; stream < 25; ++stream) {
+    Rng rng = base.fork(stream);
+    const std::size_t num_symbols = 1 + rng.uniform_index(200);
+    std::vector<std::uint8_t> bits(bits_per_symbol(m) * num_symbols);
+    for (auto& b : bits) b = rng.bernoulli(0.5) ? 1 : 0;
+    const CVec symbols = modulate_bits(m, bits);
+    ASSERT_EQ(symbols.size(), num_symbols);
+    EXPECT_EQ(demodulate_bits(m, symbols), bits) << "stream " << stream;
+  }
+}
+
+TEST_P(QamModTest, PropertyHalfMinDistancePerturbationDemapsExactly) {
+  // Property: hard-decision demap is exact for any displacement strictly
+  // inside half the minimum constellation distance (the Voronoi radius of
+  // a square QAM lattice).
+  const Modulation m = GetParam();
+  const unsigned n = constellation_size(m);
+  double dmin = 1e300;
+  for (unsigned i = 0; i < n; ++i) {
+    for (unsigned j = i + 1; j < n; ++j) {
+      dmin = std::min(dmin, std::abs(map_symbol(m, i) - map_symbol(m, j)));
+    }
+  }
+  const Rng base(0x9E27B47ull + bits_per_symbol(m));
+  for (std::uint64_t stream = 0; stream < 8; ++stream) {
+    Rng rng = base.fork(stream);
+    for (int trial = 0; trial < 64; ++trial) {
+      const unsigned tx = static_cast<unsigned>(rng.uniform_index(n));
+      const double radius = rng.uniform(0.0, 0.49 * dmin);
+      const double theta = rng.uniform(0.0, 2.0 * 3.14159265358979);
+      const cplx rx = map_symbol(m, tx) +
+                      std::polar(radius, theta);
+      EXPECT_EQ(demap_symbol(m, rx), tx)
+          << "stream " << stream << " radius " << radius;
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(AllOrders, QamModTest, ::testing::ValuesIn(kAll));
 
 TEST(Qam, AwgnSerMatchesTheory) {
