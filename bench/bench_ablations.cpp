@@ -18,10 +18,12 @@
 #include "core/multibeam.h"
 #include "core/probing.h"
 #include "sim/scenario.h"
+#include "sweep_cli.h"
 
 using namespace mmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_sweep_cli(argc, argv);
   sim::ScenarioConfig cfg;
   cfg.seed = 7;
   sim::LinkWorld world = sim::make_indoor_world(cfg);
@@ -119,6 +121,40 @@ int main() {
     t.print(std::cout);
     std::printf("the log-probe training is the cost model behind the 5G NR "
                 "curve in Fig. 18d.\n");
+  }
+
+  std::printf("\n=== 5. controller matrix on the seed-7 room (engine) ===\n");
+  {
+    // Every registered end-to-end scheme (including the oracle upper
+    // bound) on the same link: the ablation baseline the tables above
+    // decompose.
+    const std::vector<std::string> ctrls = {"mmreliable", "reactive",
+                                            "beamspy", "widebeam", "oracle"};
+    sim::ExperimentSpec spec;
+    spec.name = "ablations_controller_matrix";
+    spec.scenario.name = "indoor";
+    spec.scenario.config = cfg;
+    spec.run.duration_s = 0.25;
+    spec.trials = ctrls.size();
+    spec.seed = cfg.seed;
+    spec.seed_policy = sim::SeedPolicy::kFixed;
+    spec.customize = [&ctrls](const sim::TrialContext& ctx,
+                              sim::ScenarioSpec& /*scenario*/,
+                              sim::ControllerSpec& controller,
+                              sim::RunConfig& /*run*/) {
+      controller.name = ctrls[ctx.index];
+    };
+    spec.label = [&ctrls](const sim::TrialContext& ctx) {
+      return ctrls[ctx.index];
+    };
+    const auto res = bench::run_campaign(spec, opts);
+    Table t({"controller", "reliability", "mean tput (Mbps)"});
+    for (std::size_t i = 0; i < ctrls.size(); ++i) {
+      t.add_row({ctrls[i], Table::num(res.trials[i].value.reliability, 3),
+                 Table::num(res.trials[i].value.mean_throughput_bps / 1e6, 0)});
+    }
+    t.print(std::cout);
+    bench::emit_json(spec.name, res);
   }
   return 0;
 }

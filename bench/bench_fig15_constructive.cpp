@@ -144,34 +144,25 @@ int main(int argc, char** argv) {
   std::printf("\n=== Fig. 15 Monte-Carlo: 2-beam link across channel "
               "realizations ===\n");
   {
-    // The scans above use the paper's single seed-7 room; this sweep runs
-    // the full 2-beam controller over many independent rooms (one
+    // The scans above use the paper's single seed-7 room; this campaign
+    // runs the full 2-beam controller over many independent rooms (one
     // seed-derived stream per trial) to show the constructive-combining
     // throughput is not a one-seed artifact. --jobs parallelizes the
     // trials with bit-identical output.
-    const std::size_t trials_n = opts.trials > 0 ? opts.trials : 8;
-    sim::SweepConfig sc;
-    sc.num_trials = trials_n;
-    sc.jobs = opts.jobs;
-    sc.base_seed = opts.seed > 0 ? opts.seed : 7;
-    sim::SweepRunner sweep(sc);
-    const auto trials = sweep.run([&](sim::TrialContext& ctx) {
-      sim::ScenarioConfig c;
-      c.seed = ctx.stream_seed;
-      sim::LinkWorld w = sim::make_indoor_world(c);
-      auto ctrl = sim::make_mmreliable(w, c, 2);
-      sim::RunConfig rc;
-      rc.duration_s = 0.5;
-      return sim::run_experiment(w, *ctrl, rc).summary;
-    });
-    const auto agg = sim::summarize_sweep(trials);
+    sim::ExperimentSpec spec;
+    spec.name = "fig15_montecarlo_2beam";
+    spec.scenario.name = "indoor";
+    spec.controller.name = "mmreliable";
+    spec.run.duration_s = 0.5;
+    spec.trials = opts.trials > 0 ? opts.trials : 8;
+    spec.seed = opts.seed > 0 ? opts.seed : 7;
+    const auto res = bench::run_campaign(spec, opts);
     std::printf("%zu rooms: median throughput %.0f Mbps, median reliability "
                 "%.3f (sweep %.2f s wall, %.2fx speedup with %zu jobs)\n",
-                trials_n, agg.median_throughput_bps / 1e6,
-                agg.median_reliability, sweep.timing().wall_s,
-                sweep.timing().speedup(), sweep.jobs());
-    sim::write_sweep_json(std::cout, "fig15_montecarlo_2beam", trials,
-                          sweep.timing());
+                spec.trials, res.aggregate.median_throughput_bps / 1e6,
+                res.aggregate.median_reliability, res.timing.wall_s,
+                res.timing.speedup(), res.timing.jobs);
+    bench::emit_json(spec.name, res);
   }
   return 0;
 }

@@ -3,7 +3,7 @@
 // link dips only by the blocked beam's share and stays alive.
 // (Paper: single beam drops 26 dB; multi-beam drops only 7 dB.)
 //
-// Runs on the deterministic sweep engine: trial 0 of each scheme is the
+// Runs as one declarative engine campaign: trial 0 of each scheme is the
 // paper's seed-13 crossing (printed as the time-series table); --trials N
 // adds N-1 Monte-Carlo repetitions per scheme with randomized rooms and
 // crossing times, all drawn from run-indexed Rng streams so --jobs K
@@ -11,12 +11,10 @@
 #include <cstdio>
 #include <iostream>
 
-#include "baselines/reactive_single_beam.h"
 #include "common/constants.h"
 #include "common/table.h"
-#include "sim/runner.h"
+#include "sim/engine.h"
 #include "sim/scenario.h"
-#include "sim/sweep.h"
 #include "sweep_cli.h"
 
 using namespace mmr;
@@ -24,20 +22,14 @@ using namespace mmr;
 namespace {
 
 struct Trace {
-  core::LinkSummary summary;
   RVec t_ms, snr_db;
   double min_snr = 1e9;
   int outage_ticks = 0;
 };
 
-Trace run(core::BeamController& ctrl, sim::LinkWorld& world) {
-  sim::RunConfig rc;
-  rc.duration_s = 1.0;
-  rc.tick_s = 2.5e-3;
-  const auto r = sim::run_experiment(world, ctrl, rc);
+Trace trace_of(const std::vector<core::LinkSample>& samples) {
   Trace tr;
-  tr.summary = r.summary;
-  for (const auto& s : r.samples) {
+  for (const auto& s : samples) {
     tr.t_ms.push_back(s.t_s * 1e3);
     tr.snr_db.push_back(s.snr_db);
     if (s.t_s > 0.2) {  // ignore training transient
@@ -65,45 +57,41 @@ int main(int argc, char** argv) {
   // paper's fixed crossing; later reps randomize the crossing time and
   // walking speed from the rep-indexed stream (same for both schemes, so
   // the comparison stays paired).
-  sim::SweepConfig sc;
-  sc.num_trials = 2 * reps;
-  sc.jobs = opts.jobs;
-  sc.base_seed = seed;
-  sim::SweepRunner sweep(sc);
-  std::vector<std::string> labels(sc.num_trials);
-  const auto trials = sweep.run([&](sim::TrialContext& ctx) {
+  sim::ExperimentSpec spec;
+  spec.name = "fig16_blockage";
+  spec.scenario.name = "indoor_sparse";
+  spec.run.duration_s = 1.0;
+  spec.run.tick_s = 2.5e-3;
+  spec.trials = 2 * reps;
+  spec.seed = seed;
+  spec.seed_policy = sim::SeedPolicy::kFixed;
+  spec.record_samples = true;
+  spec.customize = [reps, seed](const sim::TrialContext& ctx,
+                                sim::ScenarioSpec& scenario,
+                                sim::ControllerSpec& controller,
+                                sim::RunConfig& /*run*/) {
     const bool is_multi = ctx.index < reps;
     const std::size_t rep = ctx.index % reps;
-    sim::ScenarioConfig cfg;
-    cfg.sparse_room = true;
-    cfg.seed = rep == 0 ? seed : Rng::derive_stream_seed(seed, rep);
+    scenario.config.seed = rep == 0 ? seed : Rng::derive_stream_seed(seed, rep);
     double crossing_s = 0.5, speed_mps = 1.0;
     if (rep > 0) {
       Rng rng = Rng(seed).fork(rep);
       crossing_s = rng.uniform(0.35, 0.65);
       speed_mps = rng.uniform(0.8, 1.8);
     }
-    sim::LinkWorld world = sim::make_indoor_world(cfg);
-    world.add_blocker(sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2},
-                                            crossing_s, speed_mps, 30.0));
-    labels[ctx.index] = std::string(is_multi ? "multi" : "single") + "/rep" +
-                        std::to_string(rep);
-    if (is_multi) {
-      // Multi-beam (mmReliable without retraining interference).
-      auto multi = sim::make_mmreliable(world, cfg, 2);
-      return run(*multi, world);
-    }
-    // Frozen single beam (no reaction), the paper's comparison.
-    baselines::ReactiveConfig rcfg;
-    rcfg.outage_power_linear = 0.0;  // never retrains
-    baselines::ReactiveSingleBeam single(
-        world.config().tx_ula, sim::sector_codebook(world.config().tx_ula),
-        rcfg);
-    return run(single, world);
-  });
+    scenario.blockers = {{crossing_s, speed_mps, 30.0}};
+    // Multi-beam (mmReliable) vs the paper's frozen single-beam
+    // comparison (trains once, never reacts).
+    controller.name = is_multi ? "mmreliable" : "single_frozen";
+  };
+  spec.label = [reps](const sim::TrialContext& ctx) {
+    return std::string(ctx.index < reps ? "multi" : "single") + "/rep" +
+           std::to_string(ctx.index % reps);
+  };
+  const auto res = bench::run_campaign(spec, opts);
 
-  const Trace& tr_multi = trials[0].value;
-  const Trace& tr_single = trials[reps].value;
+  const Trace tr_multi = trace_of(res.samples[0]);
+  const Trace tr_single = trace_of(res.samples[reps]);
 
   std::printf("%8s %14s %14s\n", "t (ms)", "single (dB)", "multi (dB)");
   for (std::size_t i = 0; i < tr_multi.t_ms.size(); i += 10) {
@@ -129,8 +117,8 @@ int main(int argc, char** argv) {
   if (reps > 1) {
     int multi_outage_reps = 0, single_outage_reps = 0;
     for (std::size_t rep = 0; rep < reps; ++rep) {
-      multi_outage_reps += trials[rep].value.outage_ticks > 0;
-      single_outage_reps += trials[reps + rep].value.outage_ticks > 0;
+      multi_outage_reps += trace_of(res.samples[rep]).outage_ticks > 0;
+      single_outage_reps += trace_of(res.samples[reps + rep]).outage_ticks > 0;
     }
     std::printf("Monte-Carlo over %zu crossings: single-beam outage in "
                 "%d/%zu reps, multi-beam in %d/%zu reps\n", reps,
@@ -139,12 +127,6 @@ int main(int argc, char** argv) {
   std::printf("paper shape: single-beam drop is deep (outage); multi-beam "
               "drop is the blocked beam's share only (no outage).\n");
 
-  std::vector<sim::SweepTrial<core::LinkSummary>> summaries(trials.size());
-  for (std::size_t i = 0; i < trials.size(); ++i) {
-    summaries[i] = {trials[i].index, trials[i].wall_s, trials[i].cpu_s,
-                    trials[i].value.summary};
-  }
-  sim::write_sweep_json(std::cout, "fig16_blockage", summaries,
-                        sweep.timing(), labels);
+  bench::emit_json(spec.name, res);
   return 0;
 }

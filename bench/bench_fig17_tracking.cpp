@@ -148,62 +148,49 @@ int main(int argc, char** argv) {
     const std::vector<Variant> variants = {{"no tracking", false, false},
                                            {"tracking only", true, false},
                                            {"tracking + CC", true, true}};
-    struct VariantOut {
-      core::LinkSummary summary;
-      double min_tput = 1e18, end_tput = 0.0;
-    };
-    // One sweep trial per ablation variant; all three share the fixed
+    // One engine trial per ablation variant; all three share the fixed
     // scenario seed, so --jobs only changes wall-clock, never the table.
-    sim::SweepConfig sc;
-    sc.num_trials = variants.size();
-    sc.jobs = opts.jobs;
-    sc.base_seed = cfg.seed;
-    sim::SweepRunner sweep(sc);
-    std::vector<std::string> labels(sc.num_trials);
-    const auto trials = sweep.run([&](sim::TrialContext& ctx) {
-      const Variant v = variants[ctx.index];
-      labels[ctx.index] = v.name;
-      sim::LinkWorld w = sim::make_indoor_world(cfg, {0.0, -1.5});
-      core::MaintenanceConfig mc;
-      mc.max_beams = 2;
-      mc.bandwidth_hz = w.config().spec.bandwidth_hz;
-      mc.outage_power_linear = w.power_for_snr(6.0);
-      mc.enable_tracking = v.tracking;
-      mc.enable_cc_refresh = v.cc;
-      core::MmReliableController ablated(
-          w.config().tx_ula, sim::sector_codebook(w.config().tx_ula), mc);
-      sim::RunConfig rc;
-      const auto r = sim::run_experiment(w, ablated, rc);
-      VariantOut out;
-      out.summary = r.summary;
-      for (const auto& s : r.samples) {
-        if (s.t_s > 0.1) out.min_tput = std::min(out.min_tput, s.throughput_bps);
-        if (s.t_s > 0.9) out.end_tput = std::max(out.end_tput, s.throughput_bps);
-      }
-      return out;
-    });
+    sim::ExperimentSpec spec;
+    spec.name = "fig17c_tracking_ablation";
+    spec.scenario.name = "indoor";
+    spec.scenario.config = cfg;
+    spec.scenario.ue_velocity = {0.0, -1.5};
+    spec.controller.name = "mmreliable_ablation";
+    spec.trials = variants.size();
+    spec.seed = cfg.seed;
+    spec.seed_policy = sim::SeedPolicy::kFixed;
+    spec.record_samples = true;
+    spec.customize = [&variants](const sim::TrialContext& ctx,
+                                 sim::ScenarioSpec& /*scenario*/,
+                                 sim::ControllerSpec& controller,
+                                 sim::RunConfig& /*run*/) {
+      controller.enable_tracking = variants[ctx.index].tracking;
+      controller.enable_cc_refresh = variants[ctx.index].cc;
+    };
+    spec.label = [&variants](const sim::TrialContext& ctx) {
+      return std::string(variants[ctx.index].name);
+    };
+    const auto res = bench::run_campaign(spec, opts);
 
     Table t({"scheme", "mean tput (Mbps)", "min tput (Mbps)",
              "end-of-run tput (Mbps)"});
     for (std::size_t i = 0; i < variants.size(); ++i) {
-      const VariantOut& out = trials[i].value;
+      double min_tput = 1e18, end_tput = 0.0;
+      for (const auto& s : res.samples[i]) {
+        if (s.t_s > 0.1) min_tput = std::min(min_tput, s.throughput_bps);
+        if (s.t_s > 0.9) end_tput = std::max(end_tput, s.throughput_bps);
+      }
       t.add_row({variants[i].name,
-                 Table::num(out.summary.mean_throughput_bps / 1e6, 0),
-                 Table::num(out.min_tput / 1e6, 0),
-                 Table::num(out.end_tput / 1e6, 0)});
+                 Table::num(res.trials[i].value.mean_throughput_bps / 1e6, 0),
+                 Table::num(min_tput / 1e6, 0),
+                 Table::num(end_tput / 1e6, 0)});
     }
     t.print(std::cout);
     std::printf("paper shape: without tracking throughput collapses by the "
                 "end of the run; tracking+CC holds it; dropping CC costs "
                 "on the order of 100 Mbps.\n");
 
-    std::vector<sim::SweepTrial<core::LinkSummary>> summaries(trials.size());
-    for (std::size_t i = 0; i < trials.size(); ++i) {
-      summaries[i] = {trials[i].index, trials[i].wall_s, trials[i].cpu_s,
-                      trials[i].value.summary};
-    }
-    sim::write_sweep_json(std::cout, "fig17c_tracking_ablation", summaries,
-                          sweep.timing(), labels);
+    bench::emit_json(spec.name, res);
   }
   return 0;
 }

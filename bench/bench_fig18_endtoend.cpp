@@ -11,60 +11,33 @@
 // ends with a JSON line carrying per-trial wall-clock and the
 // serial-equivalent speedup.
 #include <cstdio>
-#include <functional>
 #include <iostream>
-#include <memory>
 
 #include "common/stats.h"
 #include "common/table.h"
-#include "sim/runner.h"
-#include "sim/scenario.h"
-#include "sim/sweep.h"
+#include "sim/engine.h"
 #include "sweep_cli.h"
 
 using namespace mmr;
 
 namespace {
 
-using ControllerFactory = std::function<std::unique_ptr<core::BeamController>(
-    const sim::LinkWorld&, const sim::ScenarioConfig&)>;
-
+/// Display name (paper spelling) -> controller registry name.
 struct Scheme {
   const char* name;
-  ControllerFactory make;
+  const char* controller;
 };
 
 std::vector<Scheme> schemes() {
-  return {
-      {"mmReliable",
-       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c) {
-         return sim::make_mmreliable(w, c, 2);
-       }},
-      {"reactive",
-       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c)
-           -> std::unique_ptr<core::BeamController> {
-         return sim::make_reactive(w, c);
-       }},
-      {"beamspy",
-       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c)
-           -> std::unique_ptr<core::BeamController> {
-         return sim::make_beamspy(w, c);
-       }},
-      {"widebeam",
-       [](const sim::LinkWorld& w, const sim::ScenarioConfig& c)
-           -> std::unique_ptr<core::BeamController> {
-         return sim::make_widebeam(w, c);
-       }},
-  };
+  return {{"mmReliable", "mmreliable"},
+          {"reactive", "reactive"},
+          {"beamspy", "beamspy"},
+          {"widebeam", "widebeam"}};
 }
 
-sim::ScenarioConfig base_cfg(std::uint64_t seed) {
-  sim::ScenarioConfig c;
-  c.seed = seed;
-  c.sparse_room = true;
-  c.tx_power_dbm = 14.0;  // tight margin: blocked single beam = outage
-  return c;
-}
+// Tight margin: blocked single beam = outage. sparse_room comes from the
+// "indoor_sparse" scenario.
+constexpr double kTightTxPowerDbm = 14.0;
 
 }  // namespace
 
@@ -80,37 +53,36 @@ int main(int argc, char** argv) {
               "===\n", jobs);
   {
     // One trial per (scheme, blocker count); all share the seed-31 room.
-    sim::SweepConfig sc;
-    sc.num_trials = all.size() * 3;
-    sc.jobs = opts.jobs;
-    sc.base_seed = 31;
-    sim::SweepRunner sweep(sc);
-    std::vector<std::string> labels(sc.num_trials);
-    const auto trials = sweep.run([&](sim::TrialContext& ctx) {
+    sim::ExperimentSpec spec;
+    spec.name = "fig18a_static_blockers";
+    spec.scenario.name = "indoor_sparse";
+    spec.scenario.config.seed = 31;
+    spec.scenario.config.tx_power_dbm = kTightTxPowerDbm;
+    spec.trials = all.size() * 3;
+    spec.seed = 31;
+    spec.seed_policy = sim::SeedPolicy::kFixed;
+    spec.customize = [&all](const sim::TrialContext& ctx,
+                            sim::ScenarioSpec& scenario,
+                            sim::ControllerSpec& controller,
+                            sim::RunConfig& /*run*/) {
       const std::size_t scheme_idx = ctx.index / 3;
       const int nb = static_cast<int>(ctx.index % 3);
-      const auto c = base_cfg(31);
-      sim::LinkWorld world = sim::make_indoor_world(c);
-      if (nb >= 1) {
-        world.add_blocker(
-            sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.4, 1.0, 30.0));
-      }
-      if (nb >= 2) {
-        world.add_blocker(
-            sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.75, 1.2, 30.0));
-      }
-      auto ctrl = all[scheme_idx].make(world, c);
-      labels[ctx.index] =
-          std::string(all[scheme_idx].name) + "/" + std::to_string(nb) + "b";
-      return sim::run_experiment(world, *ctrl).summary;
-    });
+      if (nb >= 1) scenario.blockers.push_back({0.4, 1.0, 30.0});
+      if (nb >= 2) scenario.blockers.push_back({0.75, 1.2, 30.0});
+      controller.name = all[scheme_idx].controller;
+    };
+    spec.label = [&all](const sim::TrialContext& ctx) {
+      return std::string(all[ctx.index / 3].name) + "/" +
+             std::to_string(ctx.index % 3) + "b";
+    };
+    const auto res = bench::run_campaign(spec, opts);
 
     Table t({"scheme", "0 blockers (Mbps)", "1 blocker (Mbps)",
              "2 blockers (Mbps)", "drop w/ 2 (%)"});
     for (std::size_t s = 0; s < all.size(); ++s) {
       RVec tput;
       for (int nb = 0; nb <= 2; ++nb) {
-        tput.push_back(trials[s * 3 + nb].value.mean_throughput_bps / 1e6);
+        tput.push_back(res.trials[s * 3 + nb].value.mean_throughput_bps / 1e6);
       }
       t.add_row({all[s].name, Table::num(tput[0], 0), Table::num(tput[1], 0),
                  Table::num(tput[2], 0),
@@ -119,8 +91,7 @@ int main(int argc, char** argv) {
     t.print(std::cout);
     std::printf("paper shape: mmReliable loses only a few %% with two "
                 "blockers; single-beam baselines lose far more.\n");
-    sim::write_sweep_json(std::cout, "fig18a_static_blockers", trials,
-                          sweep.timing(), labels);
+    bench::emit_json(spec.name, res);
   }
 
   std::printf("\n=== Fig. 18b/c: mobile links with blockage (%zu runs per "
@@ -130,34 +101,43 @@ int main(int argc, char** argv) {
     // realization for a given run: every random draw comes from the
     // run-indexed fork of the base seed, never from the trial index, so
     // the comparison stays paired and the sweep stays deterministic.
-    sim::SweepConfig sc;
-    sc.num_trials = all.size() * runs;
-    sc.jobs = opts.jobs;
-    sc.base_seed = seed;
-    sim::SweepRunner sweep(sc);
-    std::vector<std::string> labels(sc.num_trials);
-    const auto trials = sweep.run([&](sim::TrialContext& ctx) {
+    sim::ExperimentSpec spec;
+    spec.name = "fig18bc_mobile_blockage";
+    spec.scenario.name = "indoor_sparse";
+    spec.scenario.config.tx_power_dbm = kTightTxPowerDbm;
+    spec.trials = all.size() * runs;
+    spec.seed = seed;
+    spec.seed_policy = sim::SeedPolicy::kFixed;
+    spec.customize = [&all, runs, seed](const sim::TrialContext& ctx,
+                                        sim::ScenarioSpec& scenario,
+                                        sim::ControllerSpec& controller,
+                                        sim::RunConfig& /*run_cfg*/) {
       const std::size_t scheme_idx = ctx.index / runs;
       const std::size_t run = ctx.index % runs;
-      auto c = base_cfg(Rng::derive_stream_seed(seed, run));
+      scenario.config.seed = Rng::derive_stream_seed(seed, run);
       // Per-run randomized motion + one or two crossing blockers
-      // (paper: blockage 100-500 ms during each 1 s mobile run).
+      // (paper: blockage 100-500 ms during each 1 s mobile run). The
+      // draw order matches the pre-engine bench, where the blocker
+      // parameters were function arguments evaluated right-to-left:
+      // walking speed before crossing time.
       Rng rng = Rng(seed).fork(run);
       const double vy = rng.uniform(-1.5, -0.4);
-      sim::LinkWorld world = sim::make_indoor_world(c, {0.0, vy});
-      world.add_blocker(sim::crossing_blocker(
-          {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.3, 0.55),
-          rng.uniform(1.0, 2.5), 30.0));
+      scenario.ue_velocity = {0.0, vy};
+      const double speed1 = rng.uniform(1.0, 2.5);
+      const double cross1 = rng.uniform(0.3, 0.55);
+      scenario.blockers.push_back({cross1, speed1, 30.0});
       if (rng.bernoulli(0.4)) {
-        world.add_blocker(sim::crossing_blocker(
-            {0.5, 6.2}, {7.0, 6.2}, rng.uniform(0.65, 0.85),
-            rng.uniform(1.5, 3.0), 30.0));
+        const double speed2 = rng.uniform(1.5, 3.0);
+        const double cross2 = rng.uniform(0.65, 0.85);
+        scenario.blockers.push_back({cross2, speed2, 30.0});
       }
-      auto ctrl = all[scheme_idx].make(world, c);
-      labels[ctx.index] =
-          std::string(all[scheme_idx].name) + "/run" + std::to_string(run);
-      return sim::run_experiment(world, *ctrl).summary;
-    });
+      controller.name = all[scheme_idx].controller;
+    };
+    spec.label = [&all, runs](const sim::TrialContext& ctx) {
+      return std::string(all[ctx.index / runs].name) + "/run" +
+             std::to_string(ctx.index % runs);
+    };
+    const auto res = bench::run_campaign(spec, opts);
 
     Table t({"scheme", "reliability p25", "median", "p75",
              "mean tput (Mbps)", "T x R product (Mbps)"});
@@ -165,7 +145,7 @@ int main(int argc, char** argv) {
     for (std::size_t s = 0; s < all.size(); ++s) {
       RVec rel, tput, trp;
       for (std::size_t run = 0; run < runs; ++run) {
-        const auto& summary = trials[s * runs + run].value;
+        const auto& summary = res.trials[s * runs + run].value;
         rel.push_back(summary.reliability);
         tput.push_back(summary.mean_throughput_bps / 1e6);
         trp.push_back(summary.throughput_reliability_product / 1e6);
@@ -184,11 +164,10 @@ int main(int argc, char** argv) {
     std::printf("paper shape: mmReliable reliability near 1.0 and the "
                 "highest T x R product; reactive and widebeam trail.\n");
     std::printf("sweep wall-clock %.2f s vs %.2f s serial-equivalent: "
-                "%.2fx speedup with %zu jobs\n", sweep.timing().wall_s,
-                sweep.timing().serial_equivalent_s,
-                sweep.timing().speedup(), sweep.jobs());
-    sim::write_sweep_json(std::cout, "fig18bc_mobile_blockage", trials,
-                          sweep.timing(), labels);
+                "%.2fx speedup with %zu jobs\n", res.timing.wall_s,
+                res.timing.serial_equivalent_s,
+                res.timing.speedup(), res.timing.jobs);
+    bench::emit_json(spec.name, res);
   }
   return 0;
 }

@@ -8,10 +8,12 @@
 
 #include "common/table.h"
 #include "phy/reference_signals.h"
+#include "sweep_cli.h"
 
 using namespace mmr;
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_sweep_cli(argc, argv);
   const phy::ReferenceSignalConfig rs;
   std::printf("=== Fig. 18d: probing overhead vs number of antennas ===\n");
   Table t({"antennas", "5G NR fast scan (ms)", "mmReliable 2-beam (ms)",
@@ -44,5 +46,37 @@ int main() {
   std::printf("paper anchors: 3 ms @ 8 antennas -> 6 ms @ 64 for 5G NR;\n"
               "0.4 / 0.6 ms for mmReliable 2-/3-beam, antenna-independent;\n"
               "0.5%% total overhead with 1 s SSB periodicity.\n");
+
+  std::printf("\n=== refinement cost in a live link: 2 vs 3 beams (engine) "
+              "===\n");
+  {
+    // The airtime table is analytic; this runs the controller with both
+    // beam budgets so the extra probes' throughput cost shows up in the
+    // delivered rate.
+    sim::ExperimentSpec spec;
+    spec.name = "fig18d_beam_overhead_link";
+    spec.scenario.name = "indoor";
+    spec.scenario.config.seed = 100;
+    spec.run.duration_s = 0.25;
+    spec.trials = 2;
+    spec.seed = 100;
+    spec.seed_policy = sim::SeedPolicy::kFixed;
+    spec.customize = [](const sim::TrialContext& ctx,
+                        sim::ScenarioSpec& /*scenario*/,
+                        sim::ControllerSpec& controller,
+                        sim::RunConfig& /*run*/) {
+      controller.max_beams = ctx.index == 0 ? 2 : 3;
+    };
+    spec.label = [](const sim::TrialContext& ctx) {
+      return std::to_string(ctx.index == 0 ? 2 : 3) + "-beam";
+    };
+    const auto res = bench::run_campaign(spec, opts);
+    for (std::size_t i = 0; i < res.trials.size(); ++i) {
+      std::printf("%zu-beam: reliability %.3f, mean throughput %.0f Mbps\n",
+                  i + 2, res.trials[i].value.reliability,
+                  res.trials[i].value.mean_throughput_bps / 1e6);
+    }
+    bench::emit_json(spec.name, res);
+  }
   return 0;
 }

@@ -10,6 +10,7 @@
 #include "common/units.h"
 #include "core/multi_user.h"
 #include "phy/mcs.h"
+#include "sweep_cli.h"
 
 using namespace mmr;
 
@@ -28,7 +29,8 @@ core::UserChannel make_user(std::vector<double> angles_deg,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const auto opts = bench::parse_sweep_cli(argc, argv);
   const array::Ula ula{16, 0.5};
   const phy::McsTable& mcs = phy::McsTable::nr();
   const double noise = 1e-3;
@@ -61,5 +63,38 @@ int main() {
   std::printf("paper vision: spatial beams split between reliability and\n"
               "multi-user coexistence; the planner keeps each user's lobes\n"
               "off the other user's directions.\n");
+
+  std::printf("\n=== spatial-sharing baseline: multi-beam vs widebeam "
+              "(engine) ===\n");
+  {
+    // Context for the planner numbers: how much a single user gives up by
+    // widening its beam (the other way to \"share\" the sector) compared
+    // with keeping two sharp constructive lobes.
+    const std::vector<std::string> ctrls = {"mmreliable", "widebeam"};
+    sim::ExperimentSpec spec;
+    spec.name = "multi_user_sharing_baseline";
+    spec.scenario.name = "indoor";
+    spec.scenario.config.seed = 23;
+    spec.run.duration_s = 0.25;
+    spec.trials = ctrls.size();
+    spec.seed = 23;
+    spec.seed_policy = sim::SeedPolicy::kFixed;
+    spec.customize = [&ctrls](const sim::TrialContext& ctx,
+                              sim::ScenarioSpec& /*scenario*/,
+                              sim::ControllerSpec& controller,
+                              sim::RunConfig& /*run*/) {
+      controller.name = ctrls[ctx.index];
+    };
+    spec.label = [&ctrls](const sim::TrialContext& ctx) {
+      return ctrls[ctx.index];
+    };
+    const auto res = bench::run_campaign(spec, opts);
+    for (std::size_t i = 0; i < ctrls.size(); ++i) {
+      std::printf("%12s: reliability %.3f, mean throughput %.0f Mbps\n",
+                  ctrls[i].c_str(), res.trials[i].value.reliability,
+                  res.trials[i].value.mean_throughput_bps / 1e6);
+    }
+    bench::emit_json(spec.name, res);
+  }
   return 0;
 }

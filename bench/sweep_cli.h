@@ -1,29 +1,91 @@
-// Shared command-line handling for the sweep-engine benches.
+// Shared command-line handling for the engine-driven benches.
 //
 // Every ported figure bench accepts:
-//   --jobs N     worker threads for the Monte-Carlo sweep (0 = all
-//                hardware threads; default 1 = serial). Parallel output is
-//                bit-identical to serial for the same seed.
-//   --trials N   scale the per-scheme trial count where the bench sweeps
-//                seeds (0 = keep the bench's default).
-//   --seed S     override the sweep's base seed.
+//   --jobs N           worker threads for the Monte-Carlo sweep (0 = all
+//                      hardware threads; default 1 = serial). Parallel
+//                      output is bit-identical to serial for the same seed.
+//   --trials N         scale the per-scheme trial count where the bench
+//                      sweeps seeds (0 = keep the bench's default).
+//   --seed S           override the sweep's base seed (0 = bench default).
+//   --scenario NAME    override the campaign's registered scenario.
+//   --controller NAME  override the campaign's registered controller.
+//   --json-out FILE    additionally write the JSON record(s) to FILE.
+//   --list             print the registered scenario/controller names and
+//                      exit.
 // and ends its report with one JSON line (sweep timing, per-trial
 // wall-clock and LinkSummary values, aggregate) for machine consumption.
+//
+// Numeric flags are validated strictly (common/parse.h): signs,
+// whitespace, trailing garbage, and out-of-range values exit(2) with a
+// message instead of being silently truncated to something surprising
+// (`--jobs abc` used to parse as 0 = every hardware thread).
 #pragma once
 
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
+#include <iostream>
+#include <memory>
 #include <string>
+
+#include "common/parse.h"
+#include "sim/engine.h"
+#include "sim/telemetry.h"
 
 namespace mmr::bench {
 
 struct SweepCliOptions {
   std::size_t jobs = 1;
-  std::size_t trials = 0;  ///< 0 = bench default
-  std::uint64_t seed = 0;  ///< 0 = bench default
+  std::size_t trials = 0;   ///< 0 = bench default
+  std::uint64_t seed = 0;   ///< 0 = bench default
+  std::string scenario;     ///< empty = bench default
+  std::string controller;   ///< empty = bench default
+  std::string json_out;     ///< empty = stdout only
 };
+
+namespace detail {
+
+inline std::size_t require_size(const char* flag, const char* value,
+                                const char* prog) {
+  std::size_t out = 0;
+  if (value == nullptr || !mmr::parse_size(value, out)) {
+    std::fprintf(stderr,
+                 "%s: invalid value for %s: '%s' (expected a non-negative "
+                 "base-10 integer)\n",
+                 prog, flag, value == nullptr ? "" : value);
+    std::exit(2);
+  }
+  return out;
+}
+
+inline std::uint64_t require_u64(const char* flag, const char* value,
+                                 const char* prog) {
+  std::uint64_t out = 0;
+  if (value == nullptr || !mmr::parse_u64(value, out)) {
+    std::fprintf(stderr,
+                 "%s: invalid value for %s: '%s' (expected a non-negative "
+                 "base-10 integer)\n",
+                 prog, flag, value == nullptr ? "" : value);
+    std::exit(2);
+  }
+  return out;
+}
+
+inline void print_registries() {
+  std::printf("registered scenarios:\n");
+  for (const std::string& name : sim::ScenarioRegistry::instance().names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+  std::printf("registered controllers:\n");
+  for (const std::string& name :
+       sim::ControllerRegistry::instance().names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+}
+
+}  // namespace detail
 
 inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
   SweepCliOptions opts;
@@ -36,21 +98,72 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
     return nullptr;
   };
   for (int i = 1; i < argc; ++i) {
-    if (const char* v = value_of(i, "--jobs")) {
-      opts.jobs = static_cast<std::size_t>(std::strtoull(v, nullptr, 10));
+    if (std::strcmp(argv[i], "--list") == 0) {
+      detail::print_registries();
+      std::exit(0);
+    } else if (const char* v = value_of(i, "--jobs")) {
+      opts.jobs = detail::require_size("--jobs", v, argv[0]);
     } else if (const char* v2 = value_of(i, "--trials")) {
-      opts.trials = static_cast<std::size_t>(std::strtoull(v2, nullptr, 10));
+      opts.trials = detail::require_size("--trials", v2, argv[0]);
     } else if (const char* v3 = value_of(i, "--seed")) {
-      opts.seed = std::strtoull(v3, nullptr, 10);
+      opts.seed = detail::require_u64("--seed", v3, argv[0]);
+    } else if (const char* v4 = value_of(i, "--scenario")) {
+      opts.scenario = v4;
+    } else if (const char* v5 = value_of(i, "--controller")) {
+      opts.controller = v5;
+    } else if (const char* v6 = value_of(i, "--json-out")) {
+      opts.json_out = v6;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--trials N] [--seed S]\n"
+                   "          [--scenario NAME] [--controller NAME]\n"
+                   "          [--json-out FILE] [--list]\n"
                    "unknown argument: %s\n",
                    argv[0], argv[i]);
       std::exit(2);
     }
   }
   return opts;
+}
+
+/// Apply the CLI's registry/jobs overrides onto a bench's default spec.
+/// trials/seed are NOT applied here -- their meaning varies per bench
+/// (repetitions per scheme, scheme-matrix width, ...), so benches resolve
+/// them explicitly from the options.
+inline void apply_cli(const SweepCliOptions& opts, sim::ExperimentSpec& spec) {
+  spec.jobs = opts.jobs;
+  if (!opts.scenario.empty()) spec.scenario.name = opts.scenario;
+  if (!opts.controller.empty()) spec.controller.name = opts.controller;
+}
+
+/// Run one engine campaign. When --json-out is set the record is written
+/// to the file during the run (via a JsonLinesSink); the stdout JSON line
+/// is emitted separately by emit_json so benches can print their
+/// human-readable tables in between.
+inline sim::EngineResult run_campaign(sim::ExperimentSpec spec,
+                                      const SweepCliOptions& opts) {
+  apply_cli(opts, spec);
+  sim::Engine engine;
+  if (opts.json_out.empty()) return engine.run(spec);
+  std::ofstream file(opts.json_out, std::ios::app);
+  if (!file) {
+    std::fprintf(stderr, "cannot open --json-out file: %s\n",
+                 opts.json_out.c_str());
+    std::exit(2);
+  }
+  sim::JsonLinesSink file_sink(file);
+  return engine.run(spec, &file_sink);
+}
+
+/// Emit a campaign's JSON record to stdout (the bench's final line).
+inline void emit_json(const std::string& name, const sim::EngineResult& r) {
+  sim::JsonLinesSink sink(std::cout);
+  sim::SweepRecord record;
+  record.name = name;
+  record.trials = r.trials;
+  record.timing = r.timing;
+  record.labels = r.labels;
+  sink.on_sweep(record);
 }
 
 }  // namespace mmr::bench

@@ -5,74 +5,63 @@
 // multi-beam. Watch the controller detect the LOS beam's collapse,
 // reallocate power to the wall reflection, and re-admit the LOS beam when
 // the pedestrian has passed -- while a frozen single-beam link drops into
-// outage for the whole crossing.
+// outage for the whole crossing. Both links run as one 2-trial engine
+// campaign over the same scenario spec, so they see the same pedestrian.
 #include <cstdio>
 
-#include "baselines/reactive_single_beam.h"
 #include "common/constants.h"
 #include "common/units.h"
-#include "sim/scenario.h"
+#include "sim/engine.h"
 
 using namespace mmr;
 
 int main() {
-  sim::ScenarioConfig cfg;
-  cfg.seed = 42;
-  cfg.sparse_room = true;  // one strong wall reflector, like a corridor
+  sim::ExperimentSpec spec;
+  spec.name = "blockage_resilience";
+  spec.scenario.name = "indoor_sparse";  // one strong wall reflector
+  spec.scenario.config.seed = 42;
+  // Pedestrian crossing the link midway at t = 0.5 s, 30 dB deep.
+  spec.scenario.blockers = {{/*crossing_time_s=*/0.5, /*speed_mps=*/1.0,
+                             /*depth_db=*/30.0}};
+  spec.trials = 2;
+  spec.seed = 42;
+  spec.seed_policy = sim::SeedPolicy::kFixed;
+  spec.record_samples = true;
+  spec.customize = [](const sim::TrialContext& ctx,
+                      sim::ScenarioSpec& /*scenario*/,
+                      sim::ControllerSpec& controller,
+                      sim::RunConfig& /*run*/) {
+    controller.name = ctx.index == 0 ? "single_frozen" : "mmreliable";
+  };
+  spec.label = [](const sim::TrialContext& ctx) {
+    return std::string(ctx.index == 0 ? "single_frozen" : "mmreliable");
+  };
+  const sim::EngineResult res = sim::Engine().run(spec);
+  const auto& single = res.samples[0];
+  const auto& multi = res.samples[1];
 
-  // Two identical worlds so both links see the same pedestrian.
-  sim::LinkWorld world_multi = sim::make_indoor_world(cfg);
-  sim::LinkWorld world_single = sim::make_indoor_world(cfg);
-  const auto pedestrian =
-      sim::crossing_blocker({0.5, 6.2}, {7.0, 6.2}, /*crossing_time=*/0.5,
-                            /*speed=*/1.0, /*depth_db=*/30.0);
-  world_multi.add_blocker(pedestrian);
-  world_single.add_blocker(pedestrian);
-
-  auto mmr_ctrl = sim::make_mmreliable(world_multi, cfg, 2);
-  baselines::ReactiveConfig single_cfg;
-  single_cfg.outage_power_linear = 0.0;  // frozen: never reacts
-  baselines::ReactiveSingleBeam single(
-      world_single.config().tx_ula,
-      sim::sector_codebook(world_single.config().tx_ula), single_cfg);
-
-  const auto link_multi = world_multi.probe_interface();
-  const auto link_single = world_single.probe_interface();
-
-  std::printf("%8s %12s %12s %8s %s\n", "t (ms)", "single (dB)", "multi (dB)",
-              "beams", "controller state");
+  std::printf("%8s %12s %12s %s\n", "t (ms)", "single (dB)", "multi (dB)",
+              "multi link state");
   int single_outage = 0, multi_outage = 0;
-  for (int i = 0; i < 400; ++i) {
-    const double t = i * 2.5e-3;
-    world_multi.set_time(t);
-    world_single.set_time(t);
-    if (i == 0) {
-      mmr_ctrl->start(t, link_multi);
-      single.start(t, link_single);
-    } else {
-      mmr_ctrl->step(t, link_multi);
-      single.step(t, link_single);
-    }
-    const double snr_s = world_single.true_snr_db(single.tx_weights());
-    const double snr_m = world_multi.true_snr_db(mmr_ctrl->tx_weights());
-    if (t > 0.1 && snr_s < kOutageSnrDb) ++single_outage;
-    if (t > 0.1 && snr_m < kOutageSnrDb) ++multi_outage;
+  for (std::size_t i = 0; i < single.size(); ++i) {
+    const double t = single[i].t_s;
+    if (t > 0.1 && single[i].snr_db < kOutageSnrDb) ++single_outage;
+    if (t > 0.1 && multi[i].snr_db < kOutageSnrDb) ++multi_outage;
     if (i % 25 == 0) {
-      std::string state;
-      const auto& blocked = mmr_ctrl->blocked();
-      for (std::size_t k = 0; k < blocked.size(); ++k) {
-        state += blocked[k] ? 'B' : (k < 2 ? 'A' : '.');
-      }
-      std::printf("%8.0f %12.1f %12.1f %8zu %s\n", t * 1e3, snr_s, snr_m,
-                  mmr_ctrl->num_active_beams(), state.c_str());
+      const char* state = !multi[i].available ? "retraining"
+                          : multi[i].snr_db < kOutageSnrDb ? "OUTAGE"
+                                                           : "carrying data";
+      std::printf("%8.0f %12.1f %12.1f %s\n", t * 1e3, single[i].snr_db,
+                  multi[i].snr_db, state);
     }
   }
   std::printf("\nOutage time (SNR < %.0f dB): single beam %.0f ms, "
               "multi-beam %.0f ms\n",
               kOutageSnrDb, single_outage * 2.5, multi_outage * 2.5);
-  std::printf("Beam management airtime spent by mmReliable: %.2f ms "
-              "(%d refinement probes, %d trainings)\n",
-              mmr_ctrl->management_airtime_s() * 1e3,
-              mmr_ctrl->refinement_probes(), mmr_ctrl->trainings());
+  std::printf("Reliability: single beam %.3f, multi-beam %.3f "
+              "(throughput %.0f vs %.0f Mbps)\n",
+              res.trials[0].value.reliability, res.trials[1].value.reliability,
+              res.trials[0].value.mean_throughput_bps / 1e6,
+              res.trials[1].value.mean_throughput_bps / 1e6);
   return 0;
 }

@@ -10,7 +10,7 @@
 #include "core/maintenance.h"
 #include "core/multibeam.h"
 #include "core/probing.h"
-#include "sim/runner.h"
+#include "sim/engine.h"
 #include "sim/scenario.h"
 
 using namespace mmr;
@@ -72,14 +72,22 @@ int main() {
               "(oracle headroom: %.2f dB)\n",
               snr_multi - snr_single, snr_oracle - snr_multi);
 
-  // 4. Or just let the full controller do all of the above.
-  auto ctrl = sim::make_mmreliable(world, cfg, /*max_beams=*/2);
-  sim::RunConfig rc;
-  rc.duration_s = 0.2;
-  const sim::RunResult run = sim::run_experiment(world, *ctrl, rc);
-  std::printf("\nController run: reliability %.2f, mean throughput %.0f Mbps, "
-              "%zu active beams\n",
-              run.summary.reliability, run.summary.mean_throughput_bps / 1e6,
-              ctrl->num_active_beams());
+  // 4. Or just let the experiment engine do all of the above from a
+  //    declarative spec: scenario and controller resolved by registry
+  //    name, the same path every bench campaign uses.
+  sim::ExperimentSpec spec;
+  spec.name = "quickstart";
+  spec.scenario.name = "indoor";
+  spec.scenario.config = cfg;
+  spec.controller.name = "mmreliable";
+  spec.run.duration_s = 0.2;
+  spec.seed = cfg.seed;
+  spec.seed_policy = sim::SeedPolicy::kFixed;
+  const sim::EngineResult run = sim::Engine().run(spec);
+  std::printf("\nEngine run ('%s' + '%s'): reliability %.2f, "
+              "mean throughput %.0f Mbps\n",
+              spec.scenario.name.c_str(), spec.controller.name.c_str(),
+              run.trials[0].value.reliability,
+              run.trials[0].value.mean_throughput_bps / 1e6);
   return 0;
 }

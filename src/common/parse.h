@@ -1,0 +1,43 @@
+// Strict numeric parsing for command-line values. strtoull alone accepts
+// garbage silently ("abc" -> 0, "12x" -> 12, "-1" -> huge), which turned
+// typos like `--jobs abc` into "use every hardware thread". These helpers
+// accept ONLY a full base-10 unsigned integer that fits the target type.
+#pragma once
+
+#include <cctype>
+#include <cerrno>
+#include <cstdint>
+#include <cstdlib>
+#include <limits>
+
+namespace mmr {
+
+/// Parse `text` as a base-10 unsigned 64-bit integer. Returns false (and
+/// leaves `out` untouched) unless the ENTIRE string is a valid number:
+/// no empty input, no sign, no whitespace, no trailing characters, no
+/// overflow past uint64.
+inline bool parse_u64(const char* text, std::uint64_t& out) {
+  if (text == nullptr || *text == '\0') return false;
+  // strtoull skips leading whitespace and accepts '+'/'-'; forbid both by
+  // requiring the first character to be a digit.
+  if (!std::isdigit(static_cast<unsigned char>(*text))) return false;
+  errno = 0;
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(text, &end, 10);
+  if (errno == ERANGE) return false;
+  if (end == text || *end != '\0') return false;
+  out = static_cast<std::uint64_t>(value);
+  return true;
+}
+
+/// Same, for size_t (rejects values that do not fit size_t on this
+/// platform).
+inline bool parse_size(const char* text, std::size_t& out) {
+  std::uint64_t value = 0;
+  if (!parse_u64(text, value)) return false;
+  if (value > std::numeric_limits<std::size_t>::max()) return false;
+  out = static_cast<std::size_t>(value);
+  return true;
+}
+
+}  // namespace mmr

@@ -1,6 +1,11 @@
 #include "core/delay_multibeam.h"
 
+#include <algorithm>
+#include <utility>
+
 #include "common/error.h"
+#include "core/multibeam.h"
+#include "core/superres.h"
 
 namespace mmr::core {
 
@@ -22,6 +27,72 @@ array::DelayPhasedArray build_delay_multibeam(
     for (std::size_t k = 0; k < comp.size(); ++k) dpa.set_delay(k, comp[k]);
   }
   return dpa;
+}
+
+DelayMultibeamController::DelayMultibeamController(const array::Ula& ula,
+                                                   array::Codebook codebook,
+                                                   DelayMultibeamConfig config)
+    : ula_(ula), codebook_(std::move(codebook)), config_(config) {
+  MMR_EXPECTS(config_.max_beams >= 1);
+  MMR_EXPECTS(config_.cir_taps >= 4);
+  MMR_EXPECTS(config_.bandwidth_hz > 0.0);
+  MMR_EXPECTS(config_.carrier_hz > 0.0);
+}
+
+void DelayMultibeamController::start(double /*t_s*/,
+                                     const LinkProbeInterface& link) {
+  TrainingConfig tc = config_.training;
+  tc.top_k = std::max(tc.top_k, config_.max_beams);
+  const TrainingResult training = exhaustive_training(codebook_, link.csi, tc);
+  MMR_EXPECTS(!training.beams.empty());
+
+  const std::size_t k = std::min(config_.max_beams, training.beams.size());
+  angles_.clear();
+  for (std::size_t b = 0; b < k; ++b) {
+    angles_.push_back(training.beams[b].angle_rad);
+  }
+
+  if (k < 2) {
+    // A delay phased array degenerates to a plain single beam.
+    delays_.assign(1, 0.0);
+    weights_ =
+        synthesize_multibeam(ula_, {{angles_[0], cplx{1.0, 0.0}}}).weights;
+    started_ = true;
+    return;
+  }
+
+  // Constructive-combining coefficients via the two-probe relative-channel
+  // estimator, reusing the training-phase single-beam powers.
+  std::vector<RVec> trained_powers = training.powers();
+  trained_powers.resize(k);
+  const std::vector<RelativeChannel> rel =
+      estimate_relative_channels(ula_, angles_, link.csi, &trained_powers);
+  std::vector<cplx> ratios(k);
+  for (std::size_t b = 0; b < k; ++b) ratios[b] = rel[b].ratio;
+
+  // Per-beam ToFs from single-beam CIR peaks, referenced to the earliest
+  // arrival: the inter-path delay spread the delay lines must cancel.
+  const double ts = 1.0 / config_.bandwidth_hz;
+  delays_.assign(k, 0.0);
+  for (std::size_t b = 0; b < k; ++b) {
+    const MultiBeam single =
+        synthesize_multibeam(ula_, {{angles_[b], cplx{1.0, 0.0}}});
+    const CVec cir = link.cir(single.weights, config_.cir_taps);
+    delays_[b] = estimate_peak_delay(cir, ts);
+  }
+  const double t0 = *std::min_element(delays_.begin(), delays_.end());
+  for (double& d : delays_) d -= t0;
+
+  const array::DelayPhasedArray dpa =
+      build_delay_multibeam(ula_, angles_, ratios, delays_, true);
+  weights_ = dpa.weights_at(config_.carrier_hz, 0.0);
+  started_ = true;
+}
+
+void DelayMultibeamController::step(double /*t_s*/,
+                                    const LinkProbeInterface& /*link*/) {
+  // Static architecture: no maintenance loop (the whole point of the
+  // delay-compensated design is that one training suffices for the band).
 }
 
 }  // namespace mmr::core

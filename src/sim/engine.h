@@ -1,0 +1,180 @@
+// Registry-driven experiment engine.
+//
+// The benches all share one shape -- build a world from a named scenario,
+// build a controller from a named scheme, sweep trials deterministically,
+// aggregate, emit one JSON record -- but each used to hand-roll it. The
+// engine makes that shape declarative:
+//
+//   * ScenarioRegistry maps a name ("indoor", "indoor_sparse", "outdoor",
+//     "indoor_poor") + a ScenarioSpec to a LinkWorld;
+//   * ControllerRegistry maps a name ("mmreliable", "delay_multibeam",
+//     "reactive", "single_frozen", "beamspy", "widebeam", "oracle",
+//     "mmreliable_ablation") + a ControllerSpec to a BeamController;
+//   * ExperimentSpec names both, adds the RunConfig and sweep shape
+//     (trials/jobs/seed), and Engine::run() evaluates it on the
+//     deterministic SweepRunner, streaming results to a TelemetrySink.
+//
+// Determinism contract (inherited from sim/sweep.h): for a fixed
+// ExperimentSpec, jobs=K is bit-identical to jobs=1; sink events are
+// replayed in trial-index order after the sweep barrier.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/controller_base.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "sim/sweep.h"
+#include "sim/world.h"
+
+namespace mmr::sim {
+
+class TelemetrySink;
+
+/// A walking blocker crossing the scenario's link line.
+struct BlockerSpec {
+  double crossing_time_s = 0.5;
+  double speed_mps = 1.0;
+  double depth_db = 26.0;
+};
+
+/// Declarative scenario: a registered name plus every knob the built-in
+/// world factories expose. Fields a given scenario does not use are
+/// ignored (e.g. link_distance_m indoors, ue_rotation outdoors).
+struct ScenarioSpec {
+  std::string name = "indoor";
+  ScenarioConfig config;
+
+  // Indoor knobs (make_indoor_world).
+  channel::Vec2 ue_velocity{0.0, 0.0};
+  double ue_rotation_rate_rad_s = 0.0;
+  channel::Vec2 ue_start{7.0, 6.2};
+
+  // Outdoor knobs (make_outdoor_world).
+  double link_distance_m = 40.0;
+
+  // indoor_poor knobs: a reflection-poor wooden room; an IRS panel is
+  // deployed when irs_gain_db > 0 (Section 8 future work).
+  double irs_gain_db = 0.0;
+  channel::Vec2 irs_position{3.75, 5.0};
+
+  /// Crossing blockers added after world construction, in order.
+  std::vector<BlockerSpec> blockers;
+};
+
+/// Declarative controller: a registered name plus the shared knobs the
+/// built-in factories consume.
+struct ControllerSpec {
+  std::string name = "mmreliable";
+  std::size_t max_beams = 2;
+  // mmreliable_ablation only (Fig. 17c): stage toggles.
+  bool enable_tracking = true;
+  bool enable_cc_refresh = true;
+};
+
+/// String-keyed scenario factory registry. Unknown names throw
+/// std::invalid_argument whose message lists every registered name.
+class ScenarioRegistry {
+ public:
+  using Factory = std::function<LinkWorld(const ScenarioSpec&)>;
+
+  /// Process-wide registry, pre-populated with the built-in scenarios.
+  static ScenarioRegistry& instance();
+
+  void add(const std::string& name, Factory factory);
+  bool contains(const std::string& name) const;
+  /// Registered names in lexicographic order.
+  std::vector<std::string> names() const;
+  LinkWorld make(const ScenarioSpec& spec) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// String-keyed controller factory registry; same error contract as
+/// ScenarioRegistry. The world reference passed to make() must outlive
+/// the returned controller (factories derive outage thresholds from it,
+/// and the oracle holds a reference).
+class ControllerRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<core::BeamController>(
+      const LinkWorld& world, const ScenarioConfig& config,
+      const ControllerSpec& spec)>;
+
+  /// Process-wide registry, pre-populated with the built-in controllers.
+  static ControllerRegistry& instance();
+
+  void add(const std::string& name, Factory factory);
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+  std::unique_ptr<core::BeamController> make(const LinkWorld& world,
+                                             const ScenarioConfig& config,
+                                             const ControllerSpec& spec) const;
+
+ private:
+  std::map<std::string, Factory> factories_;
+};
+
+/// How each trial's world seed is derived.
+enum class SeedPolicy {
+  /// scenario.config.seed = Rng::derive_stream_seed(seed, trial index):
+  /// independent Monte-Carlo draws (the usual sweep).
+  kPerTrialStream,
+  /// Every trial keeps scenario.config.seed as authored (typically set by
+  /// `customize`) -- for paired comparisons and ablation matrices.
+  kFixed,
+};
+
+/// One declarative experiment campaign.
+struct ExperimentSpec {
+  std::string name;  ///< bench name in the emitted JSON record
+  ScenarioSpec scenario;
+  ControllerSpec controller;
+  RunConfig run;
+
+  std::size_t trials = 1;
+  std::size_t jobs = 1;
+  std::uint64_t seed = 1;
+  SeedPolicy seed_policy = SeedPolicy::kPerTrialStream;
+
+  /// Keep per-tick samples (and replay them to the sink). Off by default:
+  /// big sweeps only need summaries.
+  bool record_samples = false;
+
+  /// Per-trial hook, run after the seed policy: mutate the copied specs
+  /// for this trial (scheme matrices, randomized blockers, ...). Must be
+  /// a pure function of the TrialContext for determinism.
+  std::function<void(const TrialContext& ctx, ScenarioSpec& scenario,
+                     ControllerSpec& controller, RunConfig& run)>
+      customize;
+  /// Optional per-trial label for the JSON record.
+  std::function<std::string(const TrialContext& ctx)> label;
+};
+
+/// Everything Engine::run produces.
+struct EngineResult {
+  std::vector<SweepTrial<core::LinkSummary>> trials;
+  /// Per-trial sample series; empty unless spec.record_samples.
+  std::vector<std::vector<core::LinkSample>> samples;
+  /// Per-trial labels; empty unless spec.label is set.
+  std::vector<std::string> labels;
+  SweepTiming timing;
+  SweepSummary aggregate;
+};
+
+/// Evaluates ExperimentSpecs over the deterministic sweep runner.
+class Engine {
+ public:
+  /// Run the campaign. When `sink` is non-null it receives, after the
+  /// sweep barrier and in trial-index order: per-trial run events
+  /// (on_run_begin/on_sample.../on_run_end when record_samples, just
+  /// on_run_end otherwise) followed by one on_sweep record.
+  EngineResult run(const ExperimentSpec& spec, TelemetrySink* sink = nullptr);
+};
+
+}  // namespace mmr::sim

@@ -1,14 +1,23 @@
 #include "sim/runner.h"
 
+#include <cmath>
+
 #include "common/error.h"
 #include "phy/mcs.h"
+#include "sim/telemetry.h"
 
 namespace mmr::sim {
 
 RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
-                         const RunConfig& config) {
+                         const RunConfig& config, TelemetrySink* sink) {
   MMR_EXPECTS(config.duration_s > 0.0);
+  MMR_EXPECTS(std::isfinite(config.duration_s));
   MMR_EXPECTS(config.tick_s > 0.0);
+  MMR_EXPECTS(std::isfinite(config.tick_s));
+  MMR_EXPECTS(std::isfinite(config.outage_snr_db));
+  MMR_EXPECTS(config.protocol_overhead >= 0.0);
+  MMR_EXPECTS(config.protocol_overhead < 1.0);
+  if (sink != nullptr) sink->on_run_begin(config);
 
   const phy::McsTable& mcs = phy::McsTable::nr();
   const double bandwidth = world.config().spec.bandwidth_hz;
@@ -36,9 +45,11 @@ RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
                                  config.protocol_overhead)
             : 0.0;
     result.samples.push_back(sample);
+    if (sink != nullptr) sink->on_sample(sample);
   }
   result.summary = core::summarize_link(result.samples, config.outage_snr_db,
                                         bandwidth);
+  if (sink != nullptr) sink->on_run_end(result.summary);
   return result;
 }
 

@@ -11,6 +11,8 @@
 
 namespace mmr::sim {
 
+class TelemetrySink;
+
 struct RunConfig {
   double duration_s = 1.0;     ///< paper: 1 s experiments
   double tick_s = 2.5e-3;      ///< CSI-RS cadence driving the controller
@@ -28,7 +30,16 @@ struct RunResult {
 /// Run `controller` over `world` for the configured duration. The
 /// controller is start()ed at t=0 and step()ped every tick; each tick is
 /// scored with the TRUE channel under the controller's current weights.
+///
+/// `config` is validated up front (positive finite duration/tick, finite
+/// outage threshold, protocol_overhead in [0, 1)); violations throw
+/// std::logic_error per the common/error.h convention.
+///
+/// When `sink` is non-null it receives on_run_begin, one on_sample per
+/// tick, and on_run_end with the summary -- the telemetry never perturbs
+/// the result.
 RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
-                         const RunConfig& config = {});
+                         const RunConfig& config = {},
+                         TelemetrySink* sink = nullptr);
 
 }  // namespace mmr::sim

@@ -1,0 +1,64 @@
+#include "sim/telemetry.h"
+
+#include "common/error.h"
+#include "sim/runner.h"
+
+namespace mmr::sim {
+
+void MemorySink::on_run_begin(const RunConfig& /*config*/) {
+  runs_.emplace_back();
+}
+
+void MemorySink::on_sample(const core::LinkSample& sample) {
+  // Tolerate callers that emit samples without a preceding on_run_begin
+  // (e.g. hand-driven loops): open an implicit run.
+  if (runs_.empty()) runs_.emplace_back();
+  runs_.back().push_back(sample);
+}
+
+void MemorySink::on_run_end(const core::LinkSummary& summary) {
+  summaries_.push_back(summary);
+}
+
+void MemorySink::on_sweep(const SweepRecord& /*record*/) { ++num_sweeps_; }
+
+void JsonLinesSink::on_sample(const core::LinkSample& sample) {
+  if (!per_tick_) return;
+  const auto flags = os_.flags();
+  const auto precision = os_.precision();
+  os_.precision(10);
+  os_ << "{\"t_s\": " << sample.t_s << ", \"snr_db\": " << sample.snr_db
+      << ", \"throughput_bps\": " << sample.throughput_bps
+      << ", \"available\": " << (sample.available ? "true" : "false")
+      << "}\n";
+  os_.flags(flags);
+  os_.precision(precision);
+}
+
+void JsonLinesSink::on_sweep(const SweepRecord& record) {
+  write_sweep_json(os_, record.name, record.trials, record.timing,
+                   record.labels);
+}
+
+void FanoutSink::add(TelemetrySink* sink) {
+  MMR_EXPECTS(sink != nullptr);
+  sinks_.push_back(sink);
+}
+
+void FanoutSink::on_run_begin(const RunConfig& config) {
+  for (TelemetrySink* s : sinks_) s->on_run_begin(config);
+}
+
+void FanoutSink::on_sample(const core::LinkSample& sample) {
+  for (TelemetrySink* s : sinks_) s->on_sample(sample);
+}
+
+void FanoutSink::on_run_end(const core::LinkSummary& summary) {
+  for (TelemetrySink* s : sinks_) s->on_run_end(summary);
+}
+
+void FanoutSink::on_sweep(const SweepRecord& record) {
+  for (TelemetrySink* s : sinks_) s->on_sweep(record);
+}
+
+}  // namespace mmr::sim

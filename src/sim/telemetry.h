@@ -1,0 +1,113 @@
+// Pluggable telemetry for the experiment pipeline.
+//
+// A TelemetrySink observes a link experiment at three granularities:
+//   * per-tick LinkSample events while run_experiment scores a link,
+//   * a run-level LinkSummary when one controller run finishes,
+//   * a sweep-level record (per-trial summaries + timing + labels) when a
+//     whole Engine campaign completes.
+// Built-in sinks: NullSink (discard), MemorySink (in-process capture),
+// JsonLinesSink (the benches' one-line JSON record, byte-compatible with
+// write_sweep_json), FanoutSink (tee to several sinks, e.g. stdout + a
+// --json-out file).
+//
+// Ordering contract: sinks are driven from ONE thread. When the Engine
+// fans trials across workers it buffers per-trial events and replays them
+// to the sink in trial-index order after the sweep barrier, so sink output
+// is deterministic and independent of the worker schedule.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "sim/sweep.h"
+
+namespace mmr::sim {
+
+struct RunConfig;
+
+/// One completed sweep campaign, as delivered to TelemetrySink::on_sweep.
+struct SweepRecord {
+  std::string name;
+  std::span<const SweepTrial<core::LinkSummary>> trials;
+  SweepTiming timing;
+  /// One label per trial, or empty when the campaign does not tag trials.
+  std::span<const std::string> labels;
+};
+
+class TelemetrySink {
+ public:
+  virtual ~TelemetrySink() = default;
+
+  /// A controller run is starting under `config`.
+  virtual void on_run_begin(const RunConfig& config) { (void)config; }
+  /// One scored tick of the active run.
+  virtual void on_sample(const core::LinkSample& sample) { (void)sample; }
+  /// The active run finished with this summary.
+  virtual void on_run_end(const core::LinkSummary& summary) { (void)summary; }
+  /// A whole sweep campaign finished (one record per Engine::run).
+  virtual void on_sweep(const SweepRecord& record) { (void)record; }
+};
+
+/// Discards everything (the default when no telemetry is requested).
+class NullSink final : public TelemetrySink {};
+
+/// Captures everything in memory: per-run sample series and summaries in
+/// the order the runs were delivered, plus the last sweep record's
+/// aggregate inputs. Replaces the benches' bespoke trace capture.
+class MemorySink final : public TelemetrySink {
+ public:
+  void on_run_begin(const RunConfig& config) override;
+  void on_sample(const core::LinkSample& sample) override;
+  void on_run_end(const core::LinkSummary& summary) override;
+  void on_sweep(const SweepRecord& record) override;
+
+  /// Sample series of run r (in delivery order).
+  const std::vector<std::vector<core::LinkSample>>& runs() const {
+    return runs_;
+  }
+  const std::vector<core::LinkSummary>& summaries() const {
+    return summaries_;
+  }
+  std::size_t num_sweeps() const { return num_sweeps_; }
+
+ private:
+  std::vector<std::vector<core::LinkSample>> runs_;
+  std::vector<core::LinkSummary> summaries_;
+  std::size_t num_sweeps_ = 0;
+};
+
+/// Emits one JSON line per sweep record -- the exact bytes
+/// write_sweep_json produces, so ported benches keep their machine-read
+/// output stable. Optionally also emits per-tick sample records
+/// (JSON-lines) for full-resolution traces.
+class JsonLinesSink final : public TelemetrySink {
+ public:
+  explicit JsonLinesSink(std::ostream& os, bool per_tick = false)
+      : os_(os), per_tick_(per_tick) {}
+
+  void on_sample(const core::LinkSample& sample) override;
+  void on_sweep(const SweepRecord& record) override;
+
+ private:
+  std::ostream& os_;
+  bool per_tick_ = false;
+};
+
+/// Fans every event out to several sinks in registration order (tee).
+/// Does not own the sinks; keep them alive while the fanout is in use.
+class FanoutSink final : public TelemetrySink {
+ public:
+  void add(TelemetrySink* sink);
+
+  void on_run_begin(const RunConfig& config) override;
+  void on_sample(const core::LinkSample& sample) override;
+  void on_run_end(const core::LinkSummary& summary) override;
+  void on_sweep(const SweepRecord& record) override;
+
+ private:
+  std::vector<TelemetrySink*> sinks_;
+};
+
+}  // namespace mmr::sim

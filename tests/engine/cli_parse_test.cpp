@@ -1,0 +1,148 @@
+// Strict numeric parsing for the bench CLI (common/parse.h) and the
+// sweep_cli flag handling itself. The old strtoull-based parsing accepted
+// "abc" as 0 (= every hardware thread) and "12x" as 12; these pins make
+// sure garbage exits with status 2 instead of being silently truncated.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/parse.h"
+#include "sweep_cli.h"
+
+namespace mmr {
+namespace {
+
+TEST(ParseU64, AcceptsFullBase10Integers) {
+  std::uint64_t v = 99;
+  EXPECT_TRUE(parse_u64("0", v));
+  EXPECT_EQ(v, 0u);
+  EXPECT_TRUE(parse_u64("42", v));
+  EXPECT_EQ(v, 42u);
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+}
+
+TEST(ParseU64, RejectsGarbageAndLeavesOutputUntouched) {
+  std::uint64_t v = 7;
+  EXPECT_FALSE(parse_u64(nullptr, v));
+  EXPECT_FALSE(parse_u64("", v));
+  EXPECT_FALSE(parse_u64("abc", v));
+  EXPECT_FALSE(parse_u64("12x", v));       // trailing garbage
+  EXPECT_FALSE(parse_u64("-1", v));        // sign
+  EXPECT_FALSE(parse_u64("+1", v));        // sign
+  EXPECT_FALSE(parse_u64(" 1", v));        // leading whitespace
+  EXPECT_FALSE(parse_u64("1 ", v));        // trailing whitespace
+  EXPECT_FALSE(parse_u64("0x10", v));      // hex
+  EXPECT_FALSE(parse_u64("1e3", v));       // float notation
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));  // uint64 overflow
+  EXPECT_EQ(v, 7u) << "failed parse must not clobber the output";
+}
+
+TEST(ParseSize, TracksU64Semantics) {
+  std::size_t v = 3;
+  EXPECT_TRUE(parse_size("123", v));
+  EXPECT_EQ(v, 123u);
+  EXPECT_FALSE(parse_size("nope", v));
+  EXPECT_EQ(v, 123u);
+}
+
+// --- sweep_cli flag handling -------------------------------------------
+
+std::vector<char*> argv_of(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (std::string& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(SweepCli, ParsesAllFlagsInBothForms) {
+  std::vector<std::string> args = {"prog",       "--jobs",     "4",
+                                   "--trials=9", "--seed",     "77",
+                                   "--scenario", "outdoor",    "--controller=reactive",
+                                   "--json-out", "/tmp/x.json"};
+  auto argv = argv_of(args);
+  const bench::SweepCliOptions opts =
+      bench::parse_sweep_cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(opts.jobs, 4u);
+  EXPECT_EQ(opts.trials, 9u);
+  EXPECT_EQ(opts.seed, 77u);
+  EXPECT_EQ(opts.scenario, "outdoor");
+  EXPECT_EQ(opts.controller, "reactive");
+  EXPECT_EQ(opts.json_out, "/tmp/x.json");
+}
+
+TEST(SweepCli, DefaultsWhenNoFlags) {
+  std::vector<std::string> args = {"prog"};
+  auto argv = argv_of(args);
+  const bench::SweepCliOptions opts =
+      bench::parse_sweep_cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(opts.jobs, 1u);
+  EXPECT_EQ(opts.trials, 0u);
+  EXPECT_EQ(opts.seed, 0u);
+  EXPECT_TRUE(opts.scenario.empty());
+  EXPECT_TRUE(opts.controller.empty());
+  EXPECT_TRUE(opts.json_out.empty());
+}
+
+int run_cli(std::vector<std::string> args) {
+  auto argv = argv_of(args);
+  bench::parse_sweep_cli(static_cast<int>(argv.size()), argv.data());
+  return 0;
+}
+
+TEST(SweepCliDeathTest, GarbageJobsExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--jobs", "abc"}),
+              ::testing::ExitedWithCode(2), "invalid value for --jobs");
+}
+
+TEST(SweepCliDeathTest, TrailingGarbageTrialsExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--trials=12x"}),
+              ::testing::ExitedWithCode(2), "invalid value for --trials");
+}
+
+TEST(SweepCliDeathTest, NegativeSeedExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--seed", "-1"}),
+              ::testing::ExitedWithCode(2), "invalid value for --seed");
+}
+
+TEST(SweepCliDeathTest, MissingValueExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--jobs"}), ::testing::ExitedWithCode(2),
+              "unknown argument");
+}
+
+TEST(SweepCliDeathTest, UnknownFlagExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--frobnicate"}),
+              ::testing::ExitedWithCode(2), "unknown argument");
+}
+
+TEST(SweepCliDeathTest, ListExits0AndPrintsRegistries) {
+  EXPECT_EXIT(run_cli({"prog", "--list"}), ::testing::ExitedWithCode(0),
+              "");
+}
+
+TEST(SweepCli, ApplyCliOverridesRegistryNamesAndJobs) {
+  bench::SweepCliOptions opts;
+  opts.jobs = 3;
+  opts.scenario = "outdoor";
+  opts.controller = "reactive";
+  sim::ExperimentSpec spec;
+  bench::apply_cli(opts, spec);
+  EXPECT_EQ(spec.jobs, 3u);
+  EXPECT_EQ(spec.scenario.name, "outdoor");
+  EXPECT_EQ(spec.controller.name, "reactive");
+
+  // Empty overrides keep the bench's defaults.
+  bench::SweepCliOptions defaults;
+  sim::ExperimentSpec spec2;
+  spec2.scenario.name = "indoor_sparse";
+  spec2.controller.name = "beamspy";
+  bench::apply_cli(defaults, spec2);
+  EXPECT_EQ(spec2.scenario.name, "indoor_sparse");
+  EXPECT_EQ(spec2.controller.name, "beamspy");
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,268 @@
+// Engine-vs-direct regression: shortened versions of the four ported
+// figure campaigns (Figs. 15-18), each run twice -- once through
+// Engine::run with registry names, once hand-rolled against SweepRunner
+// and the factories the registries wrap. Summaries must match with EXACT
+// floating-point equality and the serialized JSON (timings zeroed, since
+// wall-clock can never reproduce) must match byte for byte. This is the
+// contract that let the benches move onto the engine without their JSON
+// records changing.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "baselines/reactive_single_beam.h"
+#include "common/constants.h"
+#include "core/maintenance.h"
+#include "sim/engine.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace mmr::sim {
+namespace {
+
+using Trials = std::vector<SweepTrial<core::LinkSummary>>;
+
+void expect_identical(const Trials& engine, const Trials& direct) {
+  ASSERT_EQ(engine.size(), direct.size());
+  for (std::size_t i = 0; i < engine.size(); ++i) {
+    SCOPED_TRACE(i);
+    EXPECT_EQ(engine[i].value.reliability, direct[i].value.reliability);
+    EXPECT_EQ(engine[i].value.mean_throughput_bps,
+              direct[i].value.mean_throughput_bps);
+    EXPECT_EQ(engine[i].value.mean_spectral_efficiency,
+              direct[i].value.mean_spectral_efficiency);
+    EXPECT_EQ(engine[i].value.throughput_reliability_product,
+              direct[i].value.throughput_reliability_product);
+    EXPECT_EQ(engine[i].value.num_samples, direct[i].value.num_samples);
+  }
+}
+
+/// Serialize with per-trial and sweep timings zeroed: the only
+/// run-to-run-varying fields, everything else must be byte-stable.
+std::string json_of(const std::string& name, Trials trials,
+                    std::span<const std::string> labels = {}) {
+  for (auto& t : trials) {
+    t.wall_s = 0.0;
+    t.cpu_s = 0.0;
+  }
+  SweepTiming timing;
+  timing.jobs = 1;
+  std::ostringstream os;
+  write_sweep_json(os, name, trials, timing, labels);
+  return os.str();
+}
+
+// --- Fig. 15 shape: per-trial seed streams, one controller --------------
+
+TEST(EngineGolden, Fig15ShapeMatchesHandRolledSweep) {
+  ExperimentSpec spec;
+  spec.name = "fig15_shape";
+  spec.scenario.name = "indoor";
+  spec.controller.name = "mmreliable";
+  spec.run.duration_s = 0.2;
+  spec.trials = 3;
+  spec.seed = 7;
+  spec.seed_policy = SeedPolicy::kPerTrialStream;
+  const EngineResult engine = Engine().run(spec);
+
+  SweepRunner runner({3, 1, 7});
+  const Trials direct = runner.run([](TrialContext& ctx) {
+    ScenarioConfig cfg;
+    cfg.seed = ctx.stream_seed;
+    LinkWorld world = make_indoor_world(cfg);
+    auto ctrl = make_mmreliable(world, cfg);
+    RunConfig rc;
+    rc.duration_s = 0.2;
+    return run_experiment(world, *ctrl, rc).summary;
+  });
+
+  expect_identical(engine.trials, direct);
+  EXPECT_EQ(json_of(spec.name, engine.trials), json_of(spec.name, direct));
+}
+
+// --- Fig. 16 shape: fixed seed, blocker, controller matrix --------------
+
+TEST(EngineGolden, Fig16ShapeMatchesHandRolledSweep) {
+  ExperimentSpec spec;
+  spec.name = "fig16_shape";
+  spec.scenario.name = "indoor_sparse";
+  spec.scenario.config.seed = 13;
+  spec.scenario.config.tx_power_dbm = 14.0;
+  spec.scenario.blockers = {{0.45, 1.2, 30.0}};
+  spec.run.duration_s = 0.4;
+  spec.trials = 2;
+  spec.seed = 13;
+  spec.seed_policy = SeedPolicy::kFixed;
+  spec.record_samples = true;
+  spec.customize = [](const TrialContext& ctx, ScenarioSpec& /*scenario*/,
+                      ControllerSpec& controller, RunConfig& /*run*/) {
+    controller.name = ctx.index == 0 ? "single_frozen" : "mmreliable";
+  };
+  const EngineResult engine = Engine().run(spec);
+
+  auto direct_trial = [](bool multi) {
+    ScenarioConfig cfg;
+    cfg.seed = 13;
+    cfg.tx_power_dbm = 14.0;
+    cfg.sparse_room = true;
+    LinkWorld world = make_indoor_world(cfg);
+    world.add_blocker(
+        crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.45, 1.2, 30.0));
+    RunConfig rc;
+    rc.duration_s = 0.4;
+    if (multi) {
+      auto ctrl = make_mmreliable(world, cfg);
+      return run_experiment(world, *ctrl, rc);
+    }
+    baselines::ReactiveConfig rcfg;
+    rcfg.outage_power_linear = 0.0;
+    baselines::ReactiveSingleBeam ctrl(
+        world.config().tx_ula, sector_codebook(world.config().tx_ula), rcfg);
+    return run_experiment(world, ctrl, rc);
+  };
+  const RunResult single = direct_trial(false);
+  const RunResult multi = direct_trial(true);
+
+  ASSERT_EQ(engine.trials.size(), 2u);
+  EXPECT_EQ(engine.trials[0].value.reliability, single.summary.reliability);
+  EXPECT_EQ(engine.trials[1].value.reliability, multi.summary.reliability);
+  ASSERT_EQ(engine.samples.size(), 2u);
+  ASSERT_EQ(engine.samples[0].size(), single.samples.size());
+  ASSERT_EQ(engine.samples[1].size(), multi.samples.size());
+  for (std::size_t i = 0; i < single.samples.size(); ++i) {
+    EXPECT_EQ(engine.samples[0][i].snr_db, single.samples[i].snr_db);
+    EXPECT_EQ(engine.samples[1][i].snr_db, multi.samples[i].snr_db);
+  }
+}
+
+// --- Fig. 17c shape: ablation controller, stage toggles -----------------
+
+TEST(EngineGolden, Fig17ShapeMatchesHandRolledSweep) {
+  ExperimentSpec spec;
+  spec.name = "fig17_shape";
+  spec.scenario.name = "indoor";
+  spec.scenario.config.seed = 11;
+  spec.scenario.ue_velocity = {0.0, -1.5};
+  spec.controller.name = "mmreliable_ablation";
+  spec.run.duration_s = 0.3;
+  spec.trials = 2;
+  spec.seed = 11;
+  spec.seed_policy = SeedPolicy::kFixed;
+  spec.customize = [](const TrialContext& ctx, ScenarioSpec& /*scenario*/,
+                      ControllerSpec& controller, RunConfig& /*run*/) {
+    controller.enable_tracking = ctx.index == 1;
+  };
+  const EngineResult engine = Engine().run(spec);
+
+  auto direct_trial = [](bool tracking) {
+    ScenarioConfig cfg;
+    cfg.seed = 11;
+    LinkWorld world = make_indoor_world(cfg, {0.0, -1.5});
+    const array::Ula ula = world.config().tx_ula;
+    core::MaintenanceConfig mc;
+    mc.max_beams = 2;
+    mc.bandwidth_hz = world.config().spec.bandwidth_hz;
+    mc.outage_power_linear = world.power_for_snr(kOutageSnrDb);
+    mc.enable_tracking = tracking;
+    core::MmReliableController ctrl(ula, sector_codebook(ula), mc);
+    RunConfig rc;
+    rc.duration_s = 0.3;
+    return run_experiment(world, ctrl, rc).summary;
+  };
+
+  ASSERT_EQ(engine.trials.size(), 2u);
+  const core::LinkSummary frozen = direct_trial(false);
+  const core::LinkSummary tracked = direct_trial(true);
+  EXPECT_EQ(engine.trials[0].value.reliability, frozen.reliability);
+  EXPECT_EQ(engine.trials[0].value.mean_throughput_bps,
+            frozen.mean_throughput_bps);
+  EXPECT_EQ(engine.trials[1].value.reliability, tracked.reliability);
+  EXPECT_EQ(engine.trials[1].value.mean_throughput_bps,
+            tracked.mean_throughput_bps);
+}
+
+// --- Fig. 18 shape: four-scheme matrix on a blocked room ----------------
+
+TEST(EngineGolden, Fig18ShapeMatchesHandRolledSweep) {
+  const std::vector<std::string> schemes = {"mmreliable", "reactive",
+                                            "beamspy", "widebeam"};
+  ExperimentSpec spec;
+  spec.name = "fig18_shape";
+  spec.scenario.name = "indoor_sparse";
+  spec.scenario.config.seed = 31;
+  spec.scenario.config.tx_power_dbm = 14.0;
+  spec.scenario.blockers = {{0.4, 1.0, 30.0}};
+  spec.run.duration_s = 0.4;
+  spec.trials = schemes.size();
+  spec.seed = 31;
+  spec.seed_policy = SeedPolicy::kFixed;
+  spec.customize = [&schemes](const TrialContext& ctx,
+                              ScenarioSpec& /*scenario*/,
+                              ControllerSpec& controller,
+                              RunConfig& /*run*/) {
+    controller.name = schemes[ctx.index];
+  };
+  spec.label = [&schemes](const TrialContext& ctx) {
+    return schemes[ctx.index];
+  };
+  const EngineResult engine = Engine().run(spec);
+
+  SweepRunner runner({schemes.size(), 1, 31});
+  const Trials direct = runner.run([&schemes](TrialContext& ctx) {
+    ScenarioConfig cfg;
+    cfg.seed = 31;
+    cfg.tx_power_dbm = 14.0;
+    cfg.sparse_room = true;
+    LinkWorld world = make_indoor_world(cfg);
+    world.add_blocker(
+        crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.4, 1.0, 30.0));
+    RunConfig rc;
+    rc.duration_s = 0.4;
+    std::unique_ptr<core::BeamController> ctrl;
+    const std::string& scheme = schemes[ctx.index];
+    if (scheme == "mmreliable") {
+      ctrl = make_mmreliable(world, cfg);
+    } else if (scheme == "reactive") {
+      ctrl = make_reactive(world, cfg);
+    } else if (scheme == "beamspy") {
+      ctrl = make_beamspy(world, cfg);
+    } else {
+      ctrl = make_widebeam(world, cfg);
+    }
+    return run_experiment(world, *ctrl, rc).summary;
+  });
+
+  expect_identical(engine.trials, direct);
+  EXPECT_EQ(json_of(spec.name, engine.trials, engine.labels),
+            json_of(spec.name, direct, schemes));
+}
+
+// --- Determinism through the engine ------------------------------------
+
+TEST(EngineGolden, ParallelEngineRunIsByteIdenticalToSerial) {
+  auto run_with_jobs = [](std::size_t jobs) {
+    ExperimentSpec spec;
+    spec.name = "jobs_check";
+    spec.scenario.name = "indoor";
+    spec.run.duration_s = 0.15;
+    spec.trials = 4;
+    spec.jobs = jobs;
+    spec.seed = 99;
+    return Engine().run(spec);
+  };
+  const EngineResult serial = run_with_jobs(1);
+  const EngineResult parallel = run_with_jobs(3);
+  expect_identical(serial.trials, parallel.trials);
+  EXPECT_EQ(json_of("jobs_check", serial.trials),
+            json_of("jobs_check", parallel.trials));
+  EXPECT_EQ(serial.aggregate.mean_reliability,
+            parallel.aggregate.mean_reliability);
+  EXPECT_EQ(serial.aggregate.median_throughput_bps,
+            parallel.aggregate.median_throughput_bps);
+}
+
+}  // namespace
+}  // namespace mmr::sim

@@ -1,0 +1,190 @@
+// Scenario/controller registries: the string-keyed factories must produce
+// bit-identical results to calling the underlying factories directly, the
+// builtin names must all be registered, and unknown names must fail with
+// an error that tells the user what IS registered.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "sim/engine.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+
+namespace mmr::sim {
+namespace {
+
+bool has(const std::vector<std::string>& names, const std::string& name) {
+  return std::find(names.begin(), names.end(), name) != names.end();
+}
+
+TEST(Registries, BuiltinScenariosAreRegistered) {
+  const auto names = ScenarioRegistry::instance().names();
+  EXPECT_GE(names.size(), 4u);
+  for (const char* expected :
+       {"indoor", "indoor_sparse", "indoor_poor", "outdoor"}) {
+    EXPECT_TRUE(has(names, expected)) << expected;
+    EXPECT_TRUE(ScenarioRegistry::instance().contains(expected)) << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()))
+      << "names() must enumerate deterministically";
+}
+
+TEST(Registries, BuiltinControllersAreRegistered) {
+  const auto names = ControllerRegistry::instance().names();
+  EXPECT_GE(names.size(), 5u);
+  for (const char* expected :
+       {"mmreliable", "mmreliable_ablation", "delay_multibeam", "reactive",
+        "single_frozen", "beamspy", "widebeam", "oracle"}) {
+    EXPECT_TRUE(has(names, expected)) << expected;
+    EXPECT_TRUE(ControllerRegistry::instance().contains(expected))
+        << expected;
+  }
+  EXPECT_TRUE(std::is_sorted(names.begin(), names.end()));
+}
+
+TEST(Registries, UnknownScenarioListsRegisteredNames) {
+  ScenarioSpec spec;
+  spec.name = "moon_base";
+  try {
+    ScenarioRegistry::instance().make(spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown scenario 'moon_base'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("indoor"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("outdoor"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registries, UnknownControllerListsRegisteredNames) {
+  ScenarioConfig cfg;
+  LinkWorld world = make_indoor_world(cfg);
+  ControllerSpec spec;
+  spec.name = "psychic";
+  try {
+    ControllerRegistry::instance().make(world, cfg, spec);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("unknown controller 'psychic'"), std::string::npos)
+        << msg;
+    EXPECT_NE(msg.find("mmreliable"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("oracle"), std::string::npos) << msg;
+  }
+}
+
+TEST(Registries, EngineFailsFastOnUnknownNames) {
+  ExperimentSpec spec;
+  spec.scenario.name = "nope";
+  EXPECT_THROW(Engine().run(spec), std::invalid_argument);
+  spec.scenario.name = "indoor";
+  spec.controller.name = "nope";
+  EXPECT_THROW(Engine().run(spec), std::invalid_argument);
+}
+
+// The registry path must be indistinguishable from constructing worlds
+// and controllers by hand -- summaries compare with exact equality.
+void expect_identical(const core::LinkSummary& a, const core::LinkSummary& b) {
+  EXPECT_EQ(a.reliability, b.reliability);
+  EXPECT_EQ(a.mean_throughput_bps, b.mean_throughput_bps);
+  EXPECT_EQ(a.mean_spectral_efficiency, b.mean_spectral_efficiency);
+  EXPECT_EQ(a.throughput_reliability_product,
+            b.throughput_reliability_product);
+  EXPECT_EQ(a.num_samples, b.num_samples);
+}
+
+TEST(Registries, IndoorScenarioMatchesDirectFactory) {
+  ScenarioConfig cfg;
+  cfg.seed = 7;
+  RunConfig rc;
+  rc.duration_s = 0.15;
+
+  ScenarioSpec sspec;
+  sspec.name = "indoor";
+  sspec.config = cfg;
+  LinkWorld reg_world = ScenarioRegistry::instance().make(sspec);
+  ControllerSpec cspec;  // defaults to "mmreliable"
+  auto reg_ctrl = ControllerRegistry::instance().make(reg_world, cfg, cspec);
+  const RunResult via_registry = run_experiment(reg_world, *reg_ctrl, rc);
+
+  LinkWorld direct_world = make_indoor_world(cfg);
+  auto direct_ctrl = make_mmreliable(direct_world, cfg);
+  const RunResult direct = run_experiment(direct_world, *direct_ctrl, rc);
+
+  expect_identical(via_registry.summary, direct.summary);
+  ASSERT_EQ(via_registry.samples.size(), direct.samples.size());
+  for (std::size_t i = 0; i < direct.samples.size(); ++i) {
+    EXPECT_EQ(via_registry.samples[i].snr_db, direct.samples[i].snr_db);
+  }
+}
+
+TEST(Registries, OutdoorScenarioMatchesDirectFactory) {
+  ScenarioConfig cfg;
+  cfg.seed = 19;
+  RunConfig rc;
+  rc.duration_s = 0.15;
+
+  ScenarioSpec sspec;
+  sspec.name = "outdoor";
+  sspec.config = cfg;
+  sspec.link_distance_m = 60.0;
+  LinkWorld reg_world = ScenarioRegistry::instance().make(sspec);
+  ControllerSpec cspec;
+  cspec.name = "reactive";
+  auto reg_ctrl = ControllerRegistry::instance().make(reg_world, cfg, cspec);
+  const RunResult via_registry = run_experiment(reg_world, *reg_ctrl, rc);
+
+  LinkWorld direct_world = make_outdoor_world(cfg, 60.0);
+  auto direct_ctrl = make_reactive(direct_world, cfg);
+  const RunResult direct = run_experiment(direct_world, *direct_ctrl, rc);
+
+  expect_identical(via_registry.summary, direct.summary);
+}
+
+TEST(Registries, BlockersInTheSpecMatchManualAddBlocker) {
+  ScenarioConfig cfg;
+  cfg.seed = 42;
+  cfg.sparse_room = true;
+  RunConfig rc;
+  rc.duration_s = 0.6;
+
+  ScenarioSpec sspec;
+  sspec.name = "indoor_sparse";
+  sspec.config = cfg;
+  sspec.config.sparse_room = false;  // the registry entry forces it
+  sspec.blockers = {{0.3, 1.5, 30.0}};
+  LinkWorld reg_world = ScenarioRegistry::instance().make(sspec);
+  auto reg_ctrl = make_mmreliable(reg_world, cfg);
+  const RunResult via_registry = run_experiment(reg_world, *reg_ctrl, rc);
+
+  LinkWorld direct_world = make_indoor_world(cfg);
+  direct_world.add_blocker(
+      crossing_blocker({0.5, 6.2}, {7.0, 6.2}, 0.3, 1.5, 30.0));
+  auto direct_ctrl = make_mmreliable(direct_world, cfg);
+  const RunResult direct = run_experiment(direct_world, *direct_ctrl, rc);
+
+  expect_identical(via_registry.summary, direct.summary);
+}
+
+TEST(Registries, CustomRegistrationIsResolvable) {
+  // User-defined entries compose with the builtins.
+  ScenarioRegistry& reg = ScenarioRegistry::instance();
+  reg.add("test_custom_room", [](const ScenarioSpec& s) {
+    ScenarioConfig cfg = s.config;
+    return make_indoor_world(cfg);
+  });
+  EXPECT_TRUE(reg.contains("test_custom_room"));
+  ScenarioSpec spec;
+  spec.name = "test_custom_room";
+  spec.config.seed = 3;
+  LinkWorld world = reg.make(spec);
+  EXPECT_GT(world.paths().size(), 0u);
+}
+
+}  // namespace
+}  // namespace mmr::sim
