@@ -9,9 +9,11 @@
 //   --seed S           override the sweep's base seed (0 = bench default).
 //   --scenario NAME    override the campaign's registered scenario.
 //   --controller NAME  override the campaign's registered controller.
+//   --faults NAME      apply a named fault preset ("none", "light",
+//                      "moderate", "heavy") to every run's probe/CSI path.
 //   --json-out FILE    additionally write the JSON record(s) to FILE.
 //   --list             print the registered scenario/controller names and
-//                      exit.
+//                      the fault presets, then exit.
 // and ends its report with one JSON line (sweep timing, per-trial
 // wall-clock and LinkSummary values, aggregate) for machine consumption.
 //
@@ -28,10 +30,12 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <stdexcept>
 #include <string>
 
 #include "common/parse.h"
 #include "sim/engine.h"
+#include "sim/faults.h"
 #include "sim/telemetry.h"
 
 namespace mmr::bench {
@@ -42,6 +46,7 @@ struct SweepCliOptions {
   std::uint64_t seed = 0;   ///< 0 = bench default
   std::string scenario;     ///< empty = bench default
   std::string controller;   ///< empty = bench default
+  std::string faults;       ///< fault preset name; empty = no faults
   std::string json_out;     ///< empty = stdout only
 };
 
@@ -83,6 +88,19 @@ inline void print_registries() {
        sim::ControllerRegistry::instance().names()) {
     std::printf("  %s\n", name.c_str());
   }
+  std::printf("fault presets:\n");
+  for (const std::string& name : sim::fault_preset_names()) {
+    std::printf("  %s\n", name.c_str());
+  }
+}
+
+inline void require_fault_preset(const std::string& name, const char* prog) {
+  try {
+    (void)sim::fault_preset(name);
+  } catch (const std::invalid_argument& e) {
+    std::fprintf(stderr, "%s: %s\n", prog, e.what());
+    std::exit(2);
+  }
 }
 
 }  // namespace detail
@@ -111,13 +129,17 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
       opts.scenario = v4;
     } else if (const char* v5 = value_of(i, "--controller")) {
       opts.controller = v5;
-    } else if (const char* v6 = value_of(i, "--json-out")) {
-      opts.json_out = v6;
+    } else if (const char* v6 = value_of(i, "--faults")) {
+      opts.faults = v6;
+      // Validate eagerly so a typo fails before any sweep runs.
+      detail::require_fault_preset(opts.faults, argv[0]);
+    } else if (const char* v7 = value_of(i, "--json-out")) {
+      opts.json_out = v7;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--trials N] [--seed S]\n"
                    "          [--scenario NAME] [--controller NAME]\n"
-                   "          [--json-out FILE] [--list]\n"
+                   "          [--faults NAME] [--json-out FILE] [--list]\n"
                    "unknown argument: %s\n",
                    argv[0], argv[i]);
       std::exit(2);
@@ -134,6 +156,7 @@ inline void apply_cli(const SweepCliOptions& opts, sim::ExperimentSpec& spec) {
   spec.jobs = opts.jobs;
   if (!opts.scenario.empty()) spec.scenario.name = opts.scenario;
   if (!opts.controller.empty()) spec.controller.name = opts.controller;
+  if (!opts.faults.empty()) spec.run.faults = sim::fault_preset(opts.faults);
 }
 
 /// Run one engine campaign. When --json-out is set the record is written

@@ -4,17 +4,9 @@
 
 #include "common/error.h"
 #include "common/units.h"
+#include "core/probing.h"
 
 namespace mmr::baselines {
-namespace {
-
-double mean_power(const CVec& csi) {
-  double acc = 0.0;
-  for (const cplx& h : csi) acc += std::norm(h);
-  return acc / static_cast<double>(csi.size());
-}
-
-}  // namespace
 
 BeamSpy::BeamSpy(const array::Ula& ula, array::Codebook codebook,
                  BeamSpyConfig config)
@@ -67,7 +59,10 @@ void BeamSpy::start(double t_s, const core::LinkProbeInterface& link) {
 void BeamSpy::step(double t_s, const core::LinkProbeInterface& link) {
   MMR_EXPECTS(started_);
   if (t_s < unavailable_until_) return;
-  const double power = mean_power(link.csi(weights_));
+  // A failed probe reads as zero power: treated as outage, driving the
+  // profile-based switch/retrain machinery like a real blockage would.
+  double power = 0.0;
+  core::mean_probe_power(link.csi(weights_), power);
   if (power >= config_.outage_power_linear) {
     outage_since_ = -1.0;
     return;

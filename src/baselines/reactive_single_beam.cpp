@@ -4,17 +4,9 @@
 
 #include "common/error.h"
 #include "core/beam_training.h"
+#include "core/probing.h"
 
 namespace mmr::baselines {
-namespace {
-
-double mean_power(const CVec& csi) {
-  double acc = 0.0;
-  for (const cplx& h : csi) acc += std::norm(h);
-  return acc / static_cast<double>(csi.size());
-}
-
-}  // namespace
 
 ReactiveSingleBeam::ReactiveSingleBeam(const array::Ula& ula,
                                        array::Codebook codebook,
@@ -52,8 +44,12 @@ void ReactiveSingleBeam::step(double t_s,
                               const core::LinkProbeInterface& link) {
   MMR_EXPECTS(started_);
   if (t_s < unavailable_until_) return;
-  // Purely reactive: act only when the monitored power says outage.
-  const double power = mean_power(link.csi(weights_));
+  // Purely reactive: act only when the monitored power says outage. A
+  // failed probe (empty or fully non-finite report) reads as zero power,
+  // i.e. an outage -- which is exactly how a real UE experiences a dead
+  // feedback path.
+  double power = 0.0;
+  core::mean_probe_power(link.csi(weights_), power);
   if (power < config_.outage_power_linear &&
       (last_retrain_ < 0.0 ||
        t_s - last_retrain_ >= config_.retrain_backoff_s)) {

@@ -6,17 +6,9 @@
 #include "array/weights.h"
 #include "common/error.h"
 #include "core/beam_training.h"
+#include "core/probing.h"
 
 namespace mmr::baselines {
-namespace {
-
-double mean_power(const CVec& csi) {
-  double acc = 0.0;
-  for (const cplx& h : csi) acc += std::norm(h);
-  return acc / static_cast<double>(csi.size());
-}
-
-}  // namespace
 
 CVec widebeam_weights(const array::Ula& ula, double angle_rad,
                       std::size_t widening_factor) {
@@ -57,7 +49,10 @@ void WideBeam::start(double t_s, const core::LinkProbeInterface& link) {
 void WideBeam::step(double t_s, const core::LinkProbeInterface& link) {
   MMR_EXPECTS(started_);
   if (t_s < unavailable_until_) return;
-  const double power = mean_power(link.csi(weights_));
+  // Failed probe -> zero power -> outage -> retrain, like the reactive
+  // baseline.
+  double power = 0.0;
+  core::mean_probe_power(link.csi(weights_), power);
   if (power < config_.outage_power_linear &&
       (last_retrain_ < 0.0 ||
        t_s - last_retrain_ >= config_.retrain_backoff_s)) {

@@ -84,9 +84,17 @@ TrainingResult exhaustive_training(const array::Codebook& codebook,
   for (std::size_t i = 0; i < codebook.size(); ++i) {
     const CVec csi = probe(codebook.weights(i));
     sc_powers[i] = probe_powers(csi);
+    // Degraded probes: a dropped report (empty) scans as zero power, and
+    // non-finite subcarrier powers (corrupted taps) are zeroed so they
+    // cannot poison the peak sort or the stored training powers.
     double mean_p = 0.0;
-    for (double p : sc_powers[i]) mean_p += p;
-    mean_p /= static_cast<double>(sc_powers[i].size());
+    if (!sc_powers[i].empty()) {
+      for (double& p : sc_powers[i]) {
+        if (!std::isfinite(p)) p = 0.0;
+        mean_p += p;
+      }
+      mean_p /= static_cast<double>(sc_powers[i].size());
+    }
     result.scan_power[i] = mean_p;
     angles[i] = codebook.angle(i);
     ++result.probes_used;

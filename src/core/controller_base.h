@@ -3,8 +3,9 @@
 // experiments can swap schemes without changing the harness.
 #pragma once
 
-#include "core/link_interface.h"
 #include "common/types.h"
+#include "core/events.h"
+#include "core/link_interface.h"
 
 namespace mmr::core {
 
@@ -25,6 +26,12 @@ class BeamController {
   virtual bool link_available(double t_s) const = 0;
 
   virtual const char* name() const = 0;
+
+  /// Install a listener for degraded-mode events (probe failures,
+  /// last-good fallbacks, backoff, rejected estimates, budget-triggered
+  /// retrains). Controllers without degraded-mode reporting ignore it.
+  /// Pass nullptr to detach before the listener's captures die.
+  virtual void set_fault_listener(FaultListener listener) { (void)listener; }
 };
 
 }  // namespace mmr::core

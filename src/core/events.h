@@ -1,0 +1,64 @@
+// Typed fault/degradation events for the probe/CSI path.
+//
+// Two producers share this vocabulary:
+//   * the sim-layer FaultInjector reports every fault it INJECTS into the
+//     link-facing path (dropped reports, stale epochs, non-finite taps);
+//   * controllers report every DEGRADATION they take in response (probe
+//     failures, last-good fallbacks, monitor backoff, rejected estimates,
+//     sanitized reports, budget-triggered retrains).
+// The events flow through TelemetrySink::on_fault so fault campaigns are
+// observable in the same JSON-lines stream as samples and summaries.
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <limits>
+
+namespace mmr::core {
+
+enum class FaultEventKind {
+  // Injected by the fault layer.
+  kProbeDropped,     ///< a probe report was lost in flight
+  kStaleEpoch,       ///< feedback frozen: reports replayed for k ticks
+  kNonFiniteTap,     ///< a NaN/Inf tap was planted in a report
+  // Degradations taken by a controller.
+  kProbeFailure,     ///< a monitor probe came back empty/unusable
+  kFallbackLastGood, ///< kept last-good beam weights instead of adapting
+  kBackoff,          ///< monitoring backed off after repeated failures
+  kEstimateRejected, ///< a relative-channel estimate failed sanity gates
+  kSanitizedReport,  ///< non-finite taps were zeroed before consumption
+  kRetrainTriggered, ///< outage budget exhausted; full retraining queued
+};
+
+/// Stable lower_snake names for serialization (JSON-lines `fault` field).
+inline const char* to_string(FaultEventKind kind) {
+  switch (kind) {
+    case FaultEventKind::kProbeDropped: return "probe_dropped";
+    case FaultEventKind::kStaleEpoch: return "stale_epoch";
+    case FaultEventKind::kNonFiniteTap: return "non_finite_tap";
+    case FaultEventKind::kProbeFailure: return "probe_failure";
+    case FaultEventKind::kFallbackLastGood: return "fallback_last_good";
+    case FaultEventKind::kBackoff: return "backoff";
+    case FaultEventKind::kEstimateRejected: return "estimate_rejected";
+    case FaultEventKind::kSanitizedReport: return "sanitized_report";
+    case FaultEventKind::kRetrainTriggered: return "retrain_triggered";
+  }
+  return "unknown";
+}
+
+/// `beam` when no specific beam is involved.
+inline constexpr std::size_t kNoBeam = std::numeric_limits<std::size_t>::max();
+
+struct FaultEvent {
+  double t_s = 0.0;
+  FaultEventKind kind = FaultEventKind::kProbeFailure;
+  /// Beam index the event concerns, or kNoBeam.
+  std::size_t beam = kNoBeam;
+  /// Kind-specific payload (consecutive-failure count, epoch length in
+  /// ticks, backoff horizon in seconds, tap index, ...). Always finite.
+  double value = 0.0;
+};
+
+using FaultListener = std::function<void(const FaultEvent&)>;
+
+}  // namespace mmr::core

@@ -10,12 +10,6 @@
 namespace mmr::core {
 namespace {
 
-double mean_power(const CVec& csi) {
-  double acc = 0.0;
-  for (const cplx& h : csi) acc += std::norm(h);
-  return acc / static_cast<double>(csi.size());
-}
-
 double cir_power(const CVec& cir) {
   // Parseval: tap energy equals mean subcarrier power for a Nyquist CIR
   // long enough to hold the full response.
@@ -32,11 +26,78 @@ MmReliableController::MmReliableController(const array::Ula& ula,
     : ula_(ula), codebook_(std::move(codebook)), config_(config) {
   MMR_EXPECTS(config_.max_beams >= 1);
   MMR_EXPECTS(config_.cir_taps >= 4);
+  MMR_EXPECTS(config_.probe_retry_limit >= 1);
+  MMR_EXPECTS(config_.probe_backoff_initial_s > 0.0);
+  MMR_EXPECTS(config_.probe_backoff_max_s >= config_.probe_backoff_initial_s);
+  MMR_EXPECTS(config_.probe_outage_budget_s > 0.0);
 }
 
 void MmReliableController::start(double t_s, const LinkProbeInterface& link) {
   do_training(t_s, link);
   started_ = true;
+}
+
+void MmReliableController::emit(double t_s, FaultEventKind kind,
+                                std::size_t beam, double value) {
+  if (!listener_) return;
+  FaultEvent ev;
+  ev.t_s = t_s;
+  ev.kind = kind;
+  ev.beam = beam;
+  ev.value = value;
+  listener_(ev);
+}
+
+bool MmReliableController::sanitize_report(double t_s, CVec& report) {
+  if (report.empty()) return false;
+  std::size_t bad = 0;
+  for (cplx& h : report) {
+    if (std::isfinite(h.real()) && std::isfinite(h.imag())) continue;
+    h = cplx{};
+    ++bad;
+  }
+  if (bad == report.size()) return false;
+  if (bad > 0) {
+    emit(t_s, FaultEventKind::kSanitizedReport, kNoBeam,
+         static_cast<double>(bad));
+  }
+  return true;
+}
+
+void MmReliableController::on_probe_failure(double t_s) {
+  ++probe_failures_;
+  emit(t_s, FaultEventKind::kProbeFailure, kNoBeam,
+       static_cast<double>(probe_failures_));
+  if (probe_failures_ == 1) {
+    // First failure of a streak: the controller transmits on whatever
+    // weights it last trusted and starts the probe outage clock.
+    probe_outage_since_ = t_s;
+    emit(t_s, FaultEventKind::kFallbackLastGood);
+  }
+  if (probe_outage_since_ >= 0.0 &&
+      t_s - probe_outage_since_ >= config_.probe_outage_budget_s) {
+    // The probe path has been dark longer than the budget: the stored
+    // channel knowledge is stale beyond trusting -- retrain from scratch.
+    pending_training_ = true;
+    emit(t_s, FaultEventKind::kRetrainTriggered, kNoBeam,
+         t_s - probe_outage_since_);
+    probe_outage_since_ = -1.0;
+    probe_failures_ = 0;
+    monitor_backoff_until_ = 0.0;
+    return;
+  }
+  if (probe_failures_ >= config_.probe_retry_limit) {
+    // Bounded retry exhausted: exponential backoff (capped) before the
+    // next monitoring attempt, so a dead feedback path is not hammered.
+    double backoff = config_.probe_backoff_initial_s;
+    for (std::size_t i = config_.probe_retry_limit; i < probe_failures_ &&
+         backoff < config_.probe_backoff_max_s; ++i) {
+      backoff *= 2.0;
+    }
+    backoff = std::min(backoff, config_.probe_backoff_max_s);
+    monitor_backoff_until_ = t_s + backoff;
+    emit(t_s, FaultEventKind::kBackoff, kNoBeam, backoff);
+  }
 }
 
 std::vector<std::size_t> MmReliableController::active_indices() const {
@@ -64,6 +125,10 @@ void MmReliableController::do_training(double t_s,
       t_s + phy::ssb_burst_airtime_s(config_.rs, codebook_.size());
   outage_since_ = -1.0;
   last_refine_ = t_s;
+  // Fresh training resets the degraded-mode streak.
+  probe_failures_ = 0;
+  probe_outage_since_ = -1.0;
+  monitor_backoff_until_ = 0.0;
 }
 
 void MmReliableController::establish_multibeam(double t_s,
@@ -109,7 +174,10 @@ void MmReliableController::establish_multibeam(double t_s,
         synthesize_multibeam(ula_, {{angles_[b], cplx{1.0, 0.0}}});
     const CVec cir = link.cir(single.weights, config_.cir_taps);
     ++refinement_probes_;
-    nominal_delays_[b] = estimate_peak_delay(cir, sample_period());
+    // A dropped delay probe leaves this beam at the reference delay; the
+    // monitor's common-shift search absorbs the residual error.
+    nominal_delays_[b] =
+        cir.empty() ? 0.0 : estimate_peak_delay(cir, sample_period());
   }
   // Reference everything to the earliest beam.
   const double t0 =
@@ -119,16 +187,26 @@ void MmReliableController::establish_multibeam(double t_s,
   // Prime the trackers with a fresh monitoring snapshot.
   trackers_.assign(k, PerBeamTracker(config_.tracker, ula_.num_elements,
                                      ula_.spacing_wavelengths));
-  const CVec cir = link.cir(multibeam_.weights, config_.cir_taps);
+  CVec cir = link.cir(multibeam_.weights, config_.cir_taps);
   ++monitor_probes_;
-  const SuperresResult fit = superres_per_beam(
-      cir, nominal_delays_, sample_period(), bandwidth(), config_.superres);
-  last_powers_ = fit.powers();
-  last_total_power_ = cir_power(cir);
+  if (sanitize_report(t_s, cir)) {
+    const SuperresResult fit = superres_per_beam(
+        cir, nominal_delays_, sample_period(), bandwidth(), config_.superres);
+    last_powers_ = fit.powers();
+    last_total_power_ = cir_power(cir);
+  } else {
+    // Priming probe failed: seed the trackers from the training-phase
+    // single-beam powers instead of garbage.
+    emit(t_s, FaultEventKind::kProbeFailure);
+    last_powers_.assign(k, 0.0);
+    for (std::size_t b = 0; b < k; ++b) {
+      last_powers_[b] = from_db(single_power_db_[b]);
+    }
+    last_total_power_ = 0.0;
+  }
   for (std::size_t b = 0; b < k; ++b) {
     trackers_[b].reset_reference(to_db(last_powers_[b]));
   }
-  (void)t_s;
 }
 
 void MmReliableController::resynthesize() {
@@ -167,8 +245,21 @@ void MmReliableController::step(double t_s, const LinkProbeInterface& link) {
 
 void MmReliableController::monitor(double t_s,
                                    const LinkProbeInterface& link) {
-  const CVec cir = link.cir(multibeam_.weights, config_.cir_taps);
+  if (t_s < monitor_backoff_until_) return;
+  CVec cir = link.cir(multibeam_.weights, config_.cir_taps);
   ++monitor_probes_;
+  if (!sanitize_report(t_s, cir)) {
+    // Unusable report: keep the last-good beam weights and beam state
+    // untouched; retry with bounded backoff, retrain once the probe
+    // outage budget is spent.
+    on_probe_failure(t_s);
+    return;
+  }
+  if (probe_failures_ > 0) {
+    probe_failures_ = 0;
+    probe_outage_since_ = -1.0;
+    monitor_backoff_until_ = 0.0;
+  }
   last_total_power_ = cir_power(cir);
 
   const SuperresResult fit = superres_per_beam(
@@ -203,7 +294,11 @@ void MmReliableController::monitor(double t_s,
       // than any blockage would.
       const MultiBeam single =
           synthesize_multibeam(ula_, {{angles_[k], cplx{1.0, 0.0}}});
-      const double verify_db = to_db(mean_power(link.csi(single.weights)));
+      // A failed verify probe reads as zero power (-inf dB) and confirms
+      // the blockage -- the conservative call when nothing comes back.
+      double verify_power = 0.0;
+      mean_probe_power(link.csi(single.weights), verify_power);
+      const double verify_db = to_db(verify_power);
       ++refinement_probes_;
       if (verify_db >= single_power_db_[k] - config_.recover_margin_db) {
         // False alarm: beam is healthy on its own.
@@ -239,8 +334,11 @@ void MmReliableController::refine(double t_s, const LinkProbeInterface& link) {
     if (!in_multibeam_[k] || !blocked_[k]) continue;
     const MultiBeam single =
         synthesize_multibeam(ula_, {{angles_[k], cplx{1.0, 0.0}}});
-    const double p_db = to_db(mean_power(link.csi(single.weights)));
+    double p = 0.0;
+    const bool usable = mean_probe_power(link.csi(single.weights), p);
     ++refinement_probes_;
+    if (!usable) continue;  // no evidence of recovery from a dead probe
+    const double p_db = to_db(p);
     if (p_db >= single_power_db_[k] - config_.recover_margin_db) {
       blocked_[k] = false;
       single_power_db_[k] = p_db;
@@ -256,8 +354,11 @@ void MmReliableController::refine(double t_s, const LinkProbeInterface& link) {
       if (in_multibeam_[k]) continue;
       const MultiBeam single =
           synthesize_multibeam(ula_, {{angles_[k], cplx{1.0, 0.0}}});
-      const double p_db = to_db(mean_power(link.csi(single.weights)));
+      double p = 0.0;
+      const bool usable = mean_probe_power(link.csi(single.weights), p);
       ++refinement_probes_;
+      if (!usable) continue;
+      const double p_db = to_db(p);
       if (p_db >= single_power_db_[k] - config_.recover_margin_db) {
         in_multibeam_[k] = true;
         blocked_[k] = false;
@@ -307,7 +408,10 @@ void MmReliableController::refine(double t_s, const LinkProbeInterface& link) {
     for (double cand : candidates) {
       angles_[k] = cand;
       resynthesize();
-      const double p = mean_power(link.csi(multibeam_.weights));
+      // A failed candidate probe scores zero: never preferred over a
+      // candidate that actually measured something.
+      double p = 0.0;
+      mean_probe_power(link.csi(multibeam_.weights), p);
       ++refinement_probes_;
       if (p > best_power) {
         best_power = p;
@@ -335,39 +439,60 @@ void MmReliableController::refine(double t_s, const LinkProbeInterface& link) {
     // (the paper reuses training-phase powers the same way).
     refinement_probes_ += budget.refinement_probes;
     for (std::size_t i = 0; i < active.size(); ++i) {
-      // Blend with the previous estimate unless the beam set just changed:
-      // each two-probe estimate carries noise, and the channel's relative
-      // phase drifts slowly compared to the refinement cadence.
-      const cplx fresh = rel[i].ratio;
-      const cplx old = ratios_[active[i]];
-      const bool reuse_old = !recovered_any && !moved_any &&
-                             std::abs(old) > 1e-9 && i != 0;
-      ratios_[active[i]] = reuse_old ? 0.5 * old + 0.5 * fresh : fresh;
+      if (!rel[i].valid) {
+        // Unusable two-probe estimate (dropped/corrupted probes): keep
+        // the previous ratio -- a stale phase beats a fabricated one.
+        emit(t_s, FaultEventKind::kEstimateRejected, active[i]);
+      } else {
+        // Blend with the previous estimate unless the beam set just
+        // changed: each two-probe estimate carries noise, and the
+        // channel's relative phase drifts slowly compared to the
+        // refinement cadence.
+        const cplx fresh = rel[i].ratio;
+        const cplx old = ratios_[active[i]];
+        const bool reuse_old = !recovered_any && !moved_any &&
+                               std::abs(old) > 1e-9 && i != 0;
+        ratios_[active[i]] = reuse_old ? 0.5 * old + 0.5 * fresh : fresh;
+      }
       // Refresh the stored single-beam reference powers for recovery
-      // detection.
+      // detection; only finite measurements vote, and a fully failed
+      // probe keeps the previous reference.
       double mp = 0.0;
-      for (double p : single_powers[i]) mp += p;
-      mp /= static_cast<double>(single_powers[i].size());
-      single_power_db_[active[i]] = to_db(std::max(mp, 1e-30));
+      std::size_t finite = 0;
+      for (double p : single_powers[i]) {
+        if (!std::isfinite(p)) continue;
+        mp += p;
+        ++finite;
+      }
+      if (finite > 0) {
+        mp /= static_cast<double>(finite);
+        single_power_db_[active[i]] = to_db(std::max(mp, 1e-30));
+      }
     }
   }
   resynthesize();
 
-  // 4. Refresh monitoring references after any change.
+  // 4. Refresh monitoring references after any change. A failed refresh
+  // probe keeps the previous references (last-good state).
   if (recovered_any || moved_any || active.size() >= 2) {
-    const CVec cir = link.cir(multibeam_.weights, config_.cir_taps);
+    CVec cir = link.cir(multibeam_.weights, config_.cir_taps);
     ++monitor_probes_;
-    const SuperresResult fit = superres_per_beam(
-        cir, nominal_delays_, sample_period(), bandwidth(), config_.superres);
-    last_powers_ = fit.powers();
-    last_total_power_ = cir_power(cir);
-    for (std::size_t k = 0; k < angles_.size(); ++k) {
-      if (!blocked_[k] && k < last_powers_.size()) {
-        trackers_[k].reset_reference(to_db(std::max(last_powers_[k], 1e-30)));
+    if (sanitize_report(t_s, cir)) {
+      const SuperresResult fit = superres_per_beam(
+          cir, nominal_delays_, sample_period(), bandwidth(),
+          config_.superres);
+      last_powers_ = fit.powers();
+      last_total_power_ = cir_power(cir);
+      for (std::size_t k = 0; k < angles_.size(); ++k) {
+        if (!blocked_[k] && k < last_powers_.size()) {
+          trackers_[k].reset_reference(
+              to_db(std::max(last_powers_[k], 1e-30)));
+        }
       }
+    } else {
+      emit(t_s, FaultEventKind::kProbeFailure);
     }
   }
-  (void)t_s;
 }
 
 std::size_t MmReliableController::num_active_beams() const {

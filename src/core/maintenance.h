@@ -12,12 +12,17 @@
 //        - periodic constructive-combining refresh (2(K-1) probes)
 //        - sustained total outage -> full retraining (link unavailable for
 //          the SSB-burst airtime)
+//        - failed probes (empty / fully non-finite reports) -> keep the
+//          last-good weights, back off monitoring after repeated failures,
+//          retrain once the probe outage budget is spent -- every
+//          degradation reported through the FaultListener
 //
 // The controller only observes the world through LinkProbeInterface; all
 // measurements carry estimator noise and CFO/SFO impairments.
 #pragma once
 
 #include <cstddef>
+#include <utility>
 #include <vector>
 
 #include "array/codebook.h"
@@ -55,6 +60,16 @@ struct MaintenanceConfig {
   /// monitoring stay on either way.
   bool enable_tracking = true;
   bool enable_cc_refresh = true;
+  /// Degraded-mode handling of failed monitor probes (empty or fully
+  /// non-finite CIR reports): after probe_retry_limit consecutive
+  /// failures, monitoring backs off exponentially from
+  /// probe_backoff_initial_s up to probe_backoff_max_s (the controller
+  /// keeps transmitting on its last-good weights throughout), and a probe
+  /// outage lasting probe_outage_budget_s triggers full retraining.
+  std::size_t probe_retry_limit = 3;
+  double probe_backoff_initial_s = 5.0e-3;
+  double probe_backoff_max_s = 20.0e-3;
+  double probe_outage_budget_s = 50.0e-3;
   /// Hardware weight resolution applied to every transmitted pattern
   /// (paper Section 5.1: 6-bit phase, 0.5 dB gain steps).
   array::QuantizationSpec quantization = array::QuantizationSpec::paper_testbed();
@@ -86,6 +101,12 @@ class MmReliableController final : public BeamController {
 
   const char* name() const override { return "mmReliable"; }
 
+  /// Degraded-mode event reporting (kProbeFailure, kFallbackLastGood,
+  /// kBackoff, kEstimateRejected, kSanitizedReport, kRetrainTriggered).
+  void set_fault_listener(FaultListener listener) override {
+    listener_ = std::move(listener);
+  }
+
   std::size_t num_active_beams() const;
   const std::vector<double>& beam_angles() const { return angles_; }
   const std::vector<bool>& blocked() const { return blocked_; }
@@ -98,6 +119,8 @@ class MmReliableController final : public BeamController {
   int monitor_probes() const { return monitor_probes_; }
   int refinement_probes() const { return refinement_probes_; }
   int trainings() const { return trainings_; }
+  /// Consecutive failed monitor probes in the current streak.
+  std::size_t consecutive_probe_failures() const { return probe_failures_; }
   /// Total airtime spent on beam management so far [s].
   double management_airtime_s() const;
 
@@ -108,6 +131,14 @@ class MmReliableController final : public BeamController {
   void monitor(double t_s, const LinkProbeInterface& link);
   void refine(double t_s, const LinkProbeInterface& link);
   void resynthesize();
+  void emit(double t_s, FaultEventKind kind, std::size_t beam = kNoBeam,
+            double value = 0.0);
+  /// Zero non-finite taps in place (reporting kSanitizedReport); false if
+  /// the report is unusable (empty or no finite taps).
+  bool sanitize_report(double t_s, CVec& report);
+  /// Bookkeeping for one failed monitor probe: last-good fallback,
+  /// bounded retry/backoff, outage-budget retraining.
+  void on_probe_failure(double t_s);
   /// Active (unblocked) beam indices.
   std::vector<std::size_t> active_indices() const;
   double bandwidth() const { return config_.bandwidth_hz; }
@@ -137,6 +168,14 @@ class MmReliableController final : public BeamController {
   RVec last_powers_;
   double last_total_power_ = 0.0;
   bool started_ = false;
+
+  // Degraded-mode state: consecutive failed monitor probes, the backoff
+  // horizon while monitoring is suspended, and when the probe outage
+  // began (-1 = not in one).
+  FaultListener listener_;
+  std::size_t probe_failures_ = 0;
+  double monitor_backoff_until_ = 0.0;
+  double probe_outage_since_ = -1.0;
 
   int monitor_probes_ = 0;
   int refinement_probes_ = 0;

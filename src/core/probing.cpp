@@ -18,6 +18,20 @@ RVec probe_powers(const CVec& csi) {
   return p;
 }
 
+bool mean_probe_power(const CVec& csi, double& out) {
+  double acc = 0.0;
+  std::size_t finite = 0;
+  for (const cplx& h : csi) {
+    const double p = std::norm(h);
+    if (!std::isfinite(p)) continue;
+    acc += p;
+    ++finite;
+  }
+  if (finite == 0) return false;
+  out = acc / static_cast<double>(finite);
+  return true;
+}
+
 cplx ratio_from_powers(double p0, double pk, double p_sum0, double p_sum90) {
   MMR_EXPECTS(p0 > 0.0);
   const double sqrt_p0 = std::sqrt(p0);
@@ -75,22 +89,40 @@ std::vector<RelativeChannel> estimate_relative_channels(
     const RVec& p0 = single_powers[0];
     const RVec& pk = single_powers[k];
     const std::size_t num_sc = p0.size();
-    MMR_EXPECTS(pk.size() == num_sc && p_sum0.size() == num_sc &&
-                p_sum90.size() == num_sc);
+    // Degraded probes (dropped reports shrink one vector, corrupted taps
+    // poison a power): the estimate for this beam is unusable, not a
+    // programming error -- report it invalid and move on.
+    if (num_sc == 0 || pk.size() != num_sc || p_sum0.size() != num_sc ||
+        p_sum90.size() != num_sc) {
+      out[k].valid = false;
+      continue;
+    }
 
     // Wideband combining (Eq. 14): ratio per subcarrier, then the
-    // p0-weighted average == <h_0, h_k> / ||h_0||^2.
+    // p0-weighted average == <h_0, h_k> / ||h_0||^2. Subcarriers whose
+    // powers are non-finite carry no vote.
     cplx weighted_sum{};
     double weight_total = 0.0;
     for (std::size_t f = 0; f < num_sc; ++f) {
-      if (p0[f] <= 0.0) continue;
+      if (!(p0[f] > 0.0) || !std::isfinite(p0[f]) || !std::isfinite(pk[f]) ||
+          !std::isfinite(p_sum0[f]) || !std::isfinite(p_sum90[f])) {
+        continue;
+      }
       const cplx r = ratio_from_powers(p0[f], pk[f], p_sum0[f] * scale0,
                                        p_sum90[f] * scale90);
       weighted_sum += p0[f] * r;
       weight_total += p0[f];
     }
-    MMR_EXPECTS(weight_total > 0.0);
-    out[k].ratio = weighted_sum / weight_total;
+    if (weight_total <= 0.0) {
+      out[k].valid = false;
+      continue;
+    }
+    const cplx ratio = weighted_sum / weight_total;
+    if (!std::isfinite(ratio.real()) || !std::isfinite(ratio.imag())) {
+      out[k].valid = false;
+      continue;
+    }
+    out[k].ratio = ratio;
   }
 
   if (budget != nullptr) *budget = local_budget;

@@ -32,6 +32,10 @@ struct ProbeBudget {
 /// Narrowband result for one beam pair: the complex ratio h_k/h_0.
 struct RelativeChannel {
   cplx ratio{1.0, 0.0};
+  /// False when the probes behind this estimate were unusable (empty or
+  /// non-finite reports, zero reference energy); ratio is then the
+  /// neutral {1, 0} and callers should keep their previous estimate.
+  bool valid = true;
   double delta() const;      ///< relative amplitude
   double sigma_rad() const;  ///< relative phase
 };
@@ -45,6 +49,10 @@ struct RelativeChannel {
 /// and combined with the closed-form inner-product estimator
 /// <h_0(f), h_k(f)> / ||h_0(f)||^2, which is exactly the narrowband ratio
 /// when the channel is flat.
+///
+/// Degraded probes (empty reports, non-finite powers, size mismatches,
+/// zero reference energy) do not throw: the affected beam's estimate
+/// comes back with valid == false and a neutral ratio.
 std::vector<RelativeChannel> estimate_relative_channels(
     const array::Ula& ula, const std::vector<double>& beam_angles_rad,
     const ProbeFn& probe, const std::vector<RVec>* trained_powers = nullptr,
@@ -53,6 +61,13 @@ std::vector<RelativeChannel> estimate_relative_channels(
 
 /// Per-subcarrier power |H(k)|^2 of one probe.
 RVec probe_powers(const CVec& csi);
+
+/// Mean |H|^2 over the FINITE taps of a probe report. Returns false and
+/// leaves `out` untouched when the report is empty or has no finite taps
+/// (a dropped or fully corrupted probe); callers treat that as a probe
+/// failure instead of propagating NaN. When every tap is finite the
+/// result is bit-identical to the plain sum/size mean.
+bool mean_probe_power(const CVec& csi, double& out);
 
 /// Pure math of Eq. 12 for one subcarrier: recover h_k/h_0 from the four
 /// powers (p0, pk, p_sum0, p_sum90). Exposed for unit testing.

@@ -59,6 +59,20 @@ SuperresResult superres_per_beam(const CVec& cir, const RVec& nominal_delays_s,
   MMR_EXPECTS(config.common_shift_steps >= 1);
   MMR_EXPECTS(config.relative_steps >= 1);
 
+  // Corrupted feedback words (NaN/Inf taps) would poison the normal
+  // equations and surface as non-finite per-beam amplitudes; zero them so
+  // the fit runs on the surviving taps. A clean CIR takes the fast path
+  // untouched.
+  CVec sanitized;
+  const CVec* taps = &cir;
+  for (std::size_t n = 0; n < cir.size(); ++n) {
+    if (std::isfinite(cir[n].real()) && std::isfinite(cir[n].imag())) continue;
+    if (sanitized.empty()) sanitized = cir;
+    sanitized[n] = cplx{};
+    taps = &sanitized;
+  }
+  const CVec& h = *taps;
+
   auto grid_offset = [](std::size_t idx, std::size_t steps, double span) {
     if (steps == 1) return 0.0;
     return (static_cast<double>(idx) / static_cast<double>(steps - 1) - 0.5) *
@@ -68,7 +82,7 @@ SuperresResult superres_per_beam(const CVec& cir, const RVec& nominal_delays_s,
   // Stage 1: common shift, relative structure fixed. Coarse grid over the
   // full span, then a fine grid around the best coarse shift.
   RVec delays = nominal_delays_s;
-  Solve best = solve_for_delays(cir, ts, bandwidth_hz, delays, config.lambda);
+  Solve best = solve_for_delays(h, ts, bandwidth_hz, delays, config.lambda);
   double best_shift = 0.0;
   auto try_shift = [&](double shift) {
     RVec trial(nominal_delays_s.size());
@@ -76,7 +90,7 @@ SuperresResult superres_per_beam(const CVec& cir, const RVec& nominal_delays_s,
       trial[k] = nominal_delays_s[k] + shift;
     }
     Solve attempt =
-        solve_for_delays(cir, ts, bandwidth_hz, trial, config.lambda);
+        solve_for_delays(h, ts, bandwidth_hz, trial, config.lambda);
     if (attempt.residual < best.residual) {
       best = std::move(attempt);
       delays = std::move(trial);
@@ -115,7 +129,7 @@ SuperresResult superres_per_beam(const CVec& cir, const RVec& nominal_delays_s,
           RVec trial = delays;
           trial[k] = center + off;
           Solve attempt =
-              solve_for_delays(cir, ts, bandwidth_hz, trial, config.lambda);
+              solve_for_delays(h, ts, bandwidth_hz, trial, config.lambda);
           if (attempt.residual < best.residual) {
             best = std::move(attempt);
             delays = std::move(trial);
@@ -129,6 +143,14 @@ SuperresResult superres_per_beam(const CVec& cir, const RVec& nominal_delays_s,
   result.alphas = std::move(best.alpha);
   result.delays_s = std::move(delays);
   result.residual = best.residual;
+  // Last line of defense: a degenerate dictionary can still leak NaN out
+  // of the solver; a non-finite "amplitude" is a claim of no energy, not
+  // infinite energy, so clamp to zero rather than letting callers track
+  // garbage powers.
+  for (cplx& a : result.alphas) {
+    if (!std::isfinite(a.real()) || !std::isfinite(a.imag())) a = cplx{};
+  }
+  if (!std::isfinite(result.residual)) result.residual = 0.0;
   return result;
 }
 
@@ -142,10 +164,22 @@ CVec reconstruct_cir(const SuperresResult& fit, std::size_t num_taps,
 double estimate_peak_delay(const CVec& cir, double ts) {
   MMR_EXPECTS(!cir.empty());
   MMR_EXPECTS(ts > 0.0);
+  // Zero corrupted taps up front: they must neither win the coarse peak
+  // search nor leak into the band-limited interpolation below (a single
+  // Inf tap would otherwise make every interpolated magnitude Inf).
+  CVec sanitized;
+  const CVec* taps = &cir;
+  for (std::size_t n = 0; n < cir.size(); ++n) {
+    if (std::isfinite(cir[n].real()) && std::isfinite(cir[n].imag())) continue;
+    if (sanitized.empty()) sanitized = cir;
+    sanitized[n] = cplx{};
+    taps = &sanitized;
+  }
+  const CVec& h = *taps;
   std::size_t peak = 0;
   double best = 0.0;
-  for (std::size_t n = 0; n < cir.size(); ++n) {
-    const double mag = std::abs(cir[n]);
+  for (std::size_t n = 0; n < h.size(); ++n) {
+    const double mag = std::abs(h[n]);
     if (mag > best) {
       best = mag;
       peak = n;
@@ -162,7 +196,7 @@ double estimate_peak_delay(const CVec& cir, double ts) {
   for (int i = 0; i <= 48; ++i) {
     const double tau = lo + (hi - lo) * static_cast<double>(i) / 48.0;
     if (tau < 0.0) continue;
-    const double mag = std::abs(dsp::sinc_interpolate(cir, ts, bandwidth, tau));
+    const double mag = std::abs(dsp::sinc_interpolate(h, ts, bandwidth, tau));
     if (mag > best_mag) {
       best_mag = mag;
       best_tau = tau;

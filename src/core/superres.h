@@ -51,6 +51,10 @@ struct SuperresResult {
 /// training (relative to the earliest path, which the receiver's timing
 /// lock pins to tap 0). `ts` is the CIR sample period (1/B), `bandwidth_hz`
 /// the sinc bandwidth.
+///
+/// Non-finite CIR taps (corrupted feedback) are zeroed before the fit and
+/// any non-finite fitted amplitude is clamped to zero, so the returned
+/// powers are always finite.
 SuperresResult superres_per_beam(const CVec& cir, const RVec& nominal_delays_s,
                                  double ts, double bandwidth_hz,
                                  const SuperresConfig& config = {});

@@ -75,6 +75,14 @@ double PerBeamTracker::smoothed_power_db(double t_s) const {
 
 PerBeamTracker::Update PerBeamTracker::update(double t_s, double power_db) {
   MMR_EXPECTS(has_reference_);
+  // A non-finite measurement (failed probe, corrupted estimate) must not
+  // reach the EWMA or the fit history -- one NaN would poison both
+  // permanently. Report the current state unchanged instead.
+  if (!std::isfinite(power_db)) {
+    Update up;
+    up.state = state_;
+    return up;
+  }
   // EWMA with forgetting factor.
   ewma_db_ = ewma_primed_
                  ? config_.forgetting_factor * ewma_db_ +

@@ -234,6 +234,7 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink) {
   EngineResult result;
   if (spec.label) result.labels.assign(spec.trials, "");
   if (spec.record_samples) result.samples.resize(spec.trials);
+  result.fault_events.resize(spec.trials);
   // Per-trial RunConfigs survive the sweep so the sink replay can emit
   // faithful on_run_begin events (customize may vary them per trial).
   std::vector<RunConfig> run_configs(spec.trials);
@@ -250,6 +251,12 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink) {
     }
     if (spec.customize) spec.customize(ctx, scenario, controller, rc);
     if (spec.label) result.labels[ctx.index] = spec.label(ctx);
+    // A live plan with seed 0 gets a per-trial stream decoupled from the
+    // world seed, so jobs=K stays bit-identical to jobs=1.
+    if (rc.faults.enabled() && rc.faults.seed == 0) {
+      rc.faults.seed = Rng::derive_stream_seed(ctx.stream_seed,
+                                               kFaultSeedStream);
+    }
     run_configs[ctx.index] = rc;
 
     LinkWorld world = scenarios.make(scenario);
@@ -259,6 +266,7 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink) {
     if (spec.record_samples) {
       result.samples[ctx.index] = std::move(rr.samples);
     }
+    result.fault_events[ctx.index] = std::move(rr.fault_events);
     return rr.summary;
   });
   result.timing = runner.timing();
@@ -269,6 +277,9 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink) {
       if (spec.record_samples) {
         sink->on_run_begin(run_configs[i]);
         for (const core::LinkSample& s : result.samples[i]) sink->on_sample(s);
+      }
+      for (const core::FaultEvent& ev : result.fault_events[i]) {
+        sink->on_fault(ev);
       }
       sink->on_run_end(result.trials[i].value);
     }

@@ -161,6 +161,9 @@ struct EngineResult {
   std::vector<SweepTrial<core::LinkSummary>> trials;
   /// Per-trial sample series; empty unless spec.record_samples.
   std::vector<std::vector<core::LinkSample>> samples;
+  /// Per-trial fault events (empty vectors when the trial's FaultPlan is
+  /// disabled); one entry per trial.
+  std::vector<std::vector<core::FaultEvent>> fault_events;
   /// Per-trial labels; empty unless spec.label is set.
   std::vector<std::string> labels;
   SweepTiming timing;
@@ -172,8 +175,14 @@ class Engine {
  public:
   /// Run the campaign. When `sink` is non-null it receives, after the
   /// sweep barrier and in trial-index order: per-trial run events
-  /// (on_run_begin/on_sample.../on_run_end when record_samples, just
-  /// on_run_end otherwise) followed by one on_sweep record.
+  /// (on_run_begin/on_sample... when record_samples, then any on_fault
+  /// events, then on_run_end) followed by one on_sweep record.
+  ///
+  /// Fault seeding: when spec.run.faults is enabled and its seed is left
+  /// at 0 after `customize`, each trial derives an independent fault
+  /// stream via Rng::derive_stream_seed(ctx.stream_seed, kFaultSeedStream)
+  /// so fault draws are decoupled from the world's randomness and stable
+  /// across jobs counts.
   EngineResult run(const ExperimentSpec& spec, TelemetrySink* sink = nullptr);
 };
 

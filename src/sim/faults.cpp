@@ -1,0 +1,220 @@
+#include "sim/faults.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mmr::sim {
+namespace {
+
+bool prob_ok(double p) { return std::isfinite(p) && p >= 0.0 && p <= 1.0; }
+
+}  // namespace
+
+bool FaultPlan::enabled() const {
+  return probe_drop_prob > 0.0 || stale_epoch_prob > 0.0 ||
+         csi_phase_noise_rad > 0.0 || csi_amp_noise_db > 0.0 ||
+         csi_quant_bits > 0 || nan_tap_prob > 0.0 || snr_bias_db != 0.0;
+}
+
+void FaultPlan::validate() const {
+  MMR_EXPECTS(prob_ok(probe_drop_prob));
+  MMR_EXPECTS(prob_ok(stale_epoch_prob));
+  MMR_EXPECTS(stale_epoch_ticks >= 1);
+  MMR_EXPECTS(std::isfinite(csi_phase_noise_rad));
+  MMR_EXPECTS(csi_phase_noise_rad >= 0.0);
+  MMR_EXPECTS(std::isfinite(csi_amp_noise_db));
+  MMR_EXPECTS(csi_amp_noise_db >= 0.0);
+  MMR_EXPECTS(csi_quant_bits <= 24);
+  MMR_EXPECTS(prob_ok(nan_tap_prob));
+  MMR_EXPECTS(std::isfinite(snr_bias_db));
+}
+
+FaultPlan fault_preset(const std::string& name) {
+  FaultPlan plan;
+  if (name == "none") return plan;
+  if (name == "light") {
+    plan.probe_drop_prob = 0.02;
+    plan.stale_epoch_prob = 0.01;
+    plan.stale_epoch_ticks = 4;
+    plan.csi_phase_noise_rad = 0.05;
+    plan.csi_amp_noise_db = 0.5;
+    plan.nan_tap_prob = 0.005;
+    return plan;
+  }
+  if (name == "moderate") {
+    plan.probe_drop_prob = 0.08;
+    plan.stale_epoch_prob = 0.03;
+    plan.stale_epoch_ticks = 6;
+    plan.csi_phase_noise_rad = 0.15;
+    plan.csi_amp_noise_db = 1.5;
+    plan.csi_quant_bits = 6;
+    plan.nan_tap_prob = 0.02;
+    plan.snr_bias_db = -1.0;
+    return plan;
+  }
+  if (name == "heavy") {
+    plan.probe_drop_prob = 0.2;
+    plan.stale_epoch_prob = 0.08;
+    plan.stale_epoch_ticks = 10;
+    plan.csi_phase_noise_rad = 0.4;
+    plan.csi_amp_noise_db = 3.0;
+    plan.csi_quant_bits = 4;
+    plan.nan_tap_prob = 0.06;
+    plan.snr_bias_db = -3.0;
+    return plan;
+  }
+  std::ostringstream msg;
+  msg << "unknown fault preset '" << name << "'; registered presets: ";
+  const std::vector<std::string> names = fault_preset_names();
+  for (std::size_t i = 0; i < names.size(); ++i) {
+    if (i > 0) msg << ", ";
+    msg << names[i];
+  }
+  throw std::invalid_argument(msg.str());
+}
+
+std::vector<std::string> fault_preset_names() {
+  return {"none", "light", "moderate", "heavy"};
+}
+
+FaultInjector::FaultInjector(const FaultPlan& plan,
+                             core::LinkProbeInterface inner)
+    : plan_(plan), inner_(std::move(inner)), rng_(plan.seed) {
+  plan_.validate();
+  MMR_EXPECTS(inner_.csi != nullptr);
+  MMR_EXPECTS(inner_.cir != nullptr);
+}
+
+void FaultInjector::set_listener(core::FaultListener listener) {
+  listener_ = std::move(listener);
+}
+
+void FaultInjector::emit(core::FaultEventKind kind, std::size_t beam,
+                         double value) {
+  if (!listener_) return;
+  core::FaultEvent ev;
+  ev.t_s = t_s_;
+  ev.kind = kind;
+  ev.beam = beam;
+  ev.value = value;
+  listener_(ev);
+}
+
+void FaultInjector::on_tick(double t_s) {
+  t_s_ = t_s;
+  if (stale_ticks_left_ > 0) {
+    --stale_ticks_left_;
+    return;
+  }
+  if (plan_.stale_epoch_prob > 0.0 && rng_.bernoulli(plan_.stale_epoch_prob)) {
+    stale_ticks_left_ = plan_.stale_epoch_ticks;
+    emit(core::FaultEventKind::kStaleEpoch, core::kNoBeam,
+         static_cast<double>(plan_.stale_epoch_ticks));
+  }
+}
+
+core::LinkProbeInterface FaultInjector::interface() {
+  core::LinkProbeInterface link;
+  link.csi = [this](const CVec& w) { return probe_csi(w); };
+  link.cir = [this](const CVec& w, std::size_t taps) {
+    return probe_cir(w, taps);
+  };
+  return link;
+}
+
+CVec FaultInjector::probe_csi(const CVec& tx_weights) {
+  ++probes_seen_;
+  if (stale_ticks_left_ > 0 && !last_csi_.empty()) {
+    ++stale_replays_;
+    return last_csi_;
+  }
+  return deliver(inner_.csi(tx_weights), last_csi_);
+}
+
+CVec FaultInjector::probe_cir(const CVec& tx_weights, std::size_t num_taps) {
+  ++probes_seen_;
+  // Replay only when the cached CIR has the geometry the caller asked
+  // for; otherwise probe live (a frozen feedback link cannot resize).
+  if (stale_ticks_left_ > 0 && !last_cir_.empty() &&
+      last_cir_taps_ == num_taps) {
+    ++stale_replays_;
+    return last_cir_;
+  }
+  CVec out = deliver(inner_.cir(tx_weights, num_taps), last_cir_);
+  last_cir_taps_ = num_taps;
+  return out;
+}
+
+CVec FaultInjector::deliver(CVec report, CVec& last) {
+  if (plan_.probe_drop_prob > 0.0 && rng_.bernoulli(plan_.probe_drop_prob)) {
+    ++probes_dropped_;
+    emit(core::FaultEventKind::kProbeDropped, core::kNoBeam,
+         static_cast<double>(report.size()));
+    // The report never arrives; the stale cache keeps its previous
+    // contents (a drop is loss, not corruption of stored feedback).
+    return CVec{};
+  }
+  perturb(report);
+  last = report;
+  return report;
+}
+
+void FaultInjector::perturb(CVec& report) {
+  if (report.empty()) return;
+  // Amplitude noise first (log-normal gain error), then phase noise, so
+  // the two draws stay interpretable in dB / radians independently.
+  if (plan_.csi_amp_noise_db > 0.0) {
+    for (cplx& h : report) {
+      h *= from_db_amp(rng_.normal(0.0, plan_.csi_amp_noise_db));
+    }
+  }
+  if (plan_.csi_phase_noise_rad > 0.0) {
+    for (cplx& h : report) {
+      h *= std::polar(1.0, rng_.normal(0.0, plan_.csi_phase_noise_rad));
+    }
+  }
+  // Uniform mid-rise I/Q quantizer scaled to the report's own peak
+  // component, like a fixed-point feedback word with a per-report AGC.
+  if (plan_.csi_quant_bits > 0) {
+    double peak = 0.0;
+    for (const cplx& h : report) {
+      peak = std::max({peak, std::abs(h.real()), std::abs(h.imag())});
+    }
+    if (peak > 0.0) {
+      const double step =
+          peak / static_cast<double>(std::size_t{1} << (plan_.csi_quant_bits - 1));
+      for (cplx& h : report) {
+        h = cplx{std::round(h.real() / step) * step,
+                 std::round(h.imag() / step) * step};
+      }
+    }
+  }
+  // Constant report bias: the receiver's power estimate is off by
+  // snr_bias_db, i.e. every amplitude by half that in dB.
+  if (plan_.snr_bias_db != 0.0) {
+    const double scale = from_db_amp(plan_.snr_bias_db);
+    for (cplx& h : report) h *= scale;
+  }
+  // Plant one corrupted feedback word: NaN and Inf alternate so both
+  // non-finite classes exercise the consumers.
+  if (plan_.nan_tap_prob > 0.0 && rng_.bernoulli(plan_.nan_tap_prob)) {
+    const std::size_t tap = static_cast<std::size_t>(
+        rng_.uniform_index(static_cast<std::uint64_t>(report.size())));
+    const double bad = (nonfinite_taps_ % 2 == 0)
+                           ? std::numeric_limits<double>::quiet_NaN()
+                           : std::numeric_limits<double>::infinity();
+    report[tap] = cplx{bad, bad};
+    ++nonfinite_taps_;
+    emit(core::FaultEventKind::kNonFiniteTap, core::kNoBeam,
+         static_cast<double>(tap));
+  }
+}
+
+}  // namespace mmr::sim

@@ -1,6 +1,7 @@
 #include "sim/runner.h"
 
 #include <cmath>
+#include <memory>
 
 #include "common/error.h"
 #include "phy/mcs.h"
@@ -17,18 +18,34 @@ RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
   MMR_EXPECTS(std::isfinite(config.outage_snr_db));
   MMR_EXPECTS(config.protocol_overhead >= 0.0);
   MMR_EXPECTS(config.protocol_overhead < 1.0);
+  config.faults.validate();
   if (sink != nullptr) sink->on_run_begin(config);
 
   const phy::McsTable& mcs = phy::McsTable::nr();
   const double bandwidth = world.config().spec.bandwidth_hz;
-  const core::LinkProbeInterface link = world.probe_interface();
+  core::LinkProbeInterface link = world.probe_interface();
 
   RunResult result;
+  // The injector is only constructed when the plan is live, so a disabled
+  // plan leaves this function's behavior (and output bytes) untouched.
+  std::unique_ptr<FaultInjector> injector;
+  if (config.faults.enabled()) {
+    injector = std::make_unique<FaultInjector>(config.faults, link);
+    link = injector->interface();
+    auto record = [&result, sink](const core::FaultEvent& ev) {
+      result.fault_events.push_back(ev);
+      if (sink != nullptr) sink->on_fault(ev);
+    };
+    injector->set_listener(record);
+    controller.set_fault_listener(record);
+  }
+
   const auto num_ticks =
       static_cast<std::size_t>(config.duration_s / config.tick_s);
   for (std::size_t i = 0; i < num_ticks; ++i) {
     const double t = static_cast<double>(i) * config.tick_s;
     world.set_time(t);
+    if (injector != nullptr) injector->on_tick(t);
     if (i == 0) {
       controller.start(t, link);
     } else {
@@ -47,6 +64,9 @@ RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
     result.samples.push_back(sample);
     if (sink != nullptr) sink->on_sample(sample);
   }
+  // The listener lambda captures locals of this frame; detach it before
+  // they go out of scope (the controller outlives this call).
+  if (injector != nullptr) controller.set_fault_listener(nullptr);
   result.summary = core::summarize_link(result.samples, config.outage_snr_db,
                                         bandwidth);
   if (sink != nullptr) sink->on_run_end(result.summary);

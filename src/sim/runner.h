@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "core/controller_base.h"
+#include "core/events.h"
 #include "core/metrics.h"
+#include "sim/faults.h"
 #include "sim/world.h"
 
 namespace mmr::sim {
@@ -20,11 +22,18 @@ struct RunConfig {
   /// Fixed protocol overhead discounted from throughput (reference
   /// signals etc.; paper Section 5.2: ~0.5%).
   double protocol_overhead = 0.005;
+  /// Fault model applied to the probe/CSI path the controller sees. The
+  /// default (all-zero) plan is inert: no injector is constructed and the
+  /// run is byte-identical to one without the field.
+  FaultPlan faults;
 };
 
 struct RunResult {
   std::vector<core::LinkSample> samples;
   core::LinkSummary summary;
+  /// Injected faults and controller degradations, in emission order.
+  /// Empty unless the run's FaultPlan is enabled.
+  std::vector<core::FaultEvent> fault_events;
 };
 
 /// Run `controller` over `world` for the configured duration. The
@@ -38,6 +47,12 @@ struct RunResult {
 /// When `sink` is non-null it receives on_run_begin, one on_sample per
 /// tick, and on_run_end with the summary -- the telemetry never perturbs
 /// the result.
+///
+/// When `config.faults` is enabled, a FaultInjector (seeded from
+/// config.faults.seed) is interposed between the world and the
+/// controller, and every injected fault / controller degradation is
+/// recorded in RunResult::fault_events and streamed to sink->on_fault as
+/// it happens.
 RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
                          const RunConfig& config = {},
                          TelemetrySink* sink = nullptr);

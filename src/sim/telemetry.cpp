@@ -7,13 +7,25 @@ namespace mmr::sim {
 
 void MemorySink::on_run_begin(const RunConfig& /*config*/) {
   runs_.emplace_back();
+  faults_.emplace_back();
 }
 
 void MemorySink::on_sample(const core::LinkSample& sample) {
   // Tolerate callers that emit samples without a preceding on_run_begin
   // (e.g. hand-driven loops): open an implicit run.
-  if (runs_.empty()) runs_.emplace_back();
+  if (runs_.empty()) {
+    runs_.emplace_back();
+    faults_.emplace_back();
+  }
   runs_.back().push_back(sample);
+}
+
+void MemorySink::on_fault(const core::FaultEvent& event) {
+  if (faults_.empty()) {
+    runs_.emplace_back();
+    faults_.emplace_back();
+  }
+  faults_.back().push_back(event);
 }
 
 void MemorySink::on_run_end(const core::LinkSummary& summary) {
@@ -35,6 +47,18 @@ void JsonLinesSink::on_sample(const core::LinkSample& sample) {
   os_.precision(precision);
 }
 
+void JsonLinesSink::on_fault(const core::FaultEvent& event) {
+  const auto flags = os_.flags();
+  const auto precision = os_.precision();
+  os_.precision(10);
+  os_ << "{\"fault\": \"" << core::to_string(event.kind)
+      << "\", \"t_s\": " << event.t_s;
+  if (event.beam != core::kNoBeam) os_ << ", \"beam\": " << event.beam;
+  os_ << ", \"value\": " << event.value << "}\n";
+  os_.flags(flags);
+  os_.precision(precision);
+}
+
 void JsonLinesSink::on_sweep(const SweepRecord& record) {
   write_sweep_json(os_, record.name, record.trials, record.timing,
                    record.labels);
@@ -51,6 +75,10 @@ void FanoutSink::on_run_begin(const RunConfig& config) {
 
 void FanoutSink::on_sample(const core::LinkSample& sample) {
   for (TelemetrySink* s : sinks_) s->on_sample(sample);
+}
+
+void FanoutSink::on_fault(const core::FaultEvent& event) {
+  for (TelemetrySink* s : sinks_) s->on_fault(event);
 }
 
 void FanoutSink::on_run_end(const core::LinkSummary& summary) {

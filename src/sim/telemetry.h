@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/events.h"
 #include "core/metrics.h"
 #include "sim/sweep.h"
 
@@ -44,6 +45,9 @@ class TelemetrySink {
   virtual void on_run_begin(const RunConfig& config) { (void)config; }
   /// One scored tick of the active run.
   virtual void on_sample(const core::LinkSample& sample) { (void)sample; }
+  /// An injected fault or controller degradation during the active run
+  /// (only emitted when the run's FaultPlan is enabled).
+  virtual void on_fault(const core::FaultEvent& event) { (void)event; }
   /// The active run finished with this summary.
   virtual void on_run_end(const core::LinkSummary& summary) { (void)summary; }
   /// A whole sweep campaign finished (one record per Engine::run).
@@ -60,12 +64,17 @@ class MemorySink final : public TelemetrySink {
  public:
   void on_run_begin(const RunConfig& config) override;
   void on_sample(const core::LinkSample& sample) override;
+  void on_fault(const core::FaultEvent& event) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;
 
   /// Sample series of run r (in delivery order).
   const std::vector<std::vector<core::LinkSample>>& runs() const {
     return runs_;
+  }
+  /// Fault events of run r (parallel to runs()).
+  const std::vector<std::vector<core::FaultEvent>>& faults() const {
+    return faults_;
   }
   const std::vector<core::LinkSummary>& summaries() const {
     return summaries_;
@@ -74,6 +83,7 @@ class MemorySink final : public TelemetrySink {
 
  private:
   std::vector<std::vector<core::LinkSample>> runs_;
+  std::vector<std::vector<core::FaultEvent>> faults_;
   std::vector<core::LinkSummary> summaries_;
   std::size_t num_sweeps_ = 0;
 };
@@ -81,13 +91,16 @@ class MemorySink final : public TelemetrySink {
 /// Emits one JSON line per sweep record -- the exact bytes
 /// write_sweep_json produces, so ported benches keep their machine-read
 /// output stable. Optionally also emits per-tick sample records
-/// (JSON-lines) for full-resolution traces.
+/// (JSON-lines) for full-resolution traces. Fault events are always
+/// emitted as their own JSON lines ({"fault": "...", ...}); a no-fault
+/// run produces none, keeping its byte stream unchanged.
 class JsonLinesSink final : public TelemetrySink {
  public:
   explicit JsonLinesSink(std::ostream& os, bool per_tick = false)
       : os_(os), per_tick_(per_tick) {}
 
   void on_sample(const core::LinkSample& sample) override;
+  void on_fault(const core::FaultEvent& event) override;
   void on_sweep(const SweepRecord& record) override;
 
  private:
@@ -103,6 +116,7 @@ class FanoutSink final : public TelemetrySink {
 
   void on_run_begin(const RunConfig& config) override;
   void on_sample(const core::LinkSample& sample) override;
+  void on_fault(const core::FaultEvent& event) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;
 

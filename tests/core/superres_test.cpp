@@ -131,5 +131,40 @@ TEST(Superres, RejectsBadInputs) {
                std::logic_error);
 }
 
+TEST(Superres, NonFiniteTapsAreGatedNotPropagated) {
+  const cplx amp{0.7, -0.4};
+  CVec cir = synth_cir(24, {amp}, {3.2e-9});
+  // Corrupt two taps far from the arrival: a NaN and an Inf word.
+  cir[20] = cplx{std::nan(""), std::nan("")};
+  cir[22] = cplx{std::numeric_limits<double>::infinity(), 0.0};
+  const SuperresResult fit = superres_per_beam(cir, {3.2e-9}, kTs, kBw);
+  ASSERT_EQ(fit.alphas.size(), 1u);
+  EXPECT_TRUE(std::isfinite(fit.alphas[0].real()));
+  EXPECT_TRUE(std::isfinite(fit.alphas[0].imag()));
+  EXPECT_TRUE(std::isfinite(fit.residual));
+  for (double p : fit.powers()) EXPECT_TRUE(std::isfinite(p));
+  // Zeroing two remote taps barely perturbs the fitted amplitude.
+  EXPECT_NEAR(std::abs(fit.alphas[0] - amp), 0.0, 5e-2);
+}
+
+TEST(Superres, FullyCorruptCirYieldsFiniteZeroishFit) {
+  CVec cir(24, cplx{std::nan(""), std::nan("")});
+  const SuperresResult fit = superres_per_beam(cir, {0.0, 7.5e-9}, kTs, kBw);
+  ASSERT_EQ(fit.alphas.size(), 2u);
+  for (const cplx& a : fit.alphas) {
+    EXPECT_TRUE(std::isfinite(a.real()));
+    EXPECT_TRUE(std::isfinite(a.imag()));
+    EXPECT_NEAR(std::abs(a), 0.0, 1e-12);
+  }
+  for (double p : fit.powers()) EXPECT_EQ(p, 0.0);
+  EXPECT_TRUE(std::isfinite(fit.residual));
+}
+
+TEST(PeakDelay, IgnoresNonFiniteTaps) {
+  CVec cir = synth_cir(16, {{1.0, 0.0}}, {5.0e-9});
+  cir[12] = cplx{std::numeric_limits<double>::infinity(), 0.0};
+  EXPECT_NEAR(estimate_peak_delay(cir, kTs), 5.0e-9, 0.4e-9);
+}
+
 }  // namespace
 }  // namespace mmr::core

@@ -1,0 +1,252 @@
+// FaultInjector unit tests: each fault class is exercised against a
+// synthetic LinkProbeInterface whose reports are known exactly, so the
+// perturbations can be checked tap by tap. Also pins the determinism
+// contract (same plan + seed => identical perturbed streams) and the
+// pass-through identity of a disabled plan.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/units.h"
+#include "core/events.h"
+#include "sim/faults.h"
+
+namespace mmr::sim {
+namespace {
+
+/// Probe interface returning a fixed 4-tap report, counting calls.
+struct FakeLink {
+  CVec report{cplx{1.0, 0.0}, cplx{0.0, 0.5}, cplx{-0.25, 0.25},
+              cplx{0.1, -0.7}};
+  int csi_calls = 0;
+  int cir_calls = 0;
+
+  core::LinkProbeInterface interface() {
+    core::LinkProbeInterface link;
+    link.csi = [this](const CVec& /*w*/) {
+      ++csi_calls;
+      return report;
+    };
+    link.cir = [this](const CVec& /*w*/, std::size_t taps) {
+      ++cir_calls;
+      CVec out = report;
+      out.resize(taps, cplx{});
+      return out;
+    };
+    return link;
+  }
+};
+
+const CVec kWeights{cplx{1.0, 0.0}};
+
+TEST(FaultInjector, RequiresValidPlanAndNonNullInner) {
+  FakeLink fake;
+  FaultPlan bad;
+  bad.probe_drop_prob = 2.0;
+  EXPECT_THROW(FaultInjector(bad, fake.interface()), std::logic_error);
+  EXPECT_THROW(FaultInjector(FaultPlan{}, core::LinkProbeInterface{}),
+               std::logic_error);
+}
+
+TEST(FaultInjector, DisabledPlanPassesReportsThroughUnchanged) {
+  FakeLink fake;
+  FaultInjector inj(FaultPlan{}, fake.interface());
+  core::LinkProbeInterface link = inj.interface();
+  for (int tick = 0; tick < 50; ++tick) {
+    inj.on_tick(tick * 1e-3);
+    const CVec csi = link.csi(kWeights);
+    ASSERT_EQ(csi.size(), fake.report.size());
+    for (std::size_t i = 0; i < csi.size(); ++i) {
+      EXPECT_EQ(csi[i], fake.report[i]);
+    }
+  }
+  EXPECT_EQ(inj.probes_dropped(), 0u);
+  EXPECT_EQ(inj.stale_replays(), 0u);
+  EXPECT_EQ(inj.nonfinite_taps(), 0u);
+}
+
+TEST(FaultInjector, SameSeedReproducesIdenticalPerturbedStream) {
+  FaultPlan plan = fault_preset("heavy");
+  plan.seed = 42;
+  auto stream = [&plan] {
+    FakeLink fake;
+    FaultInjector inj(plan, fake.interface());
+    core::LinkProbeInterface link = inj.interface();
+    std::vector<CVec> out;
+    for (int tick = 0; tick < 200; ++tick) {
+      inj.on_tick(tick * 1e-3);
+      out.push_back(link.csi(kWeights));
+      out.push_back(link.cir(kWeights, 8));
+    }
+    return out;
+  };
+  const std::vector<CVec> a = stream();
+  const std::vector<CVec> b = stream();
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    ASSERT_EQ(a[i].size(), b[i].size()) << "report " << i;
+    for (std::size_t k = 0; k < a[i].size(); ++k) {
+      // NaNs compare unequal; compare their bit class instead.
+      if (std::isnan(a[i][k].real())) {
+        EXPECT_TRUE(std::isnan(b[i][k].real()));
+      } else {
+        EXPECT_EQ(a[i][k], b[i][k]);
+      }
+    }
+  }
+}
+
+TEST(FaultInjector, DropsReportsAtRoughlyTheConfiguredRate) {
+  FaultPlan plan;
+  plan.probe_drop_prob = 0.25;
+  plan.seed = 7;
+  FakeLink fake;
+  FaultInjector inj(plan, fake.interface());
+  core::LinkProbeInterface link = inj.interface();
+  int events = 0;
+  inj.set_listener([&events](const core::FaultEvent& ev) {
+    if (ev.kind == core::FaultEventKind::kProbeDropped) ++events;
+  });
+  int empty = 0;
+  const int kProbes = 4000;
+  for (int i = 0; i < kProbes; ++i) {
+    inj.on_tick(i * 1e-3);
+    if (link.csi(kWeights).empty()) ++empty;
+  }
+  EXPECT_EQ(inj.probes_seen(), static_cast<std::size_t>(kProbes));
+  EXPECT_EQ(inj.probes_dropped(), static_cast<std::size_t>(empty));
+  EXPECT_EQ(events, empty);
+  EXPECT_NEAR(static_cast<double>(empty) / kProbes, 0.25, 0.03);
+}
+
+TEST(FaultInjector, StaleEpochReplaysLastDeliveredReport) {
+  FaultPlan plan;
+  plan.stale_epoch_prob = 1.0;  // enter an epoch on the first tick
+  plan.stale_epoch_ticks = 3;
+  plan.seed = 5;
+  FakeLink fake;
+  FaultInjector inj(plan, fake.interface());
+  core::LinkProbeInterface link = inj.interface();
+
+  // No cache yet: the first probes go live even inside an epoch.
+  inj.on_tick(0.0);
+  EXPECT_TRUE(inj.in_stale_epoch());
+  const CVec first = link.csi(kWeights);
+  EXPECT_EQ(fake.csi_calls, 1);
+
+  // Mutate the ground truth; while the epoch lasts the controller keeps
+  // seeing the cached report.
+  fake.report[0] = cplx{9.0, 9.0};
+  int live_before = fake.csi_calls;
+  std::size_t replays = 0;
+  for (int tick = 1; tick <= 2; ++tick) {  // ticks 1..2 still stale
+    inj.on_tick(tick * 1e-3);
+    ASSERT_TRUE(inj.in_stale_epoch());
+    const CVec csi = link.csi(kWeights);
+    EXPECT_EQ(csi[0], first[0]);
+    ++replays;
+  }
+  EXPECT_EQ(fake.csi_calls, live_before);
+  EXPECT_EQ(inj.stale_replays(), replays);
+
+  // A CIR with a different tap count than the cache probes live.
+  inj.on_tick(3e-3);
+  if (inj.in_stale_epoch()) {
+    const int cir_before = fake.cir_calls;
+    (void)link.cir(kWeights, 16);
+    EXPECT_EQ(fake.cir_calls, cir_before + 1);
+  }
+}
+
+TEST(FaultInjector, BiasScalesReportPowerByTheConfiguredDb) {
+  FaultPlan plan;
+  plan.snr_bias_db = -6.0;
+  plan.seed = 3;
+  FakeLink fake;
+  FaultInjector inj(plan, fake.interface());
+  core::LinkProbeInterface link = inj.interface();
+  inj.on_tick(0.0);
+  const CVec csi = link.csi(kWeights);
+  ASSERT_EQ(csi.size(), fake.report.size());
+  for (std::size_t i = 0; i < csi.size(); ++i) {
+    const double truth = std::norm(fake.report[i]);
+    if (truth == 0.0) continue;
+    const double got = std::norm(csi[i]);
+    EXPECT_NEAR(10.0 * std::log10(got / truth), -6.0, 1e-9) << "tap " << i;
+  }
+}
+
+TEST(FaultInjector, QuantizationSnapsTapsToTheGrid) {
+  FaultPlan plan;
+  plan.csi_quant_bits = 4;
+  plan.seed = 3;
+  FakeLink fake;
+  FaultInjector inj(plan, fake.interface());
+  core::LinkProbeInterface link = inj.interface();
+  inj.on_tick(0.0);
+  const CVec csi = link.csi(kWeights);
+  double peak = 0.0;
+  for (const cplx& h : fake.report) {
+    peak = std::max({peak, std::abs(h.real()), std::abs(h.imag())});
+  }
+  const double step = peak / 8.0;  // 2^(4-1)
+  for (const cplx& h : csi) {
+    EXPECT_NEAR(std::remainder(h.real(), step), 0.0, 1e-12);
+    EXPECT_NEAR(std::remainder(h.imag(), step), 0.0, 1e-12);
+  }
+}
+
+TEST(FaultInjector, PlantsNonFiniteTapsAndEmitsEvents) {
+  FaultPlan plan;
+  plan.nan_tap_prob = 1.0;
+  plan.seed = 11;
+  FakeLink fake;
+  FaultInjector inj(plan, fake.interface());
+  core::LinkProbeInterface link = inj.interface();
+  std::vector<core::FaultEvent> events;
+  inj.set_listener(
+      [&events](const core::FaultEvent& ev) { events.push_back(ev); });
+  bool saw_nan = false, saw_inf = false;
+  for (int i = 0; i < 10; ++i) {
+    inj.on_tick(i * 1e-3);
+    const CVec csi = link.csi(kWeights);
+    int bad = 0;
+    for (const cplx& h : csi) {
+      if (!std::isfinite(h.real())) {
+        ++bad;
+        saw_nan = saw_nan || std::isnan(h.real());
+        saw_inf = saw_inf || std::isinf(h.real());
+      }
+    }
+    EXPECT_EQ(bad, 1) << "exactly one planted tap per report";
+  }
+  EXPECT_TRUE(saw_nan);
+  EXPECT_TRUE(saw_inf);
+  EXPECT_EQ(inj.nonfinite_taps(), 10u);
+  ASSERT_EQ(events.size(), 10u);
+  for (const core::FaultEvent& ev : events) {
+    EXPECT_EQ(ev.kind, core::FaultEventKind::kNonFiniteTap);
+    EXPECT_LT(ev.value, static_cast<double>(fake.report.size()));
+  }
+}
+
+TEST(FaultInjector, PhaseNoisePreservesTapMagnitudes) {
+  FaultPlan plan;
+  plan.csi_phase_noise_rad = 0.5;
+  plan.seed = 13;
+  FakeLink fake;
+  FaultInjector inj(plan, fake.interface());
+  core::LinkProbeInterface link = inj.interface();
+  inj.on_tick(0.0);
+  const CVec csi = link.csi(kWeights);
+  bool rotated = false;
+  for (std::size_t i = 0; i < csi.size(); ++i) {
+    EXPECT_NEAR(std::abs(csi[i]), std::abs(fake.report[i]), 1e-12);
+    if (std::abs(csi[i] - fake.report[i]) > 1e-9) rotated = true;
+  }
+  EXPECT_TRUE(rotated) << "phase noise must actually rotate taps";
+}
+
+}  // namespace
+}  // namespace mmr::sim

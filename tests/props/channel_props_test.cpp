@@ -1,0 +1,103 @@
+// Property-based channel invariants, each checked over >= 1000 randomized
+// cases drawn from Rng::fork streams (so every case is independently
+// reproducible from the base seed + case index):
+//   * blocker attenuation is always finite and non-negative, and adding
+//     it never increases a path's effective power,
+//   * propagation loss is strictly monotone in distance (free-space and
+//     absorption components individually non-decreasing).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "channel/blockage.h"
+#include "channel/path.h"
+#include "channel/pathloss.h"
+#include "common/rng.h"
+
+namespace mmr::channel {
+namespace {
+
+constexpr std::size_t kCases = 1500;
+constexpr std::uint64_t kBaseSeed = 20210817;  // SIGCOMM'21 week
+
+TEST(ChannelProps, BlockerAttenuationIsFiniteAndNonNegative) {
+  const Rng base(kBaseSeed);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    Rng rng = base.fork(i);
+    GeometricBlocker::Config cfg;
+    cfg.start = {rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    cfg.velocity = {rng.uniform(-3.0, 3.0), rng.uniform(-3.0, 3.0)};
+    cfg.radius_m = rng.uniform(0.05, 0.6);
+    cfg.ramp_margin_m = rng.uniform(0.005, 0.2);
+    cfg.depth_db = rng.uniform(0.0, 40.0);
+    const GeometricBlocker blocker(cfg);
+
+    const Vec2 tx{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    const Vec2 rx{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    const Vec2 bounce{rng.uniform(-10.0, 10.0), rng.uniform(-10.0, 10.0)};
+    const double t = rng.uniform(0.0, 5.0);
+
+    const double att_los = blocker.attenuation_db(t, tx, rx, nullptr);
+    const double att_refl = blocker.attenuation_db(t, tx, rx, &bounce);
+    ASSERT_TRUE(std::isfinite(att_los)) << "case " << i;
+    ASSERT_TRUE(std::isfinite(att_refl)) << "case " << i;
+    ASSERT_GE(att_los, 0.0) << "case " << i;
+    ASSERT_GE(att_refl, 0.0) << "case " << i;
+    ASSERT_LE(att_los, cfg.depth_db + 1e-12) << "case " << i;
+    ASSERT_LE(att_refl, cfg.depth_db + 1e-12) << "case " << i;
+  }
+}
+
+TEST(ChannelProps, AddedBlockageNeverIncreasesPathPower) {
+  const Rng base(kBaseSeed + 1);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    Rng rng = base.fork(i);
+    Path path;
+    path.gain = cplx{rng.normal(), rng.normal()} * rng.uniform(1e-8, 1.0);
+    path.blockage_db = rng.uniform(0.0, 20.0);
+    const double before = path.effective_power();
+
+    Path blocked = path;
+    blocked.blockage_db += rng.uniform(0.0, 40.0);  // extra blocker
+    const double after = blocked.effective_power();
+
+    ASSERT_TRUE(std::isfinite(before)) << "case " << i;
+    ASSERT_TRUE(std::isfinite(after)) << "case " << i;
+    ASSERT_LE(after, before * (1.0 + 1e-12)) << "case " << i
+        << ": adding attenuation must never increase power";
+    // And the attenuation matches its dB bookkeeping.
+    const double expect_ratio = std::pow(10.0, -(blocked.blockage_db -
+                                                 path.blockage_db) / 10.0);
+    if (before > 0.0) {
+      ASSERT_NEAR(after / before, expect_ratio, 1e-9) << "case " << i;
+    }
+  }
+}
+
+TEST(ChannelProps, PropagationLossIsMonotoneInDistance) {
+  const Rng base(kBaseSeed + 2);
+  for (std::size_t i = 0; i < kCases; ++i) {
+    Rng rng = base.fork(i);
+    const double carrier = rng.uniform(20.0e9, 70.0e9);
+    const double d1 = rng.uniform(0.5, 200.0);
+    const double d2 = d1 + rng.uniform(1e-3, 200.0);
+
+    const double l1 = propagation_loss_db(d1, carrier);
+    const double l2 = propagation_loss_db(d2, carrier);
+    ASSERT_TRUE(std::isfinite(l1)) << "case " << i;
+    ASSERT_TRUE(std::isfinite(l2)) << "case " << i;
+    ASSERT_LT(l1, l2) << "case " << i << ": d1=" << d1 << " d2=" << d2;
+
+    // The components are individually monotone too.
+    ASSERT_LT(free_space_path_loss_db(d1, carrier),
+              free_space_path_loss_db(d2, carrier))
+        << "case " << i;
+    ASSERT_LE(atmospheric_absorption_db(d1, carrier),
+              atmospheric_absorption_db(d2, carrier))
+        << "case " << i;
+    ASSERT_GE(atmospheric_absorption_db(d1, carrier), 0.0) << "case " << i;
+  }
+}
+
+}  // namespace
+}  // namespace mmr::channel
