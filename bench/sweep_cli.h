@@ -11,7 +11,30 @@
 //   --controller NAME  override the campaign's registered controller.
 //   --faults NAME      apply a named fault preset ("none", "light",
 //                      "moderate", "heavy") to every run's probe/CSI path.
-//   --json-out FILE    additionally write the JSON record(s) to FILE.
+//   --json-out FILE    additionally write the JSON record(s) to FILE,
+//                      atomically (write-temp + fsync + rename): a crash
+//                      leaves either the previous FILE or the complete new
+//                      one, never a truncated record.
+//   --resume BASE      durable execution: checkpoint every completed trial
+//                      to the journal BASE.<campaign>.journal and, when
+//                      that journal already exists (from an interrupted
+//                      run of the SAME campaign: name, seed, trials, seed
+//                      policy, and config fingerprint must all match),
+//                      replay the completed trials and run only the
+//                      missing ones. Combined with --freeze-timing the
+//                      resumed output is byte-identical to an
+//                      uninterrupted run. Mismatched journals exit(2).
+//   --trial-retries N  re-run a trial whose body throws up to N extra
+//                      times (same deterministic Rng stream) before
+//                      quarantining it; a quarantined trial keeps its slot
+//                      but is excluded from aggregates and reported under
+//                      "failures" instead of aborting the sweep.
+//   --trial-timeout-s X  wall-clock watchdog: warn on stderr and flag any
+//                      trial that runs longer than X seconds (flagged,
+//                      not killed; 0 = off).
+//   --freeze-timing    zero all wall/cpu timing fields in the JSON record
+//                      so output is a pure function of (spec, seed) --
+//                      for byte-diffing runs (crash/resume tests, CI).
 //   --list             print the registered scenario/controller names and
 //                      the fault presets, then exit.
 // and ends its report with one JSON line (sweep timing, per-trial
@@ -33,9 +56,11 @@
 #include <stdexcept>
 #include <string>
 
+#include "common/atomic_file.h"
 #include "common/parse.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
+#include "sim/journal.h"
 #include "sim/telemetry.h"
 
 namespace mmr::bench {
@@ -48,6 +73,10 @@ struct SweepCliOptions {
   std::string controller;   ///< empty = bench default
   std::string faults;       ///< fault preset name; empty = no faults
   std::string json_out;     ///< empty = stdout only
+  std::string resume;       ///< journal base path; empty = no checkpoints
+  std::size_t trial_retries = 0;
+  double trial_timeout_s = 0.0;  ///< 0 = watchdog off
+  bool freeze_timing = false;
 };
 
 namespace detail {
@@ -72,6 +101,19 @@ inline std::uint64_t require_u64(const char* flag, const char* value,
     std::fprintf(stderr,
                  "%s: invalid value for %s: '%s' (expected a non-negative "
                  "base-10 integer)\n",
+                 prog, flag, value == nullptr ? "" : value);
+    std::exit(2);
+  }
+  return out;
+}
+
+inline double require_f64(const char* flag, const char* value,
+                          const char* prog) {
+  double out = 0.0;
+  if (value == nullptr || !mmr::parse_f64(value, out)) {
+    std::fprintf(stderr,
+                 "%s: invalid value for %s: '%s' (expected a non-negative "
+                 "finite base-10 number)\n",
                  prog, flag, value == nullptr ? "" : value);
     std::exit(2);
   }
@@ -103,6 +145,22 @@ inline void require_fault_preset(const std::string& name, const char* prog) {
   }
 }
 
+/// The per-campaign journal file under a --resume BASE: benches run
+/// several campaigns per process (scheme matrices), and each campaign
+/// must checkpoint into its own fingerprint-keyed journal.
+inline std::string journal_path(const std::string& base,
+                                const std::string& campaign) {
+  std::string safe;
+  safe.reserve(campaign.size());
+  for (char c : campaign) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-' ||
+                    c == '.';
+    safe.push_back(ok ? c : '_');
+  }
+  return base + "." + safe + ".journal";
+}
+
 }  // namespace detail
 
 inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
@@ -119,6 +177,8 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
     if (std::strcmp(argv[i], "--list") == 0) {
       detail::print_registries();
       std::exit(0);
+    } else if (std::strcmp(argv[i], "--freeze-timing") == 0) {
+      opts.freeze_timing = true;
     } else if (const char* v = value_of(i, "--jobs")) {
       opts.jobs = detail::require_size("--jobs", v, argv[0]);
     } else if (const char* v2 = value_of(i, "--trials")) {
@@ -135,11 +195,27 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
       detail::require_fault_preset(opts.faults, argv[0]);
     } else if (const char* v7 = value_of(i, "--json-out")) {
       opts.json_out = v7;
+    } else if (const char* v8 = value_of(i, "--resume")) {
+      opts.resume = v8;
+      if (opts.resume.empty()) {
+        std::fprintf(stderr, "%s: --resume needs a journal base path\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (const char* v9 = value_of(i, "--trial-retries")) {
+      opts.trial_retries =
+          detail::require_size("--trial-retries", v9, argv[0]);
+    } else if (const char* v10 = value_of(i, "--trial-timeout-s")) {
+      opts.trial_timeout_s =
+          detail::require_f64("--trial-timeout-s", v10, argv[0]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--trials N] [--seed S]\n"
                    "          [--scenario NAME] [--controller NAME]\n"
-                   "          [--faults NAME] [--json-out FILE] [--list]\n"
+                   "          [--faults NAME] [--json-out FILE]\n"
+                   "          [--resume BASE] [--trial-retries N]\n"
+                   "          [--trial-timeout-s X] [--freeze-timing]\n"
+                   "          [--list]\n"
                    "unknown argument: %s\n",
                    argv[0], argv[i]);
       std::exit(2);
@@ -159,23 +235,76 @@ inline void apply_cli(const SweepCliOptions& opts, sim::ExperimentSpec& spec) {
   if (!opts.faults.empty()) spec.run.faults = sim::fault_preset(opts.faults);
 }
 
-/// Run one engine campaign. When --json-out is set the record is written
-/// to the file during the run (via a JsonLinesSink); the stdout JSON line
-/// is emitted separately by emit_json so benches can print their
-/// human-readable tables in between.
+/// Run one engine campaign under the CLI's durability options.
+///
+/// --json-out: the record is staged in an AtomicFile during the run
+/// (preserving any content the file already holds, so several campaigns
+/// in one process keep appending) and committed -- fsync + rename -- when
+/// the campaign completes. An unwritable path exits(2) BEFORE the sweep
+/// runs; a crash mid-campaign leaves the previous file intact.
+///
+/// --resume: opens (or creates) the campaign's fingerprint-keyed journal,
+/// replays completed trials, runs only the missing ones, and checkpoints
+/// each newly completed trial. A journal from a different campaign
+/// exits(2); campaigns that record per-tick samples cannot resume and
+/// exit(2) with an explanation.
 inline sim::EngineResult run_campaign(sim::ExperimentSpec spec,
                                       const SweepCliOptions& opts) {
   apply_cli(opts, spec);
+  sim::EngineOptions eng_opts;
+  eng_opts.trial_retries = opts.trial_retries;
+  eng_opts.trial_timeout_s = opts.trial_timeout_s;
+  eng_opts.freeze_timing = opts.freeze_timing;
+  std::unique_ptr<sim::CampaignJournal> journal;
+  if (!opts.resume.empty()) {
+    if (spec.record_samples) {
+      std::fprintf(stderr,
+                   "--resume is not supported for campaign '%s': it records "
+                   "per-tick samples, which the journal does not replay\n",
+                   spec.name.c_str());
+      std::exit(2);
+    }
+    const std::string path = detail::journal_path(opts.resume, spec.name);
+    try {
+      journal = std::make_unique<sim::CampaignJournal>(
+          path, sim::campaign_key(spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot resume from journal %s: %s\n",
+                   path.c_str(), e.what());
+      std::exit(2);
+    }
+    eng_opts.journal = journal.get();
+  }
   sim::Engine engine;
-  if (opts.json_out.empty()) return engine.run(spec);
-  std::ofstream file(opts.json_out, std::ios::app);
-  if (!file) {
-    std::fprintf(stderr, "cannot open --json-out file: %s\n",
-                 opts.json_out.c_str());
+  if (opts.json_out.empty()) return engine.run(spec, nullptr, eng_opts);
+  // Stage previous content + the new record; committed atomically below.
+  AtomicFile file(opts.json_out);
+  {
+    std::ifstream existing(opts.json_out, std::ios::binary);
+    if (existing && existing.peek() != std::ifstream::traits_type::eof()) {
+      file.stream() << existing.rdbuf();
+    }
+  }
+  // Fail fast (exit 2, like the numeric-parse errors) if the destination
+  // is not writable, BEFORE burning a sweep: probe with an append-mode
+  // open that touches nothing on success.
+  {
+    std::ofstream probe(opts.json_out, std::ios::app);
+    if (!probe) {
+      std::fprintf(stderr, "cannot open --json-out file: %s\n",
+                   opts.json_out.c_str());
+      std::exit(2);
+    }
+  }
+  sim::JsonLinesSink file_sink(file.stream());
+  sim::EngineResult result = engine.run(spec, &file_sink, eng_opts);
+  try {
+    file.commit();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "cannot write --json-out file: %s\n", e.what());
     std::exit(2);
   }
-  sim::JsonLinesSink file_sink(file);
-  return engine.run(spec, &file_sink);
+  return result;
 }
 
 /// Emit a campaign's JSON record to stdout (the bench's final line).
@@ -186,6 +315,7 @@ inline void emit_json(const std::string& name, const sim::EngineResult& r) {
   record.trials = r.trials;
   record.timing = r.timing;
   record.labels = r.labels;
+  record.failures = r.failures;
   sink.on_sweep(record);
 }
 

@@ -1,0 +1,106 @@
+#include "common/atomic_file.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+#ifdef __unix__
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/error.h"
+
+namespace mmr {
+namespace {
+
+[[noreturn]] void throw_io(const std::string& what, const std::string& path) {
+  throw std::runtime_error("AtomicFile: " + what + " '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// Directory part of `path` ("." when the path has no separator), for the
+/// post-rename directory fsync.
+std::string parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  if (slash == 0) return "/";
+  return path.substr(0, slash);
+}
+
+}  // namespace
+
+AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
+  MMR_EXPECTS(!path_.empty());
+}
+
+AtomicFile::~AtomicFile() {
+#ifdef __unix__
+  // A temp file only survives here if commit() threw halfway; the
+  // destination is intact, so just drop the stage.
+  if (!temp_path_.empty()) ::unlink(temp_path_.c_str());
+#endif
+}
+
+void AtomicFile::commit() {
+  MMR_EXPECTS(!committed_);
+  const std::string content = buffer_.str();
+#ifdef __unix__
+  temp_path_ = path_ + ".tmp." + std::to_string(::getpid());
+  const int fd =
+      ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    const std::string failed = temp_path_;
+    temp_path_.clear();
+    throw_io("cannot create temp file", failed);
+  }
+  std::size_t written = 0;
+  while (written < content.size()) {
+    const ssize_t n =
+        ::write(fd, content.data() + written, content.size() - written);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      throw_io("write failed for", temp_path_);
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_io("fsync failed for", temp_path_);
+  }
+  if (::close(fd) != 0) throw_io("close failed for", temp_path_);
+  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
+    throw_io("rename failed onto", path_);
+  }
+  temp_path_.clear();
+  // Persist the rename itself: fsync the containing directory. Failure
+  // here is ignorable on filesystems that forbid directory fsync.
+  const int dir_fd = ::open(parent_dir(path_).c_str(), O_RDONLY);
+  if (dir_fd >= 0) {
+    (void)::fsync(dir_fd);
+    ::close(dir_fd);
+  }
+#else
+  // Non-POSIX fallback: plain stdio replace (no durability guarantee).
+  std::FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) throw_io("cannot open", path_);
+  if (content.size() > 0 &&
+      std::fwrite(content.data(), 1, content.size(), f) != content.size()) {
+    std::fclose(f);
+    throw_io("write failed for", path_);
+  }
+  std::fclose(f);
+#endif
+  committed_ = true;
+}
+
+void AtomicFile::write(const std::string& path, std::string_view content) {
+  AtomicFile file(path);
+  file.stream() << content;
+  file.commit();
+}
+
+}  // namespace mmr

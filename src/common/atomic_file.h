@@ -1,0 +1,58 @@
+// Crash-safe whole-file replacement (write-temp + fsync + rename).
+//
+// Long campaigns must be able to die -- SIGKILL, OOM, power loss -- at any
+// instruction without leaving a half-written results file behind. POSIX
+// rename(2) within one filesystem is atomic, so the durable way to write
+// FILE is: stage the full content into FILE.tmp.<pid>, fsync the staged
+// bytes to disk, rename over FILE, then fsync the parent directory so the
+// rename itself survives a crash. Readers therefore observe either the old
+// complete file or the new complete file, never a truncated mix.
+//
+// AtomicFile buffers content in memory (stream()) and performs the whole
+// stage/fsync/rename dance in commit(); a destructor without commit()
+// discards the staged content and leaves any existing FILE untouched.
+#pragma once
+
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace mmr {
+
+class AtomicFile {
+ public:
+  /// Prepares an atomic replacement of `path`. Nothing touches the
+  /// filesystem until commit().
+  explicit AtomicFile(std::string path);
+  /// Discards uncommitted content (removes a stale temp file if commit()
+  /// failed halfway).
+  ~AtomicFile();
+
+  AtomicFile(const AtomicFile&) = delete;
+  AtomicFile& operator=(const AtomicFile&) = delete;
+
+  /// Buffer for the future content of `path`.
+  std::ostream& stream() { return buffer_; }
+
+  /// The destination path this file will atomically replace.
+  const std::string& path() const { return path_; }
+
+  /// Stage + fsync + rename + fsync(parent dir). Throws std::runtime_error
+  /// (with errno text) if any step fails; on failure the destination is
+  /// left untouched. Calling commit() twice is an error (MMR_EXPECTS).
+  void commit();
+
+  /// True once commit() has succeeded.
+  bool committed() const { return committed_; }
+
+  /// Convenience: atomically replace `path` with `content`.
+  static void write(const std::string& path, std::string_view content);
+
+ private:
+  std::string path_;
+  std::string temp_path_;  ///< non-empty while a staged temp file exists
+  std::ostringstream buffer_;
+  bool committed_ = false;
+};
+
+}  // namespace mmr

@@ -40,4 +40,30 @@ inline bool parse_size(const char* text, std::size_t& out) {
   return true;
 }
 
+/// Parse `text` as a non-negative finite base-10 double (e.g. a timeout in
+/// seconds). Same strictness contract as parse_u64: the ENTIRE string must
+/// be the number -- no sign, no whitespace, no trailing characters, no
+/// inf/nan, no hex floats.
+inline bool parse_f64(const char* text, double& out) {
+  if (text == nullptr || *text == '\0') return false;
+  // Require a digit or '.' up front: rejects signs, whitespace, "inf",
+  // "nan", and hex-float "0x..." is stopped below.
+  if (!std::isdigit(static_cast<unsigned char>(*text)) && *text != '.') {
+    return false;
+  }
+  for (const char* p = text; *p != '\0'; ++p) {
+    if (*p == 'x' || *p == 'X') return false;  // no hex floats
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (errno == ERANGE) return false;
+  if (end == text || *end != '\0') return false;
+  if (!(value >= 0.0) || value > std::numeric_limits<double>::max()) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
 }  // namespace mmr

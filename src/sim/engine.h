@@ -34,6 +34,7 @@
 
 namespace mmr::sim {
 
+class CampaignJournal;
 class TelemetrySink;
 
 /// A walking blocker crossing the scenario's link line.
@@ -156,6 +157,37 @@ struct ExperimentSpec {
   std::function<std::string(const TrialContext& ctx)> label;
 };
 
+/// Durable-execution knobs for Engine::run. The defaults reproduce the
+/// plain (non-durable) engine exactly: no journal, a throwing trial
+/// aborts the sweep, no watchdog, live timing.
+struct EngineOptions {
+  /// Checkpoint journal (sim/journal.h). Trials found in
+  /// journal->completed() are REPLAYED -- summary, wall/cpu time, label,
+  /// and fault events restored bit-exactly, the trial body never runs --
+  /// and every freshly completed trial is appended + fsync'd. Replay of
+  /// per-tick samples is not supported: combining a journal with
+  /// spec.record_samples throws (MMR_EXPECTS).
+  CampaignJournal* journal = nullptr;
+  /// Extra attempts for a trial whose body throws, each re-run from the
+  /// same deterministic Rng stream (a retry of a deterministic failure
+  /// fails again; the budget exists for environmental flakes). When the
+  /// budget is exhausted the trial is QUARANTINED: it keeps its slot with
+  /// a default LinkSummary, is excluded from the aggregate, and appears
+  /// as a TrialFailure in the result / telemetry / sweep JSON instead of
+  /// killing the sweep.
+  std::size_t trial_retries = 0;
+  /// Wall-clock watchdog [s]; 0 disables. A trial running longer is
+  /// flagged (stderr warning from the watchdog thread the moment the
+  /// deadline passes, plus a timed_out TrialFailure entry) but NOT
+  /// killed: results of late trials are kept.
+  double trial_timeout_s = 0.0;
+  /// Zero every timing field (per-trial wall/cpu, sweep wall /
+  /// serial-equivalent) so the JSON record is a pure function of
+  /// (spec, seed) -- the mode the crash/resume byte-identity tests and
+  /// any diff-based tooling run under.
+  bool freeze_timing = false;
+};
+
 /// Everything Engine::run produces.
 struct EngineResult {
   std::vector<SweepTrial<core::LinkSummary>> trials;
@@ -166,6 +198,11 @@ struct EngineResult {
   std::vector<std::vector<core::FaultEvent>> fault_events;
   /// Per-trial labels; empty unless spec.label is set.
   std::vector<std::string> labels;
+  /// Quarantined / watchdog-flagged trials in index order (durable mode
+  /// only; empty means every trial succeeded in time).
+  std::vector<TrialFailure> failures;
+  /// Trials replayed from the journal instead of executed.
+  std::size_t replayed_trials = 0;
   SweepTiming timing;
   SweepSummary aggregate;
 };
@@ -176,7 +213,8 @@ class Engine {
   /// Run the campaign. When `sink` is non-null it receives, after the
   /// sweep barrier and in trial-index order: per-trial run events
   /// (on_run_begin/on_sample... when record_samples, then any on_fault
-  /// events, then on_run_end) followed by one on_sweep record.
+  /// events, then on_trial_failure for a quarantined/flagged trial, then
+  /// on_run_end) followed by one on_sweep record.
   ///
   /// Fault seeding: when spec.run.faults is enabled and its seed is left
   /// at 0 after `customize`, each trial derives an independent fault
@@ -184,6 +222,12 @@ class Engine {
   /// so fault draws are decoupled from the world's randomness and stable
   /// across jobs counts.
   EngineResult run(const ExperimentSpec& spec, TelemetrySink* sink = nullptr);
+
+  /// Durable variant: checkpoint/resume via options.journal, per-trial
+  /// retry/quarantine, wall-clock watchdog, frozen timing. With
+  /// default-constructed options this is exactly the plain overload.
+  EngineResult run(const ExperimentSpec& spec, TelemetrySink* sink,
+                   const EngineOptions& options);
 };
 
 }  // namespace mmr::sim

@@ -1,0 +1,115 @@
+// Trial-granular checkpoint journal for durable campaigns.
+//
+// A CampaignJournal is a JSON-lines file: one atomically-written header
+// line identifying the campaign (spec name, base seed, trial count, seed
+// policy, and a fingerprint of every config scalar), followed by one line
+// per COMPLETED trial, appended and fsync'd as trials finish. Because
+// every trial's randomness derives purely from (base_seed, index), a
+// journaled trial can be replayed -- summary, timing, label, and fault
+// events restored bit-exactly -- instead of re-run, so a campaign killed
+// at any point resumes by re-running only the missing indices and emits
+// output byte-identical to an uninterrupted run.
+//
+// Durability contract:
+//   * the header is written via common::AtomicFile (write-temp + fsync +
+//     rename), so a journal either exists with a complete header or not
+//     at all;
+//   * each trial record is one line, flushed and fsync'd before record()
+//     returns -- a SIGKILL loses at most the trial(s) still in flight;
+//   * a torn trailing line (killed mid-append) is tolerated on load: the
+//     damaged record and anything after it are ignored and those trials
+//     simply re-run;
+//   * all doubles are serialized as raw IEEE-754 bit patterns (hex), so a
+//     replayed value is the exact bits the original run produced.
+//
+// Safety contract: opening a journal whose header does not match the
+// campaign key (different name, seed, trials, seed policy, or config
+// fingerprint) throws JournalMismatchError -- resuming someone else's
+// checkpoint silently would corrupt results.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "core/events.h"
+#include "core/metrics.h"
+#include "sim/engine.h"
+
+namespace mmr::sim {
+
+/// One completed trial as persisted in (and replayed from) the journal.
+struct JournalTrial {
+  std::size_t index = 0;
+  double wall_s = 0.0;
+  double cpu_s = 0.0;
+  std::string label;
+  core::LinkSummary summary;
+  std::vector<core::FaultEvent> faults;
+};
+
+/// Identity of a campaign: the journal refuses to resume under any other.
+struct CampaignKey {
+  std::string name;
+  std::uint64_t base_seed = 1;
+  std::size_t trials = 1;
+  SeedPolicy seed_policy = SeedPolicy::kPerTrialStream;
+  /// fingerprint_spec() over every config scalar of the ExperimentSpec.
+  std::uint64_t fingerprint = 0;
+};
+
+/// FNV-1a over a canonical serialization of the spec's declarative state:
+/// scenario (name + every knob), controller (name + knobs), RunConfig
+/// (incl. the full FaultPlan), trials/seed/seed_policy/record_samples.
+/// The `customize`/`label` hooks cannot be fingerprinted -- they are
+/// assumed stable for the same binary and flags (documented in DESIGN.md).
+std::uint64_t fingerprint_spec(const ExperimentSpec& spec);
+
+/// The spec's full journal identity (name/seed/trials/policy/fingerprint).
+CampaignKey campaign_key(const ExperimentSpec& spec);
+
+/// Thrown when a journal exists but belongs to a different campaign (or
+/// its header is unreadable).
+class JournalMismatchError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+class CampaignJournal {
+ public:
+  /// Open-or-create `path` for `key`. An existing journal is validated
+  /// against `key` (JournalMismatchError on mismatch) and its completed
+  /// trials loaded; a missing/empty one is created with an atomically
+  /// written header. Throws std::runtime_error on I/O failure.
+  CampaignJournal(std::string path, CampaignKey key);
+  ~CampaignJournal();
+
+  CampaignJournal(const CampaignJournal&) = delete;
+  CampaignJournal& operator=(const CampaignJournal&) = delete;
+
+  const std::string& path() const { return path_; }
+  const CampaignKey& key() const { return key_; }
+
+  /// Trials already completed by previous runs, keyed by index (the state
+  /// at open; record() does not add to it).
+  const std::map<std::size_t, JournalTrial>& completed() const {
+    return completed_;
+  }
+
+  /// Append one completed trial and make it durable (flush + fsync)
+  /// before returning. Thread-safe: workers call this concurrently.
+  void record(const JournalTrial& trial);
+
+ private:
+  std::string path_;
+  CampaignKey key_;
+  std::map<std::size_t, JournalTrial> completed_;
+  std::FILE* out_ = nullptr;
+  std::mutex mutex_;
+};
+
+}  // namespace mmr::sim

@@ -69,6 +69,10 @@ std::string json_escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());
   for (char c : s) {
+    if (c == '\n') {  // exception texts can be multi-line
+      out += "\\n";
+      continue;
+    }
     if (c == '"' || c == '\\') out.push_back('\\');
     out.push_back(c);
   }
@@ -80,8 +84,22 @@ std::string json_escape(const std::string& s) {
 void write_sweep_json(std::ostream& os, const std::string& bench_name,
                       std::span<const SweepTrial<core::LinkSummary>> trials,
                       const SweepTiming& timing,
-                      std::span<const std::string> labels) {
+                      std::span<const std::string> labels,
+                      std::span<const TrialFailure> failures) {
   MMR_EXPECTS(labels.empty() || labels.size() == trials.size());
+  // Quarantined trials keep their slot but must not poison the aggregate.
+  std::vector<bool> quarantined(trials.size(), false);
+  for (const TrialFailure& f : failures) {
+    MMR_EXPECTS(f.index < trials.size());
+    if (f.quarantined()) quarantined[f.index] = true;
+  }
+  std::vector<SweepTrial<core::LinkSummary>> survivors;
+  if (!failures.empty()) {
+    survivors.reserve(trials.size());
+    for (std::size_t i = 0; i < trials.size(); ++i) {
+      if (!quarantined[i]) survivors.push_back(trials[i]);
+    }
+  }
   const auto flags = os.flags();
   const auto precision = os.precision();
   os.precision(10);
@@ -98,6 +116,7 @@ void write_sweep_json(std::ostream& os, const std::string& bench_name,
     if (!labels.empty()) {
       os << "\"label\": \"" << json_escape(labels[i]) << "\", ";
     }
+    if (quarantined[i]) os << "\"failed\": true, ";
     json_kv(os, "wall_s", trial.wall_s);
     json_kv(os, "cpu_s", trial.cpu_s);
     json_kv(os, "reliability", trial.value.reliability);
@@ -107,7 +126,24 @@ void write_sweep_json(std::ostream& os, const std::string& bench_name,
     os << "}";
   }
   os << "], ";
-  const SweepSummary agg = summarize_sweep(trials);
+  if (!failures.empty()) {
+    os << "\"failures\": [";
+    for (std::size_t i = 0; i < failures.size(); ++i) {
+      const TrialFailure& f = failures[i];
+      if (i > 0) os << ", ";
+      os << "{\"index\": " << f.index << ", \"stream_seed\": "
+         << f.stream_seed << ", \"attempts\": " << f.attempts
+         << ", \"timed_out\": " << (f.timed_out ? "true" : "false")
+         << ", \"quarantined\": " << (f.quarantined() ? "true" : "false")
+         << ", \"error\": \"" << json_escape(f.error) << "\"}";
+    }
+    os << "], ";
+  }
+  const SweepSummary agg = failures.empty()
+                               ? summarize_sweep(trials)
+                               : (survivors.empty()
+                                      ? SweepSummary{}
+                                      : summarize_sweep(survivors));
   os << "\"aggregate\": {";
   json_kv(os, "mean_reliability", agg.mean_reliability);
   json_kv(os, "median_reliability", agg.median_reliability);

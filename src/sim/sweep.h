@@ -133,6 +133,30 @@ class SweepRunner {
   SweepTiming timing_;
 };
 
+/// A trial that exhausted its retry budget (or tripped the wall-clock
+/// watchdog) during a durable campaign. Quarantined trials keep their slot
+/// in the sweep (with a default-constructed value) so indices stay stable,
+/// but are excluded from aggregates and reported out-of-band.
+struct TrialFailure {
+  std::size_t index = 0;
+  /// The trial's deterministic Rng stream seed -- enough to re-run exactly
+  /// this trial in isolation (`--seed` stays the campaign seed; the stream
+  /// is derived from (seed, index)).
+  std::uint64_t stream_seed = 0;
+  /// Attempts made (1 + retries consumed).
+  std::size_t attempts = 1;
+  /// what() of the last exception, empty for pure watchdog flags.
+  std::string error;
+  /// True when the wall-clock watchdog flagged the trial as exceeding
+  /// --trial-timeout-s. A flagged trial that eventually completed keeps
+  /// its value (quarantined == !error.empty()).
+  bool timed_out = false;
+
+  /// Quarantined trials failed outright; timed-out-but-completed trials
+  /// are flagged only and keep their results.
+  bool quarantined() const { return !error.empty(); }
+};
+
 /// Order-stable aggregate over a sweep of LinkSummary trials (computed by
 /// walking trials in index order; identical for any jobs count).
 struct SweepSummary {
@@ -156,9 +180,17 @@ SweepSummary summarize_sweep(
 /// serial-equivalent time, speedup), per-trial LinkSummary values, and the
 /// aggregate. `labels` (optional, one per trial) tags trials with e.g. a
 /// scheme name.
+///
+/// `failures` (optional) reports retry-exhausted / watchdog-flagged trials
+/// from a durable campaign. When non-empty, quarantined trial entries gain
+/// a `"failed": true` field, the aggregate is computed over the surviving
+/// trials only, and a trailing `"failures": [...]` array carries the
+/// details. When empty (every pre-existing caller) the emitted bytes are
+/// unchanged.
 void write_sweep_json(std::ostream& os, const std::string& bench_name,
                       std::span<const SweepTrial<core::LinkSummary>> trials,
                       const SweepTiming& timing,
-                      std::span<const std::string> labels = {});
+                      std::span<const std::string> labels = {},
+                      std::span<const TrialFailure> failures = {});
 
 }  // namespace mmr::sim

@@ -28,11 +28,35 @@ void MemorySink::on_fault(const core::FaultEvent& event) {
   faults_.back().push_back(event);
 }
 
+void MemorySink::on_trial_failure(const TrialFailure& failure) {
+  trial_failures_.push_back(failure);
+}
+
 void MemorySink::on_run_end(const core::LinkSummary& summary) {
   summaries_.push_back(summary);
 }
 
 void MemorySink::on_sweep(const SweepRecord& /*record*/) { ++num_sweeps_; }
+
+namespace {
+
+/// Minimal escaping for strings embedded in the failure records
+/// (write_sweep_json escapes its own fields).
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
 
 void JsonLinesSink::on_sample(const core::LinkSample& sample) {
   if (!per_tick_) return;
@@ -45,6 +69,7 @@ void JsonLinesSink::on_sample(const core::LinkSample& sample) {
       << "}\n";
   os_.flags(flags);
   os_.precision(precision);
+  os_.flush();  // durability contract: at most one record lost on a kill
 }
 
 void JsonLinesSink::on_fault(const core::FaultEvent& event) {
@@ -57,11 +82,23 @@ void JsonLinesSink::on_fault(const core::FaultEvent& event) {
   os_ << ", \"value\": " << event.value << "}\n";
   os_.flags(flags);
   os_.precision(precision);
+  os_.flush();  // durability contract: at most one record lost on a kill
+}
+
+void JsonLinesSink::on_trial_failure(const TrialFailure& failure) {
+  os_ << "{\"trial_failure\": {\"index\": " << failure.index
+      << ", \"stream_seed\": " << failure.stream_seed
+      << ", \"attempts\": " << failure.attempts << ", \"timed_out\": "
+      << (failure.timed_out ? "true" : "false") << ", \"quarantined\": "
+      << (failure.quarantined() ? "true" : "false") << ", \"error\": \""
+      << escape_json(failure.error) << "\"}}\n";
+  os_.flush();  // durability contract: at most one record lost on a kill
 }
 
 void JsonLinesSink::on_sweep(const SweepRecord& record) {
   write_sweep_json(os_, record.name, record.trials, record.timing,
-                   record.labels);
+                   record.labels, record.failures);
+  os_.flush();  // durability contract: at most one record lost on a kill
 }
 
 void FanoutSink::add(TelemetrySink* sink) {
@@ -79,6 +116,10 @@ void FanoutSink::on_sample(const core::LinkSample& sample) {
 
 void FanoutSink::on_fault(const core::FaultEvent& event) {
   for (TelemetrySink* s : sinks_) s->on_fault(event);
+}
+
+void FanoutSink::on_trial_failure(const TrialFailure& failure) {
+  for (TelemetrySink* s : sinks_) s->on_trial_failure(failure);
 }
 
 void FanoutSink::on_run_end(const core::LinkSummary& summary) {

@@ -35,6 +35,9 @@ struct SweepRecord {
   SweepTiming timing;
   /// One label per trial, or empty when the campaign does not tag trials.
   std::span<const std::string> labels;
+  /// Quarantined / watchdog-flagged trials (durable campaigns only;
+  /// empty when every trial succeeded in time).
+  std::span<const TrialFailure> failures;
 };
 
 class TelemetrySink {
@@ -48,6 +51,12 @@ class TelemetrySink {
   /// An injected fault or controller degradation during the active run
   /// (only emitted when the run's FaultPlan is enabled).
   virtual void on_fault(const core::FaultEvent& event) { (void)event; }
+  /// The active trial was quarantined after exhausting its retry budget,
+  /// or flagged by the wall-clock watchdog (durable campaigns only;
+  /// delivered before the trial's on_run_end, in trial-index order).
+  virtual void on_trial_failure(const TrialFailure& failure) {
+    (void)failure;
+  }
   /// The active run finished with this summary.
   virtual void on_run_end(const core::LinkSummary& summary) { (void)summary; }
   /// A whole sweep campaign finished (one record per Engine::run).
@@ -65,6 +74,7 @@ class MemorySink final : public TelemetrySink {
   void on_run_begin(const RunConfig& config) override;
   void on_sample(const core::LinkSample& sample) override;
   void on_fault(const core::FaultEvent& event) override;
+  void on_trial_failure(const TrialFailure& failure) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;
 
@@ -79,12 +89,17 @@ class MemorySink final : public TelemetrySink {
   const std::vector<core::LinkSummary>& summaries() const {
     return summaries_;
   }
+  /// Trial failures in delivery order (durable campaigns only).
+  const std::vector<TrialFailure>& trial_failures() const {
+    return trial_failures_;
+  }
   std::size_t num_sweeps() const { return num_sweeps_; }
 
  private:
   std::vector<std::vector<core::LinkSample>> runs_;
   std::vector<std::vector<core::FaultEvent>> faults_;
   std::vector<core::LinkSummary> summaries_;
+  std::vector<TrialFailure> trial_failures_;
   std::size_t num_sweeps_ = 0;
 };
 
@@ -93,7 +108,16 @@ class MemorySink final : public TelemetrySink {
 /// output stable. Optionally also emits per-tick sample records
 /// (JSON-lines) for full-resolution traces. Fault events are always
 /// emitted as their own JSON lines ({"fault": "...", ...}); a no-fault
-/// run produces none, keeping its byte stream unchanged.
+/// run produces none, keeping its byte stream unchanged. Trial failures
+/// appear as {"trial_failure": {...}} lines.
+///
+/// Durability contract: the sink flushes the stream after EVERY record it
+/// writes (sample, fault, trial failure, sweep), so a process killed at
+/// an arbitrary instruction loses at most the one record being written --
+/// never previously delivered lines sitting in a stream buffer. (Flushing
+/// pushes bytes to the OS; callers that need power-loss durability should
+/// write through common::AtomicFile or fsync the underlying file, as the
+/// bench CLI's --json-out and the CampaignJournal do.)
 class JsonLinesSink final : public TelemetrySink {
  public:
   explicit JsonLinesSink(std::ostream& os, bool per_tick = false)
@@ -101,6 +125,7 @@ class JsonLinesSink final : public TelemetrySink {
 
   void on_sample(const core::LinkSample& sample) override;
   void on_fault(const core::FaultEvent& event) override;
+  void on_trial_failure(const TrialFailure& failure) override;
   void on_sweep(const SweepRecord& record) override;
 
  private:
@@ -117,6 +142,7 @@ class FanoutSink final : public TelemetrySink {
   void on_run_begin(const RunConfig& config) override;
   void on_sample(const core::LinkSample& sample) override;
   void on_fault(const core::FaultEvent& event) override;
+  void on_trial_failure(const TrialFailure& failure) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;
 

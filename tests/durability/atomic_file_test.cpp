@@ -1,0 +1,111 @@
+// common::AtomicFile: crash-safe whole-file replacement.
+#include "common/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace mmr {
+namespace {
+
+std::string read_all(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool exists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+class AtomicFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/mmr_atomic_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    // Best-effort cleanup of anything the tests created.
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)std::system(cmd.c_str());
+  }
+  std::string dir_;
+};
+
+TEST_F(AtomicFileTest, CommitCreatesFileWithExactContent) {
+  const std::string path = dir_ + "/out.json";
+  AtomicFile file(path);
+  file.stream() << "{\"a\": 1}\n";
+  EXPECT_FALSE(exists(path));  // nothing on disk before commit
+  file.commit();
+  EXPECT_TRUE(file.committed());
+  EXPECT_EQ(read_all(path), "{\"a\": 1}\n");
+}
+
+TEST_F(AtomicFileTest, CommitReplacesExistingContentAtomically) {
+  const std::string path = dir_ + "/out.json";
+  AtomicFile::write(path, "old content");
+  AtomicFile file(path);
+  file.stream() << "new content";
+  EXPECT_EQ(read_all(path), "old content");  // untouched until commit
+  file.commit();
+  EXPECT_EQ(read_all(path), "new content");
+}
+
+TEST_F(AtomicFileTest, DestructionWithoutCommitLeavesTargetUntouched) {
+  const std::string path = dir_ + "/out.json";
+  AtomicFile::write(path, "survives");
+  {
+    AtomicFile file(path);
+    file.stream() << "discarded";
+  }
+  EXPECT_EQ(read_all(path), "survives");
+}
+
+TEST_F(AtomicFileTest, NoTempFileSurvivesCommit) {
+  const std::string path = dir_ + "/out.json";
+  AtomicFile::write(path, "x");
+  // The directory must contain exactly the destination file.
+  std::string cmd = "ls -A '" + dir_ + "'";
+  FILE* p = ::popen(cmd.c_str(), "r");
+  ASSERT_NE(p, nullptr);
+  char buf[256] = {0};
+  std::string listing;
+  while (std::fgets(buf, sizeof(buf), p) != nullptr) listing += buf;
+  ::pclose(p);
+  EXPECT_EQ(listing, "out.json\n");
+}
+
+TEST_F(AtomicFileTest, CommitIntoMissingDirectoryThrows) {
+  AtomicFile file(dir_ + "/no/such/dir/out.json");
+  file.stream() << "content";
+  EXPECT_THROW(file.commit(), std::runtime_error);
+}
+
+TEST_F(AtomicFileTest, EmptyContentCommitsAnEmptyFile) {
+  const std::string path = dir_ + "/empty";
+  AtomicFile file(path);
+  file.commit();
+  EXPECT_TRUE(exists(path));
+  EXPECT_EQ(read_all(path), "");
+}
+
+TEST_F(AtomicFileTest, DoubleCommitIsAPreconditionViolation) {
+  const std::string path = dir_ + "/out";
+  AtomicFile file(path);
+  file.stream() << "x";
+  file.commit();
+  EXPECT_THROW(file.commit(), std::logic_error);
+}
+
+}  // namespace
+}  // namespace mmr
