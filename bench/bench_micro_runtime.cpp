@@ -23,7 +23,9 @@
 #include "core/multibeam.h"
 #include "core/probing.h"
 #include "core/superres.h"
+#include "dsp/backend.h"
 #include "dsp/fft.h"
+#include "dsp/kernels.h"
 #include "dsp/sinc.h"
 #include "sim/engine.h"
 #include "sim/telemetry.h"
@@ -263,9 +265,138 @@ void BM_PatternCut_Cached(benchmark::State& state) {
 }
 BENCHMARK(BM_PatternCut_Cached);
 
+// ---------------------------------------------------------------------------
+// Per-backend kernel benchmarks (PR-6 dispatch layer). One registration
+// per compiled-and-executable backend, named BM_Kernel<Name>/<backend>,
+// so the backend speedup is the items_per_second ratio between rows of
+// the same kernel in --benchmark_format=json output (scalar is the
+// "before": it is the bit-exact PR-2 reference the goldens run on).
+// Each kernel runs at two sizes: 64 (the production CSI row / ULA weight
+// length, where per-call dispatch overhead is part of the honest cost)
+// and 512 (wideband grids and batch rows, where the loop dominates).
+// ---------------------------------------------------------------------------
+
+constexpr std::size_t kKernelReps = 64;  // amortize the dispatch load
+
+void BM_KernelPhasorRamp(benchmark::State& state, dsp::Backend backend) {
+  dsp::ScopedBackend scoped(backend);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  CVec dst(n);
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kKernelReps; ++r) {
+      dsp::phasor_ramp(0.0123 + 1e-6 * static_cast<double>(r), n,
+                       dst.data());
+      benchmark::DoNotOptimize(dst.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelReps * n));
+}
+
+void BM_KernelCdot(benchmark::State& state, dsp::Backend backend) {
+  dsp::ScopedBackend scoped(backend);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(11);
+  CVec a(n), b(n);
+  for (auto& c : a) c = rng.complex_normal();
+  for (auto& c : b) c = rng.complex_normal();
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kKernelReps; ++r) {
+      cplx d = dsp::cdot(a.data(), b.data(), n);
+      benchmark::DoNotOptimize(d);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelReps * n));
+}
+
+void BM_KernelDotPhasorRamp(benchmark::State& state, dsp::Backend backend) {
+  dsp::ScopedBackend scoped(backend);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(13);
+  CVec w(n);
+  for (auto& c : w) c = rng.complex_normal();
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kKernelReps; ++r) {
+      cplx d = dsp::dot_phasor_ramp(0.0123 + 1e-6 * static_cast<double>(r),
+                                    w.data(), n);
+      benchmark::DoNotOptimize(d);
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelReps * n));
+}
+
+void BM_KernelAxpy(benchmark::State& state, dsp::Backend backend) {
+  dsp::ScopedBackend scoped(backend);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(17);
+  CVec x(n), y(n);
+  for (auto& c : x) c = rng.complex_normal();
+  for (auto& c : y) c = rng.complex_normal();
+  const cplx alpha{0.8, -0.3};
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kKernelReps; ++r) {
+      dsp::axpy(alpha, x.data(), y.data(), n);
+      benchmark::DoNotOptimize(y.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelReps * n));
+}
+
+void BM_KernelDelayPhasors(benchmark::State& state, dsp::Backend backend) {
+  dsp::ScopedBackend scoped(backend);
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const channel::WidebandSpec spec{28e9, 400e6, n};
+  RVec freqs(n);
+  channel::fill_freq_grid(spec, freqs.data());
+  CVec dst(n, cplx{});
+  const cplx alpha{3e-5, -1e-5};
+  for (auto _ : state) {
+    for (std::size_t r = 0; r < kKernelReps; ++r) {
+      dsp::accumulate_delay_phasors(alpha, freqs.data(),
+                                    1.5e-9 + 1e-13 * static_cast<double>(r),
+                                    dst.data(), n);
+      benchmark::DoNotOptimize(dst.data());
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(kKernelReps * n));
+}
+
+/// Register BM_Kernel*/<backend> for every backend this machine can
+/// actually execute (registration-time check: ScopedBackend inside the
+/// benchmark cannot signal skip cleanly, so unsupported backends simply
+/// get no row).
+void register_backend_benchmarks() {
+  using BenchFn = void (*)(benchmark::State&, dsp::Backend);
+  static constexpr struct {
+    const char* name;
+    BenchFn fn;
+  } kKernelBenches[] = {
+      {"BM_KernelPhasorRamp", &BM_KernelPhasorRamp},
+      {"BM_KernelCdot", &BM_KernelCdot},
+      {"BM_KernelDotPhasorRamp", &BM_KernelDotPhasorRamp},
+      {"BM_KernelAxpy", &BM_KernelAxpy},
+      {"BM_KernelDelayPhasors", &BM_KernelDelayPhasors},
+  };
+  for (const auto& bench : kKernelBenches) {
+    for (dsp::Backend b : dsp::compiled_backends()) {
+      if (!dsp::backend_supported(b)) continue;
+      const std::string name = std::string(bench.name) + "/" +
+                               std::string(dsp::backend_name(b));
+      benchmark::RegisterBenchmark(name.c_str(), bench.fn, b)
+          ->Arg(64)
+          ->Arg(512);
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
+  register_backend_benchmarks();
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();

@@ -11,6 +11,16 @@
 //   --controller NAME  override the campaign's registered controller.
 //   --faults NAME      apply a named fault preset ("none", "light",
 //                      "moderate", "heavy") to every run's probe/CSI path.
+//   --kernel-backend B force the dsp kernel backend ("scalar", "portable",
+//                      "avx2", "neon", or "auto" = CPUID best). Unknown
+//                      names exit(2); a backend this binary/CPU cannot
+//                      execute exit(2)s too -- forcing is for A/B
+//                      measurement and must not silently fall back. Same
+//                      effect as MMR_KERNEL_BACKEND in the environment
+//                      (which DOES fall back with a warning, for fleet
+//                      use). Goldens are scalar-backend; figure outputs
+//                      on fast backends agree within the declared kernel
+//                      tolerances (see DESIGN.md).
 //   --json-out FILE    additionally write the JSON record(s) to FILE,
 //                      atomically (write-temp + fsync + rename): a crash
 //                      leaves either the previous FILE or the complete new
@@ -58,6 +68,7 @@
 
 #include "common/atomic_file.h"
 #include "common/parse.h"
+#include "dsp/backend.h"
 #include "sim/engine.h"
 #include "sim/faults.h"
 #include "sim/journal.h"
@@ -72,6 +83,7 @@ struct SweepCliOptions {
   std::string scenario;     ///< empty = bench default
   std::string controller;   ///< empty = bench default
   std::string faults;       ///< fault preset name; empty = no faults
+  std::string kernel_backend;  ///< forced dsp backend; empty = default
   std::string json_out;     ///< empty = stdout only
   std::string resume;       ///< journal base path; empty = no checkpoints
   std::size_t trial_retries = 0;
@@ -145,6 +157,30 @@ inline void require_fault_preset(const std::string& name, const char* prog) {
   }
 }
 
+/// Validate and APPLY a --kernel-backend value. Unlike the
+/// MMR_KERNEL_BACKEND environment override (which warns and falls back,
+/// so fleet-wide env settings stay safe on mixed machines), the explicit
+/// flag is an A/B-measurement instrument: silently benchmarking the
+/// wrong backend would corrupt the comparison, so unknown or
+/// unsupported-on-this-CPU names exit(2).
+inline void apply_kernel_backend(const std::string& name, const char* prog) {
+  const std::optional<dsp::Backend> parsed = dsp::parse_backend(name);
+  if (!parsed.has_value()) {
+    std::fprintf(stderr,
+                 "%s: unknown --kernel-backend '%s' (expected scalar, "
+                 "portable, avx2, neon, or auto)\n",
+                 prog, name.c_str());
+    std::exit(2);
+  }
+  if (!dsp::set_backend(*parsed)) {
+    std::fprintf(stderr,
+                 "%s: --kernel-backend %s is not executable on this "
+                 "machine (not compiled in, or missing CPU support)\n",
+                 prog, std::string(dsp::backend_name(*parsed)).c_str());
+    std::exit(2);
+  }
+}
+
 /// The per-campaign journal file under a --resume BASE: benches run
 /// several campaigns per process (scheme matrices), and each campaign
 /// must checkpoint into its own fingerprint-keyed journal.
@@ -208,11 +244,17 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
     } else if (const char* v10 = value_of(i, "--trial-timeout-s")) {
       opts.trial_timeout_s =
           detail::require_f64("--trial-timeout-s", v10, argv[0]);
+    } else if (const char* v11 = value_of(i, "--kernel-backend")) {
+      opts.kernel_backend = v11;
+      // Validated AND applied eagerly: the backend switch is process
+      // global and must land before any sweep warms kernel caches.
+      detail::apply_kernel_backend(opts.kernel_backend, argv[0]);
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--trials N] [--seed S]\n"
                    "          [--scenario NAME] [--controller NAME]\n"
-                   "          [--faults NAME] [--json-out FILE]\n"
+                   "          [--faults NAME] [--kernel-backend B]\n"
+                   "          [--json-out FILE]\n"
                    "          [--resume BASE] [--trial-retries N]\n"
                    "          [--trial-timeout-s X] [--freeze-timing]\n"
                    "          [--list]\n"

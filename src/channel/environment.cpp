@@ -63,8 +63,16 @@ bool Environment::occluded(Vec2 p, Vec2 q, int ignore_wall_a,
 std::vector<Path> Environment::trace(const Pose& tx, const Pose& rx,
                                      double min_rel_power_db,
                                      int max_bounces) const {
-  MMR_EXPECTS(max_bounces >= 1 && max_bounces <= 2);
   std::vector<Path> paths;
+  trace_into(paths, tx, rx, min_rel_power_db, max_bounces);
+  return paths;
+}
+
+void Environment::trace_into(std::vector<Path>& paths, const Pose& tx,
+                             const Pose& rx, double min_rel_power_db,
+                             int max_bounces) const {
+  MMR_EXPECTS(max_bounces >= 1 && max_bounces <= 2);
+  paths.clear();
 
   // LOS.
   if (!occluded(tx.position, rx.position, -1, -1)) {
@@ -162,9 +170,11 @@ std::vector<Path> Environment::trace(const Pose& tx, const Pose& rx,
     }
   }
 
-  if (paths.empty()) return paths;
+  if (paths.empty()) return;
 
-  // Prune paths far below the strongest one.
+  // Prune paths far below the strongest one. sorted_by_power takes the
+  // vector by value and sorts in place, so the move round-trip preserves
+  // capacity and allocates nothing.
   paths = sorted_by_power(std::move(paths));
   const double best = paths.front().effective_power();
   const double floor = best * from_db(-min_rel_power_db);
@@ -173,7 +183,6 @@ std::vector<Path> Environment::trace(const Pose& tx, const Pose& rx,
                                return p.effective_power() < floor;
                              }),
               paths.end());
-  return paths;
 }
 
 Environment Environment::indoor_conference_room() {

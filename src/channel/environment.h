@@ -49,6 +49,14 @@ class Environment {
                           double min_rel_power_db = 40.0,
                           int max_bounces = 1) const;
 
+  /// Allocation-reusing form of trace(): clears `out` and fills it with
+  /// exactly the paths (same values, same order) trace() would return,
+  /// reusing `out`'s capacity. The per-tick re-trace in LinkWorld uses
+  /// this so the trial hot path stops allocating once the path count has
+  /// plateaued. trace() is a thin wrapper around this.
+  void trace_into(std::vector<Path>& out, const Pose& tx, const Pose& rx,
+                  double min_rel_power_db = 40.0, int max_bounces = 1) const;
+
   /// Canonical scenarios from the paper's evaluation (Section 6).
   /// 7 m x 10 m conference room: glass walls, whiteboard, metal cabinets.
   static Environment indoor_conference_room();

@@ -21,13 +21,17 @@ double min_delay(const std::vector<Path>& paths) {
 
 RVec freq_grid(const WidebandSpec& spec) {
   RVec freqs(spec.num_subcarriers);
-  for (std::size_t k = 0; k < spec.num_subcarriers; ++k) {
-    freqs[k] = spec.freq_offset(k);
-  }
+  fill_freq_grid(spec, freqs.data());
   return freqs;
 }
 
 }  // namespace
+
+void fill_freq_grid(const WidebandSpec& spec, double* freqs) {
+  for (std::size_t k = 0; k < spec.num_subcarriers; ++k) {
+    freqs[k] = spec.freq_offset(k);
+  }
+}
 
 cplx RxFrontend::response(double aoa_rad) const {
   if (!directional) return cplx{omni_gain, 0.0};
@@ -60,18 +64,27 @@ cplx path_amplitude(const Path& path, const array::Ula& tx_ula,
 CVec effective_csi(const std::vector<Path>& paths, const array::Ula& tx_ula,
                    const CVec& tx_weights, const WidebandSpec& spec,
                    const RxFrontend& rx) {
-  MMR_EXPECTS(!paths.empty());
-  const double t0 = min_delay(paths);
-  CVec csi(spec.num_subcarriers, cplx{});
+  CVec csi(spec.num_subcarriers);
   // Subcarrier grid computed once, shared across paths; the per-path delay
   // rotation is the batched kernel (same op order as the scalar loop).
   const RVec freqs = freq_grid(spec);
+  effective_csi_into(paths, tx_ula, tx_weights, spec, rx, freqs.data(),
+                     csi.data());
+  return csi;
+}
+
+void effective_csi_into(const std::vector<Path>& paths,
+                        const array::Ula& tx_ula, const CVec& tx_weights,
+                        const WidebandSpec& spec, const RxFrontend& rx,
+                        const double* freqs, cplx* csi) {
+  MMR_EXPECTS(!paths.empty());
+  const double t0 = min_delay(paths);
+  for (std::size_t k = 0; k < spec.num_subcarriers; ++k) csi[k] = cplx{};
   for (const Path& p : paths) {
     const cplx alpha = path_amplitude(p, tx_ula, tx_weights, rx);
-    dsp::accumulate_delay_phasors(alpha, freqs.data(), p.delay_s - t0,
-                                  csi.data(), csi.size());
+    dsp::accumulate_delay_phasors(alpha, freqs, p.delay_s - t0, csi,
+                                  spec.num_subcarriers);
   }
-  return csi;
 }
 
 CVec effective_csi_freq_weights(
@@ -125,6 +138,19 @@ double received_power(const std::vector<Path>& paths,
   double acc = 0.0;
   for (const cplx& h : csi) acc += std::norm(h);
   return acc / static_cast<double>(csi.size());
+}
+
+double received_power_prepared(const std::vector<Path>& paths,
+                               const array::Ula& tx_ula,
+                               const CVec& tx_weights,
+                               const WidebandSpec& spec, const RxFrontend& rx,
+                               const double* freqs, cplx* csi) {
+  effective_csi_into(paths, tx_ula, tx_weights, spec, rx, freqs, csi);
+  double acc = 0.0;
+  for (std::size_t k = 0; k < spec.num_subcarriers; ++k) {
+    acc += std::norm(csi[k]);
+  }
+  return acc / static_cast<double>(spec.num_subcarriers);
 }
 
 CVec per_antenna_channel(const std::vector<Path>& paths,

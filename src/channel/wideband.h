@@ -74,10 +74,33 @@ CVec effective_cir(const std::vector<Path>& paths, const array::Ula& tx_ula,
                    std::size_t num_taps, const RxFrontend& rx,
                    double timing_offset_s = 0.0);
 
+/// Allocation-free form of effective_csi: writes H(k) into
+/// `csi[0..spec.num_subcarriers)`. `freqs` must hold spec.freq_offset(k)
+/// for each k (see fill_freq_grid) -- callers cache the grid because it
+/// depends only on the spec. Identical floating-point operations in
+/// identical order to effective_csi; effective_csi delegates here.
+void effective_csi_into(const std::vector<Path>& paths,
+                        const array::Ula& tx_ula, const CVec& tx_weights,
+                        const WidebandSpec& spec, const RxFrontend& rx,
+                        const double* freqs, cplx* csi);
+
+/// Write spec.freq_offset(k) for k in [0, num_subcarriers) into `freqs`.
+void fill_freq_grid(const WidebandSpec& spec, double* freqs);
+
 /// Mean received power across subcarriers (linear) for given weights.
 double received_power(const std::vector<Path>& paths,
                       const array::Ula& tx_ula, const CVec& tx_weights,
                       const WidebandSpec& spec, const RxFrontend& rx);
+
+/// Allocation-free form of received_power using a caller-provided cached
+/// frequency grid and CSI scratch buffer (both of length
+/// spec.num_subcarriers; `csi` is overwritten). Bit-identical result to
+/// received_power.
+double received_power_prepared(const std::vector<Path>& paths,
+                               const array::Ula& tx_ula,
+                               const CVec& tx_weights,
+                               const WidebandSpec& spec, const RxFrontend& rx,
+                               const double* freqs, cplx* csi);
 
 /// Narrowband per-antenna channel vector h[n] at the carrier (paper
 /// Eq. 7 / Eq. 25): what the oracle beamformer conjugates.

@@ -1,0 +1,84 @@
+#include "common/arena.h"
+
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+
+#include "common/error.h"
+
+namespace mmr {
+
+namespace {
+
+/// First offset >= `used` at which `data + offset` is `alignment`-aligned.
+std::size_t aligned_offset(const char* data, std::size_t used,
+                           std::size_t alignment) {
+  const auto addr = reinterpret_cast<std::uintptr_t>(data) + used;
+  const auto aligned = (addr + alignment - 1) & ~(std::uintptr_t(alignment) - 1);
+  return used + static_cast<std::size_t>(aligned - addr);
+}
+
+}  // namespace
+
+Arena::Arena(std::size_t initial_chunk_bytes)
+    : next_chunk_bytes_(initial_chunk_bytes < 64 ? 64 : initial_chunk_bytes) {}
+
+Arena::~Arena() {
+  for (Chunk& c : chunks_) std::free(c.data);
+}
+
+void Arena::reset() {
+  for (Chunk& c : chunks_) c.used = 0;
+  active_ = 0;
+  bytes_in_use_ = 0;
+}
+
+void* Arena::do_allocate(std::size_t bytes, std::size_t alignment) {
+  MMR_EXPECTS(alignment != 0 && (alignment & (alignment - 1)) == 0);
+  if (bytes == 0) bytes = 1;
+  // Scan forward from the active chunk; earlier chunks were exhausted
+  // (or skipped for being too small) in this cycle. Deterministic: the
+  // same allocation sequence after reset() revisits the same chunks in
+  // the same order and returns the same addresses.
+  for (std::size_t i = active_; i < chunks_.size(); ++i) {
+    Chunk& c = chunks_[i];
+    const std::size_t offset = aligned_offset(c.data, c.used, alignment);
+    if (offset + bytes <= c.size) {
+      c.used = offset + bytes;
+      active_ = i;
+      bytes_in_use_ += bytes;
+      if (bytes_in_use_ > high_water_) high_water_ = bytes_in_use_;
+      return c.data + offset;
+    }
+  }
+  // No chunk fits: malloc a new one (doubling, but at least big enough
+  // for this request plus worst-case alignment slack).
+  std::size_t want = next_chunk_bytes_;
+  const std::size_t need = bytes + alignment;
+  if (want < need) want = need;
+  char* data = static_cast<char*>(std::malloc(want));
+  if (data == nullptr) throw std::bad_alloc();
+  next_chunk_bytes_ = want * 2;
+  Chunk c;
+  c.data = data;
+  c.size = want;
+  const std::size_t offset = aligned_offset(data, 0, alignment);
+  c.used = offset + bytes;
+  chunks_.push_back(c);
+  active_ = chunks_.size() - 1;
+  bytes_in_use_ += bytes;
+  if (bytes_in_use_ > high_water_) high_water_ = bytes_in_use_;
+  return data + offset;
+}
+
+void Arena::do_deallocate(void* /*p*/, std::size_t /*bytes*/,
+                          std::size_t /*alignment*/) {
+  // Monotonic: individual frees are no-ops; memory returns via reset().
+}
+
+bool Arena::do_is_equal(
+    const std::pmr::memory_resource& other) const noexcept {
+  return this == &other;
+}
+
+}  // namespace mmr

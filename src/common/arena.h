@@ -1,0 +1,69 @@
+// Monotonic chunked arena: the per-trial scratch allocator behind the
+// zero-allocation trial hot path (PR-6).
+//
+// Arena is a std::pmr::memory_resource that hands out bump-pointer
+// slices of malloc'd chunks. deallocate() is a no-op; reset() rewinds
+// every chunk for reuse WITHOUT returning memory to the system, so a
+// steady-state trial loop whose scratch lives on an arena touches the
+// global heap exactly zero times after warm-up.
+//
+// Lifetime rules (see DESIGN.md "Kernel backends & dispatch"):
+//  * Objects allocated from the arena are NOT destroyed by reset() --
+//    only trivially-destructible payloads, or containers the owner
+//    clears/rebuilds first, may live on an arena across a reset().
+//    sim::TrialWorkspace enforces this by destroying and reconstructing
+//    its scratch containers around every reset().
+//  * The arena must outlive every container bound to it.
+//  * Not thread-safe: one arena per trial, owned by one worker.
+#pragma once
+
+#include <cstddef>
+#include <memory_resource>
+#include <vector>
+
+namespace mmr {
+
+class Arena : public std::pmr::memory_resource {
+ public:
+  /// `initial_chunk_bytes` sizes the first chunk; later chunks double
+  /// (geometric growth) so warm-up settles in O(log total) mallocs.
+  explicit Arena(std::size_t initial_chunk_bytes = 16 * 1024);
+  ~Arena() override;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Rewind every chunk for reuse; keeps all chunk memory. After reset()
+  /// an identical allocation sequence returns the identical addresses --
+  /// the property the arena-reuse bit-identity tests pin.
+  void reset();
+
+  /// Bytes handed out since construction / the last reset().
+  std::size_t bytes_in_use() const { return bytes_in_use_; }
+  /// Largest bytes_in_use() ever observed (across resets): the trial
+  /// scratch footprint, reported by bench telemetry.
+  std::size_t high_water() const { return high_water_; }
+  /// Number of chunks malloc'd so far (never shrinks).
+  std::size_t chunk_count() const { return chunks_.size(); }
+
+ private:
+  void* do_allocate(std::size_t bytes, std::size_t alignment) override;
+  void do_deallocate(void* p, std::size_t bytes,
+                     std::size_t alignment) override;
+  bool do_is_equal(
+      const std::pmr::memory_resource& other) const noexcept override;
+
+  struct Chunk {
+    char* data = nullptr;
+    std::size_t size = 0;
+    std::size_t used = 0;
+  };
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< index of the chunk currently bumping
+  std::size_t next_chunk_bytes_;
+  std::size_t bytes_in_use_ = 0;
+  std::size_t high_water_ = 0;
+};
+
+}  // namespace mmr

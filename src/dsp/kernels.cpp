@@ -2,11 +2,13 @@
 
 #include <cmath>
 
-#include "common/angles.h"
+#include "common/error.h"
+#include "dsp/backend.h"
 
 namespace mmr::dsp {
 
 CVec CplxBatch::row(std::size_t r) const {
+  MMR_EXPECTS(r < rows_);
   CVec out(cols_);
   const double* re = row_re(r);
   const double* im = row_im(r);
@@ -19,60 +21,38 @@ cplx unit_phasor(double step, std::size_t i) {
   return cplx(std::cos(ang), std::sin(ang));
 }
 
+// Every batched kernel below routes through the active backend's
+// dispatch table (dsp/backend.h). The scalar reference implementations
+// live in backend_scalar.cpp, bit-for-bit the loops that used to sit
+// here.
+
 void phasor_ramp(double step, std::size_t n, cplx* dst) {
-  for (std::size_t i = 0; i < n; ++i) dst[i] = unit_phasor(step, i);
+  active_table().phasor_ramp_interleaved(step, n, dst);
 }
 
 void phasor_ramp(double step, std::size_t n, double* dst_re, double* dst_im) {
-  for (std::size_t i = 0; i < n; ++i) {
-    const double ang = -step * static_cast<double>(i);
-    dst_re[i] = std::cos(ang);
-    dst_im[i] = std::sin(ang);
-  }
+  active_table().phasor_ramp_soa(step, n, dst_re, dst_im);
 }
 
 cplx dot_phasor_ramp(double step, const cplx* w, std::size_t n) {
-  cplx acc{};
-  std::size_t i = 0;
-  // Unrolled by 4 into ONE accumulator: the additions stay in element
-  // order, so the sum rounds exactly like the scalar reference loop.
-  for (; i + 4 <= n; i += 4) {
-    acc += unit_phasor(step, i) * w[i];
-    acc += unit_phasor(step, i + 1) * w[i + 1];
-    acc += unit_phasor(step, i + 2) * w[i + 2];
-    acc += unit_phasor(step, i + 3) * w[i + 3];
-  }
-  for (; i < n; ++i) acc += unit_phasor(step, i) * w[i];
-  return acc;
+  return active_table().dot_phasor_ramp(step, w, n);
 }
 
 cplx cdot(const cplx* a, const cplx* b, std::size_t n) {
-  cplx acc{};
-  std::size_t i = 0;
-  for (; i + 4 <= n; i += 4) {
-    acc += a[i] * b[i];
-    acc += a[i + 1] * b[i + 1];
-    acc += a[i + 2] * b[i + 2];
-    acc += a[i + 3] * b[i + 3];
-  }
-  for (; i < n; ++i) acc += a[i] * b[i];
-  return acc;
+  return active_table().cdot(a, b, n);
 }
 
 void axpy(cplx alpha, const cplx* x, cplx* y, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * x[i];
+  active_table().axpy(alpha, x, y, n);
 }
 
 void axpy_phasor_ramp(cplx alpha, double step, cplx* y, std::size_t n) {
-  for (std::size_t i = 0; i < n; ++i) y[i] += alpha * unit_phasor(step, i);
+  active_table().axpy_phasor_ramp(alpha, step, y, n);
 }
 
 void accumulate_delay_phasors(cplx alpha, const double* freqs, double delay_s,
                               cplx* dst, std::size_t n) {
-  for (std::size_t k = 0; k < n; ++k) {
-    const double ang = -2.0 * kPi * freqs[k] * delay_s;
-    dst[k] += alpha * cplx(std::cos(ang), std::sin(ang));
-  }
+  active_table().accumulate_delay_phasors(alpha, freqs, delay_s, dst, n);
 }
 
 }  // namespace mmr::dsp

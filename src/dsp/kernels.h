@@ -2,15 +2,30 @@
 // fused phasor inner products (array factors), and complex axpy — the
 // primitives every beamforming hot loop reduces to.
 //
-// Bit-compatibility contract: every kernel performs the SAME per-element
-// floating-point operations in the SAME order as the scalar loops it
-// replaces (array/geometry.cpp, array/pattern.cpp, channel/wideband.cpp
-// as of PR-1). Manual unrolling never reassociates the accumulation, so a
-// kernel result is reproducible against a naive reference to <= 1 ULP
-// (empirically bit-identical; enforced by tests/dsp/kernel_differential_test
-// over >= 1e4 randomized cases). This is what lets the PatternCache hand
-// one worker's result to every other sweep worker without perturbing the
-// golden figures.
+// Bit-compatibility contract: on the SCALAR backend every kernel performs
+// the SAME per-element floating-point operations in the SAME order as the
+// scalar loops it replaces (array/geometry.cpp, array/pattern.cpp,
+// channel/wideband.cpp as of PR-1). Manual unrolling never reassociates
+// the accumulation, so a kernel result is reproducible against a naive
+// reference to <= 1 ULP (empirically bit-identical; enforced by
+// tests/dsp/kernel_differential_test over >= 1e4 randomized cases). This
+// is what lets the PatternCache hand one worker's result to every other
+// sweep worker without perturbing the golden figures.
+//
+// Since PR-6 every batched kernel dispatches through a runtime-selected
+// backend table (dsp/backend.h): the scalar reference keeps the contract
+// above verbatim, while the portable/AVX2/NEON backends may reassociate
+// sums and evaluate phasors by anchor+rotation within a declared,
+// test-enforced tolerance (dsp::tolerances()). Goldens and journal
+// byte-identity always run against the scalar reference.
+//
+// Edge/aliasing contract (all backends, enforced by
+// tests/dsp/backend_test.cpp):
+//  * n == 0 is a no-op (reductions return 0+0j); n == 1 is exact libm.
+//  * axpy allows x == y (full aliasing: y[i] += alpha*y[i] element-wise).
+//    PARTIALLY overlapping x/y ranges are undefined across all backends.
+//  * phasor_ramp/axpy_phasor_ramp/accumulate_delay_phasors destinations
+//    must not overlap their inputs (freqs vs dst).
 #pragma once
 
 #include <cstddef>
@@ -43,7 +58,9 @@ class CplxBatch {
     return cplx(row_re(r)[c], row_im(r)[c]);
   }
 
-  /// Materialize row r as an interleaved complex vector.
+  /// Materialize row r as an interleaved complex vector. Bounds-checked
+  /// (throws std::logic_error on r >= rows); the pointer accessors above
+  /// stay unchecked -- they are the hot path.
   CVec row(std::size_t r) const;
 
  private:

@@ -18,6 +18,7 @@
 #include "core/delay_multibeam.h"
 #include "sim/journal.h"
 #include "sim/telemetry.h"
+#include "sim/workspace.h"
 
 namespace mmr::sim {
 namespace {
@@ -365,9 +366,14 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink,
     core::LinkSummary summary;
     double wall_s = 0.0, cpu_s = 0.0;
     bool succeeded = false;
+    // Per-trial scratch arena for the world's scoring hot path; reset
+    // between retry attempts (a retried trial reuses the same chunks and
+    // stays bit-identical -- pinned by the props tier).
+    TrialWorkspace workspace;
     watchdog.begin(ctx.index);
     for (std::size_t attempt = 0; attempt < max_attempts && !succeeded;
          ++attempt) {
+      workspace.reset();
       try {
         // Every attempt restarts from pristine copies of the spec and the
         // SAME deterministic Rng stream (ctx is untouched), so a retried
@@ -392,6 +398,7 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink,
         const auto start = std::chrono::steady_clock::now();
         const double cpu_start = thread_cpu_now_s();
         LinkWorld world = scenarios.make(scenario);
+        world.bind_workspace(&workspace);
         const std::unique_ptr<core::BeamController> ctrl =
             controllers.make(world, scenario.config, controller);
         RunResult rr = run_experiment(world, *ctrl, rc);

@@ -42,6 +42,7 @@ RunResult run_experiment(LinkWorld& world, core::BeamController& controller,
 
   const auto num_ticks =
       static_cast<std::size_t>(config.duration_s / config.tick_s);
+  result.samples.reserve(num_ticks);
   for (std::size_t i = 0; i < num_ticks; ++i) {
     const double t = static_cast<double>(i) * config.tick_s;
     world.set_time(t);

@@ -1,0 +1,65 @@
+// Per-trial scratch bundle: one Arena plus the pmr containers the
+// LinkWorld scoring hot path (set_time + true_snr_db) draws from. The
+// engine creates one TrialWorkspace per trial, binds it to the trial's
+// world (LinkWorld::bind_workspace), and reset()s it between retry
+// attempts -- so a steady-state trial performs zero heap allocations in
+// its scoring loop (proven by tests/alloc/zero_alloc_test.cpp).
+//
+// Lifetime rules (see common/arena.h): the scratch containers live ON
+// the arena, so reset() must destroy and reconstruct them -- their
+// internal capacity pointers dangle the moment the arena rewinds. The
+// std::optional dance below enforces that ordering. The workspace must
+// outlive any world it is bound to.
+#pragma once
+
+#include <cstddef>
+#include <memory_resource>
+#include <optional>
+#include <vector>
+
+#include "common/arena.h"
+#include "common/types.h"
+
+namespace mmr::sim {
+
+class TrialWorkspace {
+ public:
+  TrialWorkspace() { scratch_.emplace(&arena_); }
+
+  TrialWorkspace(const TrialWorkspace&) = delete;
+  TrialWorkspace& operator=(const TrialWorkspace&) = delete;
+
+  /// Rewind the arena and rebuild the scratch containers on it. An
+  /// identical trial replayed after reset() reuses the identical chunk
+  /// memory (Arena::reset keeps chunks) and produces bit-identical
+  /// results (pinned by the props tier).
+  void reset() {
+    scratch_.reset();  // destroy containers BEFORE their storage rewinds
+    arena_.reset();
+    scratch_.emplace(&arena_);
+  }
+
+  Arena& arena() { return arena_; }
+
+  /// Cached subcarrier frequency grid (filled lazily by LinkWorld; keyed
+  /// by size, which is the only spec-dependence after construction).
+  std::pmr::vector<double>& freqs() { return scratch_->freqs; }
+  /// CSI scratch for received_power_prepared (overwritten every call).
+  std::pmr::vector<cplx>& csi() { return scratch_->csi; }
+  /// Stable-order index scratch for the blockage event process.
+  std::pmr::vector<std::size_t>& order() { return scratch_->order; }
+
+ private:
+  struct Scratch {
+    explicit Scratch(std::pmr::memory_resource* mr)
+        : freqs(mr), csi(mr), order(mr) {}
+    std::pmr::vector<double> freqs;
+    std::pmr::vector<cplx> csi;
+    std::pmr::vector<std::size_t> order;
+  };
+
+  Arena arena_;
+  std::optional<Scratch> scratch_;
+};
+
+}  // namespace mmr::sim

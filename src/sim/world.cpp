@@ -5,9 +5,24 @@
 #include <numeric>
 
 #include "common/error.h"
+#include "sim/workspace.h"
 
 namespace mmr::sim {
 namespace {
+
+// Shared between the plain and workspace-scratch order containers (the
+// latter is a pmr vector): identical iota + sort, so the event process
+// addresses the same stable ranks either way.
+template <typename IndexVec>
+void fill_stable_order(const std::vector<channel::Path>& paths,
+                       IndexVec& order) {
+  order.resize(paths.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    if (paths[a].is_los != paths[b].is_los) return paths[a].is_los;
+    return std::norm(paths[a].gain) > std::norm(paths[b].gain);
+  });
+}
 
 phy::EstimatorConfig make_estimator_config(const WorldConfig& config) {
   phy::EstimatorConfig est;
@@ -41,12 +56,8 @@ void LinkWorld::set_event_process(channel::BlockageEventProcess process) {
 }
 
 std::vector<std::size_t> LinkWorld::stable_order() const {
-  std::vector<std::size_t> order(paths_.size());
-  std::iota(order.begin(), order.end(), std::size_t{0});
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    if (paths_[a].is_los != paths_[b].is_los) return paths_[a].is_los;
-    return std::norm(paths_[a].gain) > std::norm(paths_[b].gain);
-  });
+  std::vector<std::size_t> order;
+  fill_stable_order(paths_, order);
   return order;
 }
 
@@ -58,7 +69,7 @@ void LinkWorld::add_irs(channel::IrsPanel panel) {
 void LinkWorld::set_time(double t_s) {
   t_s_ = t_s;
   const channel::Pose ue = ue_trajectory_->at(t_s);
-  paths_ = env_.trace(tx_pose_, ue);
+  env_.trace_into(paths_, tx_pose_, ue);
   for (const auto& panel : irs_panels_) {
     channel::Path p = channel::irs_path(panel, tx_pose_, ue,
                                         env_.carrier_hz());
@@ -76,12 +87,20 @@ void LinkWorld::set_time(double t_s) {
     p.blockage_db = atten;
   }
 
-  // Stochastic event process: addressed by stable path index.
+  // Stochastic event process: addressed by stable path index. With a
+  // bound workspace the index scratch lives on the trial arena.
   if (events_ != nullptr && !paths_.empty()) {
-    const std::vector<std::size_t> order = stable_order();
-    for (std::size_t rank = 0; rank < order.size(); ++rank) {
-      paths_[order[rank]].blockage_db +=
-          events_->attenuation_db(t_s, rank);
+    if (ws_ != nullptr) {
+      auto& order = ws_->order();
+      fill_stable_order(paths_, order);
+      for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        paths_[order[rank]].blockage_db += events_->attenuation_db(t_s, rank);
+      }
+    } else {
+      const std::vector<std::size_t> order = stable_order();
+      for (std::size_t rank = 0; rank < order.size(); ++rank) {
+        paths_[order[rank]].blockage_db += events_->attenuation_db(t_s, rank);
+      }
     }
   }
 }
@@ -166,6 +185,20 @@ double LinkWorld::true_snr_db_joint(const CVec& tx_w, const CVec& rx_w) const {
 
 double LinkWorld::true_power(const CVec& tx_weights) const {
   if (paths_.empty()) return 0.0;
+  if (ws_ != nullptr) {
+    const std::size_t n = config_.spec.num_subcarriers;
+    auto& freqs = ws_->freqs();
+    auto& csi = ws_->csi();
+    if (freqs.size() != n) {
+      freqs.resize(n);
+      channel::fill_freq_grid(config_.spec, freqs.data());
+    }
+    csi.resize(n);
+    return channel::received_power_prepared(paths_, config_.tx_ula,
+                                            tx_weights, config_.spec,
+                                            config_.rx, freqs.data(),
+                                            csi.data());
+  }
   return channel::received_power(paths_, config_.tx_ula, tx_weights,
                                  config_.spec, config_.rx);
 }

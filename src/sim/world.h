@@ -25,6 +25,8 @@
 
 namespace mmr::sim {
 
+class TrialWorkspace;
+
 struct WorldConfig {
   channel::WidebandSpec spec;
   phy::LinkBudget budget = phy::LinkBudget::paper_indoor();
@@ -51,6 +53,14 @@ class LinkWorld {
   /// Deploy an intelligent reflecting surface (Section 8 future work):
   /// adds an engineered TX->panel->RX path on every trace.
   void add_irs(channel::IrsPanel panel);
+
+  /// Bind per-trial scratch for the scoring hot path (set_time +
+  /// true_power/true_snr_db): the frequency grid is cached and the CSI /
+  /// path-order scratch live on the workspace arena, so the steady-state
+  /// scoring loop allocates nothing. Results are bit-identical with or
+  /// without a workspace. Pass nullptr to unbind. The workspace must
+  /// outlive this world (or the unbind).
+  void bind_workspace(TrialWorkspace* ws) { ws_ = ws; }
 
   /// Advance the world: re-trace paths for the UE pose at t and apply all
   /// blockage sources.
@@ -101,6 +111,7 @@ class LinkWorld {
   std::vector<channel::IrsPanel> irs_panels_;
   std::unique_ptr<channel::BlockageEventProcess> events_;
   std::vector<channel::Path> paths_;
+  TrialWorkspace* ws_ = nullptr;  ///< not owned; see bind_workspace
   double t_s_ = 0.0;
 };
 

@@ -1,0 +1,99 @@
+// Counting replacements for the replaceable global allocation functions.
+// Linked ONLY into alloc-audit test binaries; see alloc_guard.h for the
+// contract and the sanitizer compile-out.
+#include "tests/common/alloc_guard.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+namespace mmr::testing {
+namespace {
+
+std::atomic<std::size_t> g_allocations{0};
+
+}  // namespace
+
+std::size_t allocation_count() {
+  return g_allocations.load(std::memory_order_relaxed);
+}
+
+namespace detail {
+
+void count_allocation() {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+}  // namespace mmr::testing
+
+#if MMR_ALLOC_GUARD_ACTIVE
+
+namespace {
+
+void* counted_alloc(std::size_t size) {
+  mmr::testing::detail::count_allocation();
+  if (size == 0) size = 1;
+  return std::malloc(size);
+}
+
+void* counted_aligned_alloc(std::size_t size, std::size_t alignment) {
+  mmr::testing::detail::count_allocation();
+  if (size == 0) size = 1;
+  // aligned_alloc requires size to be a multiple of alignment.
+  const std::size_t rounded = (size + alignment - 1) / alignment * alignment;
+  return std::aligned_alloc(alignment, rounded);
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  void* p = counted_alloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, std::align_val_t alignment) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size, std::align_val_t alignment) {
+  void* p = counted_aligned_alloc(size, static_cast<std::size_t>(alignment));
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return counted_alloc(size);
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  std::free(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  std::free(p);
+}
+
+#endif  // MMR_ALLOC_GUARD_ACTIVE

@@ -1,0 +1,59 @@
+// Allocation-audit harness: a counting replacement of the global
+// operator new, used to PROVE the zero-allocation claims of the trial
+// hot path (PR-6) instead of asserting them in comments.
+//
+// How it works: tests/common/alloc_guard.cpp replaces the replaceable
+// global allocation functions with counting forwards to malloc/free.
+// Link that TU into a test binary (see the alloc_tests target) and every
+// operator-new in the process increments a relaxed atomic counter;
+// AllocationCounter snapshots it RAII-style so a test can assert the
+// delta across an audited region.
+//
+// Sanitizer interplay: ASan/TSan/MSan interpose on the allocator
+// themselves, and stacking a user replacement under them is fragile and
+// measures the instrumented allocator rather than the product. Under
+// those builds the replacement compiles out (MMR_ALLOC_GUARD_ACTIVE ==
+// 0), allocation_count() stays 0, and the audit tests GTEST_SKIP -- the
+// alloc label is therefore excluded from the sanitizer matrix (see
+// tests/CMakeLists.txt).
+#pragma once
+
+#include <cstddef>
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define MMR_ALLOC_GUARD_ACTIVE 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define MMR_ALLOC_GUARD_ACTIVE 0
+#else
+#define MMR_ALLOC_GUARD_ACTIVE 1
+#endif
+#else
+#define MMR_ALLOC_GUARD_ACTIVE 1
+#endif
+
+namespace mmr::testing {
+
+/// True when the counting operator new is live in this binary.
+inline constexpr bool alloc_guard_active() {
+  return MMR_ALLOC_GUARD_ACTIVE == 1;
+}
+
+/// Total global operator new invocations since process start. Always 0
+/// when the guard is inactive (sanitizer builds) or when
+/// alloc_guard.cpp is not linked into the binary.
+std::size_t allocation_count();
+
+/// Snapshot-on-construction counter: delta() is the number of
+/// operator-new calls since this object was created.
+class AllocationCounter {
+ public:
+  AllocationCounter() : start_(allocation_count()) {}
+  std::size_t delta() const { return allocation_count() - start_; }
+
+ private:
+  std::size_t start_;
+};
+
+}  // namespace mmr::testing

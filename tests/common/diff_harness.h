@@ -11,6 +11,14 @@
 //   for (case : randomized cases from Rng::fork(i))
 //     audit.compare(batched_result, reference_result, /*max_ulp=*/1);
 //   audit.finish(kMinCases);   // fails if coverage fell short
+//
+// PR-6 adds the mixed-tolerance form compare_tol(got, ref, tol, scale)
+// for the fast kernel backends (dsp/backend.h): a case passes when it is
+// within tol.max_ulp ULPs of the reference OR within tol.abs_tol * scale
+// absolutely. Pure ULP distance diverges near cancellation-induced
+// zeros (a reassociated sum that lands at 1e-18 instead of 2e-18 is
+// thousands of ULPs away yet accurate to ~eps of the operand scale), so
+// backend contracts are stated with both arms.
 #pragma once
 
 #include <gtest/gtest.h>
@@ -22,6 +30,7 @@
 #include <string>
 
 #include "common/types.h"
+#include "dsp/backend.h"
 
 namespace mmr::testing {
 
@@ -84,6 +93,27 @@ class UlpAudit {
     }
   }
 
+  /// Mixed-tolerance compare for fast-backend audits: passes within
+  /// `tol.max_ulp` ULPs of the reference OR within `tol.abs_tol * scale`
+  /// absolutely, where `scale` is the natural magnitude of the
+  /// computation (sum of term magnitudes for reductions, 1 for unit
+  /// phasors). NaN/Inf never pass the absolute arm.
+  void compare_tol(double got, double ref, const dsp::Tolerance& tol,
+                   double scale) {
+    const std::uint64_t d = ulp_distance(got, ref);
+    const double abs_err = std::abs(got - ref);
+    record(d, std::isfinite(abs_err) && abs_err <= tol.abs_tol * scale, tol,
+           got, ref, scale);
+  }
+
+  void compare_tol(const cplx& got, const cplx& ref,
+                   const dsp::Tolerance& tol, double scale) {
+    const std::uint64_t d = ulp_distance(got, ref);
+    const double abs_err = std::abs(got - ref);
+    record(d, std::isfinite(abs_err) && abs_err <= tol.abs_tol * scale, tol,
+           cplx(got), cplx(ref), scale);
+  }
+
   std::uint64_t max_ulp_seen() const { return max_ulp_seen_; }
   std::size_t cases() const { return cases_; }
 
@@ -97,10 +127,39 @@ class UlpAudit {
   }
 
  private:
+  template <typename T>
+  void record(std::uint64_t ulp_d, bool abs_ok, const dsp::Tolerance& tol,
+              const T& got, const T& ref, double scale) {
+    ++cases_;
+    if (ulp_d > max_ulp_seen_) max_ulp_seen_ = ulp_d;
+    if (ulp_d > tol.max_ulp && !abs_ok) {
+      ++failures_;
+      if (failures_ <= 5) {
+        ADD_FAILURE() << label_ << ": case " << cases_ << " differs by "
+                      << ulp_d << " ULP (allowed " << tol.max_ulp
+                      << ") and misses the absolute arm (abs_tol "
+                      << tol.abs_tol << " x scale " << scale << "), got "
+                      << got << " vs reference " << ref;
+      }
+    }
+  }
+
   std::string label_;
   std::size_t cases_ = 0;
   std::size_t failures_ = 0;
   std::uint64_t max_ulp_seen_ = 0;
 };
+
+/// Run `fn(backend)` once per backend compiled into this binary that the
+/// running CPU can execute (compiled-but-unsupported backends -- e.g.
+/// AVX2 in a binary running on a pre-AVX2 machine -- are skipped, which
+/// is exactly the runtime-dispatch guarantee under test elsewhere).
+template <typename Fn>
+void for_each_supported_backend(Fn&& fn) {
+  for (dsp::Backend b : dsp::compiled_backends()) {
+    if (!dsp::backend_supported(b)) continue;
+    fn(b);
+  }
+}
 
 }  // namespace mmr::testing

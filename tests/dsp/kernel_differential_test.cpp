@@ -24,6 +24,7 @@
 #include "common/thread_pool.h"
 #include "common/units.h"
 #include "core/multibeam.h"
+#include "dsp/backend.h"
 #include "dsp/kernels.h"
 #include "tests/common/diff_harness.h"
 
@@ -32,6 +33,20 @@ namespace {
 
 using array::Ula;
 using mmr::testing::UlpAudit;
+
+// The <= 1-ULP pins below state the bit-compat contract of the SCALAR
+// reference backend; fast backends are audited by the KernelBackendSweep
+// tier at the end of this file under their declared tolerances
+// (dsp::tolerances). Force the reference path for the pinned suites no
+// matter what the machine's CPUID default is.
+class KernelDiff : public ::testing::Test {
+ protected:
+  KernelDiff() : scoped_(dsp::Backend::kScalar) {}
+  void SetUp() override { ASSERT_TRUE(scoped_.ok()); }
+
+ private:
+  dsp::ScopedBackend scoped_;
+};
 
 // ---------------------------------------------------------------------------
 // Scalar references: the pre-batching implementations, restated naively.
@@ -152,7 +167,7 @@ bool bitwise_equal(const CVec& a, const CVec& b) {
 // dsp kernel primitives vs naive loops
 // ---------------------------------------------------------------------------
 
-TEST(KernelDiff, PhasorRampMatchesScalarReference) {
+TEST_F(KernelDiff, PhasorRampMatchesScalarReference) {
   Rng base(0xA11CE5EEDull);
   UlpAudit audit("phasor_ramp");
   for (std::uint64_t c = 0; c < 300; ++c) {
@@ -174,7 +189,7 @@ TEST(KernelDiff, PhasorRampMatchesScalarReference) {
   audit.finish(10000);
 }
 
-TEST(KernelDiff, CdotMatchesSequentialAccumulation) {
+TEST_F(KernelDiff, CdotMatchesSequentialAccumulation) {
   Rng base(0xC0D07ull);
   UlpAudit audit("cdot");
   for (std::uint64_t c = 0; c < 400; ++c) {
@@ -189,7 +204,7 @@ TEST(KernelDiff, CdotMatchesSequentialAccumulation) {
   audit.finish(400);
 }
 
-TEST(KernelDiff, DotPhasorRampMatchesMaterializedDot) {
+TEST_F(KernelDiff, DotPhasorRampMatchesMaterializedDot) {
   Rng base(0xD07FA50ull);
   UlpAudit audit("dot_phasor_ramp");
   for (std::uint64_t c = 0; c < 600; ++c) {
@@ -207,7 +222,7 @@ TEST(KernelDiff, DotPhasorRampMatchesMaterializedDot) {
   audit.finish(600);
 }
 
-TEST(KernelDiff, AxpyKernelsMatchNaiveLoops) {
+TEST_F(KernelDiff, AxpyKernelsMatchNaiveLoops) {
   Rng base(0xA4B1ull);
   UlpAudit audit("axpy family");
   for (std::uint64_t c = 0; c < 300; ++c) {
@@ -235,7 +250,7 @@ TEST(KernelDiff, AxpyKernelsMatchNaiveLoops) {
   audit.finish(10000);
 }
 
-TEST(KernelDiff, DelayPhasorAccumulateMatchesScalarLoop) {
+TEST_F(KernelDiff, DelayPhasorAccumulateMatchesScalarLoop) {
   Rng base(0xDE1A7ull);
   UlpAudit audit("accumulate_delay_phasors");
   for (std::uint64_t c = 0; c < 150; ++c) {
@@ -267,7 +282,7 @@ TEST(KernelDiff, DelayPhasorAccumulateMatchesScalarLoop) {
 // Rewired production functions vs pre-PR scalar references
 // ---------------------------------------------------------------------------
 
-TEST(KernelDiff, SteeringVectorAndBatchMatchScalarReference) {
+TEST_F(KernelDiff, SteeringVectorAndBatchMatchScalarReference) {
   Rng base(0x57EE41ull);
   UlpAudit audit("steering_vector[_batch]");
   for (std::uint64_t c = 0; c < 150; ++c) {
@@ -296,7 +311,7 @@ TEST(KernelDiff, SteeringVectorAndBatchMatchScalarReference) {
   audit.finish(10000);
 }
 
-TEST(KernelDiff, WidebandSteeringBatchMatchesScalarReference) {
+TEST_F(KernelDiff, WidebandSteeringBatchMatchesScalarReference) {
   Rng base(0x51D37ull);
   UlpAudit audit("steering_vector_wideband_batch");
   for (std::uint64_t c = 0; c < 120; ++c) {
@@ -323,7 +338,7 @@ TEST(KernelDiff, WidebandSteeringBatchMatchesScalarReference) {
   audit.finish(10000);
 }
 
-TEST(KernelDiff, ArrayFactorFusedMatchesMaterializedReference) {
+TEST_F(KernelDiff, ArrayFactorFusedMatchesMaterializedReference) {
   Rng base(0xAF5EEDull);
   UlpAudit audit("array_factor[_batch]");
   for (std::uint64_t c = 0; c < 250; ++c) {
@@ -347,7 +362,7 @@ TEST(KernelDiff, ArrayFactorFusedMatchesMaterializedReference) {
   audit.finish(1000);
 }
 
-TEST(KernelDiff, SingleBeamWeightsBatchMatchesScalarReference) {
+TEST_F(KernelDiff, SingleBeamWeightsBatchMatchesScalarReference) {
   Rng base(0x5B3Dull);
   UlpAudit audit("single_beam_weights[_batch]");
   for (std::uint64_t c = 0; c < 120; ++c) {
@@ -371,7 +386,7 @@ TEST(KernelDiff, SingleBeamWeightsBatchMatchesScalarReference) {
   audit.finish(10000);
 }
 
-TEST(KernelDiff, PatternCutMatchesScalarReference) {
+TEST_F(KernelDiff, PatternCutMatchesScalarReference) {
   Rng base(0x9A77E2Cull);
   UlpAudit angle_audit("pattern_cut angles");
   UlpAudit gain_audit("pattern_cut gains");
@@ -393,7 +408,7 @@ TEST(KernelDiff, PatternCutMatchesScalarReference) {
   gain_audit.finish(120);
 }
 
-TEST(KernelDiff, EffectiveCsiMatchesPrePrReference) {
+TEST_F(KernelDiff, EffectiveCsiMatchesPrePrReference) {
   Rng base(0xC51D1FFull);
   UlpAudit audit("effective_csi");
   for (std::uint64_t c = 0; c < 60; ++c) {
@@ -421,7 +436,7 @@ TEST(KernelDiff, EffectiveCsiMatchesPrePrReference) {
   audit.finish(960);
 }
 
-TEST(KernelDiff, PerAntennaChannelMatchesPrePrReference) {
+TEST_F(KernelDiff, PerAntennaChannelMatchesPrePrReference) {
   Rng base(0x9E2A27ull);
   UlpAudit audit("per_antenna_channel");
   for (std::uint64_t c = 0; c < 120; ++c) {
@@ -612,6 +627,230 @@ TEST(PatternCacheDiff, RewiredCallersBitStableAcrossCacheStates) {
         array::single_beam_weights(ula, cb_cold.angle(i))));
   }
 }
+
+// ---------------------------------------------------------------------------
+// Backend sweep: every compiled+executable backend vs the scalar
+// reference, under the backend's DECLARED tolerance (dsp::tolerances).
+// One parameterized instance per backend so a failure names the backend
+// in the test id; compiled-but-unexecutable backends (e.g. avx2 binary
+// on a pre-AVX2 CPU) skip.
+// ---------------------------------------------------------------------------
+
+class KernelBackendSweep : public ::testing::TestWithParam<dsp::Backend> {
+ protected:
+  void SetUp() override {
+    if (!dsp::backend_supported(GetParam())) {
+      GTEST_SKIP() << "backend " << dsp::backend_name(GetParam())
+                   << " not executable on this CPU";
+    }
+    tol_ = dsp::tolerances(GetParam());
+  }
+
+  // Runs `fn` with the swept backend active; references are computed
+  // with an inner scalar override so both sides come from the same
+  // binary.
+  template <typename Fn>
+  void with_backend(Fn&& fn) {
+    dsp::ScopedBackend scoped(GetParam());
+    ASSERT_TRUE(scoped.ok());
+    fn();
+  }
+
+  dsp::KernelTolerances tol_;
+};
+
+TEST_P(KernelBackendSweep, PhasorRampWithinDeclaredTolerance) {
+  Rng base(0xB4C4E2ADull);
+  UlpAudit audit(std::string("phasor_ramp/") +
+                 std::string(dsp::backend_name(GetParam())));
+  for (std::uint64_t c = 0; c < 300; ++c) {
+    Rng rng = base.fork(c);
+    const double step = rng.uniform(-20.0, 20.0);
+    const std::size_t n = 1 + rng.uniform_index(192);
+    CVec ref_i(n);
+    RVec ref_re(n), ref_im(n);
+    {
+      dsp::ScopedBackend scalar(dsp::Backend::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      dsp::phasor_ramp(step, n, ref_i.data());
+      dsp::phasor_ramp(step, n, ref_re.data(), ref_im.data());
+    }
+    with_backend([&] {
+      CVec got_i(n);
+      RVec got_re(n), got_im(n);
+      dsp::phasor_ramp(step, n, got_i.data());
+      dsp::phasor_ramp(step, n, got_re.data(), got_im.data());
+      for (std::size_t i = 0; i < n; ++i) {
+        // Unit phasors: natural scale 1.
+        audit.compare_tol(got_i[i], ref_i[i], tol_.phasor_ramp, 1.0);
+        audit.compare_tol(cplx(got_re[i], got_im[i]),
+                          cplx(ref_re[i], ref_im[i]), tol_.phasor_ramp, 1.0);
+      }
+    });
+  }
+  audit.finish(10000);
+}
+
+TEST_P(KernelBackendSweep, DotKernelsWithinDeclaredTolerance) {
+  Rng base(0xB4C4D07ull);
+  UlpAudit audit(std::string("cdot+dot_phasor_ramp/") +
+                 std::string(dsp::backend_name(GetParam())));
+  for (std::uint64_t c = 0; c < 5000; ++c) {
+    Rng rng = base.fork(c);
+    const std::size_t n = 1 + rng.uniform_index(257);
+    const double step = rng.uniform(-20.0, 20.0);
+    const CVec a = random_cvec(rng, n);
+    const CVec b = random_cvec(rng, n);
+    double dot_scale = 0.0;
+    double ramp_scale = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      dot_scale += std::abs(a[i]) * std::abs(b[i]);
+      ramp_scale += std::abs(a[i]);  // |phasor| == 1
+    }
+    cplx ref_dot;
+    cplx ref_ramp;
+    {
+      dsp::ScopedBackend scalar(dsp::Backend::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      ref_dot = dsp::cdot(a.data(), b.data(), n);
+      ref_ramp = dsp::dot_phasor_ramp(step, a.data(), n);
+    }
+    with_backend([&] {
+      audit.compare_tol(dsp::cdot(a.data(), b.data(), n), ref_dot, tol_.dot,
+                        dot_scale);
+      audit.compare_tol(dsp::dot_phasor_ramp(step, a.data(), n), ref_ramp,
+                        tol_.dot, ramp_scale);
+    });
+  }
+  audit.finish(10000);
+}
+
+TEST_P(KernelBackendSweep, AxpyKernelsWithinDeclaredTolerance) {
+  Rng base(0xB4C4A4B1ull);
+  UlpAudit audit(std::string("axpy family/") +
+                 std::string(dsp::backend_name(GetParam())));
+  for (std::uint64_t c = 0; c < 400; ++c) {
+    Rng rng = base.fork(c);
+    const std::size_t n = 1 + rng.uniform_index(128);
+    const cplx alpha = rng.complex_normal();
+    const double step = rng.uniform(-20.0, 20.0);
+    const CVec x = random_cvec(rng, n);
+    const CVec y0 = random_cvec(rng, n);
+    CVec ref_axpy = y0;
+    CVec ref_ramp = y0;
+    {
+      dsp::ScopedBackend scalar(dsp::Backend::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      dsp::axpy(alpha, x.data(), ref_axpy.data(), n);
+      dsp::axpy_phasor_ramp(alpha, step, ref_ramp.data(), n);
+    }
+    with_backend([&] {
+      CVec got_axpy = y0;
+      CVec got_ramp = y0;
+      dsp::axpy(alpha, x.data(), got_axpy.data(), n);
+      dsp::axpy_phasor_ramp(alpha, step, got_ramp.data(), n);
+      for (std::size_t i = 0; i < n; ++i) {
+        audit.compare_tol(got_axpy[i], ref_axpy[i], tol_.axpy,
+                          std::abs(y0[i]) + std::abs(alpha) * std::abs(x[i]));
+        audit.compare_tol(got_ramp[i], ref_ramp[i], tol_.axpy,
+                          std::abs(y0[i]) + std::abs(alpha));
+      }
+    });
+  }
+  audit.finish(10000);
+}
+
+TEST_P(KernelBackendSweep, DelayPhasorsWithinDeclaredTolerance) {
+  Rng base(0xB4C4DE1A7ull);
+  UlpAudit audit(std::string("accumulate_delay_phasors/") +
+                 std::string(dsp::backend_name(GetParam())));
+  for (std::uint64_t c = 0; c < 300; ++c) {
+    Rng rng = base.fork(c);
+    const std::size_t n = 8 + rng.uniform_index(121);
+    RVec freqs(n);
+    if (rng.bernoulli(0.7)) {
+      // Affine grid (the production shape; exercises the fast path).
+      const double f0 = rng.uniform(-400e6, 0.0);
+      const double df = rng.uniform(1e5, 1e7);
+      for (std::size_t k = 0; k < n; ++k) {
+        freqs[k] = f0 + static_cast<double>(k) * df;
+      }
+    } else {
+      // Jittered grid: must take the scalar fallback and still pass.
+      for (std::size_t k = 0; k < n; ++k) {
+        freqs[k] = rng.uniform(-400e6, 400e6);
+      }
+    }
+    const cplx alpha = rng.complex_normal();
+    const double delay = rng.uniform(0.0, 500e-9);
+    const CVec dst0 = random_cvec(rng, n);
+    CVec ref = dst0;
+    {
+      dsp::ScopedBackend scalar(dsp::Backend::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      dsp::accumulate_delay_phasors(alpha, freqs.data(), delay, ref.data(), n);
+    }
+    with_backend([&] {
+      CVec got = dst0;
+      dsp::accumulate_delay_phasors(alpha, freqs.data(), delay, got.data(), n);
+      for (std::size_t k = 0; k < n; ++k) {
+        audit.compare_tol(got[k], ref[k], tol_.delay_phasors,
+                          std::abs(dst0[k]) + std::abs(alpha));
+      }
+    });
+  }
+  audit.finish(10000);
+}
+
+TEST_P(KernelBackendSweep, BatchedSteeringEvaluatorsWithinTolerance) {
+  // The PatternCache batch evaluators reach the backends through the
+  // dsp kernels; sweep them end-to-end so a backend bug that only shows
+  // through the SoA batch layout is caught here, not in a golden run.
+  Rng base(0xB4C457EEull);
+  UlpAudit audit(std::string("steering/array-factor batch/") +
+                 std::string(dsp::backend_name(GetParam())));
+  for (std::uint64_t c = 0; c < 200; ++c) {
+    Rng rng = base.fork(c);
+    const Ula ula = random_ula(rng);
+    const CVec w = random_cvec(rng, ula.num_elements);
+    const std::size_t num_angles = 1 + rng.uniform_index(12);
+    RVec phis(num_angles);
+    for (double& p : phis) p = random_angle(rng);
+
+    std::vector<CVec> ref_rows(num_angles);
+    CVec ref_af;
+    {
+      dsp::ScopedBackend scalar(dsp::Backend::kScalar);
+      ASSERT_TRUE(scalar.ok());
+      const dsp::CplxBatch ref_batch = array::steering_vector_batch(ula, phis);
+      for (std::size_t r = 0; r < num_angles; ++r) {
+        ref_rows[r] = ref_batch.row(r);
+      }
+      ref_af = array::array_factor_batch(ula, w, phis);
+    }
+    double w_scale = 0.0;
+    for (const cplx& v : w) w_scale += std::abs(v);
+    with_backend([&] {
+      const dsp::CplxBatch batch = array::steering_vector_batch(ula, phis);
+      const CVec af = array::array_factor_batch(ula, w, phis);
+      for (std::size_t r = 0; r < num_angles; ++r) {
+        for (std::size_t e = 0; e < ula.num_elements; ++e) {
+          audit.compare_tol(batch.at(r, e), ref_rows[r][e], tol_.phasor_ramp,
+                            1.0);
+        }
+        audit.compare_tol(af[r], ref_af[r], tol_.dot, w_scale);
+      }
+    });
+  }
+  audit.finish(10000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllCompiled, KernelBackendSweep,
+    ::testing::ValuesIn(dsp::compiled_backends()),
+    [](const ::testing::TestParamInfo<dsp::Backend>& info) {
+      return std::string(dsp::backend_name(info.param));
+    });
 
 }  // namespace
 }  // namespace mmr

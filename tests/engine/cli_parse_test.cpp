@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "common/parse.h"
+#include "dsp/backend.h"
 #include "sweep_cli.h"
 
 namespace mmr {
@@ -121,6 +122,33 @@ TEST(SweepCliDeathTest, UnknownFlagExits2) {
 TEST(SweepCliDeathTest, ListExits0AndPrintsRegistries) {
   EXPECT_EXIT(run_cli({"prog", "--list"}), ::testing::ExitedWithCode(0),
               "");
+}
+
+// --kernel-backend: scalar/portable are compiled on every target, so
+// forcing them must succeed and switch the process-global dispatch.
+TEST(SweepCli, KernelBackendFlagAppliesEagerly) {
+  const dsp::Backend before = dsp::active_backend();
+  std::vector<std::string> args = {"prog", "--kernel-backend", "scalar"};
+  auto argv = argv_of(args);
+  const bench::SweepCliOptions opts =
+      bench::parse_sweep_cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(opts.kernel_backend, "scalar");
+  EXPECT_EQ(dsp::active_backend(), dsp::Backend::kScalar);
+  dsp::set_backend(before);  // restore for the rest of the binary
+}
+
+TEST(SweepCli, KernelBackendAutoPicksBestBackend) {
+  const dsp::Backend before = dsp::active_backend();
+  std::vector<std::string> args = {"prog", "--kernel-backend=auto"};
+  auto argv = argv_of(args);
+  (void)bench::parse_sweep_cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_EQ(dsp::active_backend(), dsp::best_backend());
+  dsp::set_backend(before);
+}
+
+TEST(SweepCliDeathTest, UnknownKernelBackendExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--kernel-backend", "sse9"}),
+              ::testing::ExitedWithCode(2), "unknown --kernel-backend");
 }
 
 TEST(SweepCli, ApplyCliOverridesRegistryNamesAndJobs) {
