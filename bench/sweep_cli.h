@@ -61,6 +61,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <memory>
 #include <stdexcept>
@@ -199,7 +200,17 @@ inline std::string journal_path(const std::string& base,
 
 }  // namespace detail
 
-inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
+/// Hook for bench-specific flags layered onto the shared parser: called
+/// for any argument the shared grammar does not recognize, with `i`
+/// positioned on that argument (consume a separate value by advancing
+/// `i`, exactly like the shared flags do). Return true when the argument
+/// was handled; false falls through to the usage error. `extra_usage`
+/// (optional) is appended to the usage text.
+using ExtraFlagHandler = std::function<bool(int& i, int argc, char** argv)>;
+
+inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
+                                       const ExtraFlagHandler& extra,
+                                       const char* extra_usage) {
   SweepCliOptions opts;
   auto value_of = [&](int& i, const char* flag) -> const char* {
     const std::size_t flag_len = std::strlen(flag);
@@ -249,6 +260,8 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
       // Validated AND applied eagerly: the backend switch is process
       // global and must land before any sweep warms kernel caches.
       detail::apply_kernel_backend(opts.kernel_backend, argv[0]);
+    } else if (extra && extra(i, argc, argv)) {
+      // Bench-specific flag, consumed by the hook.
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--trials N] [--seed S]\n"
@@ -257,13 +270,18 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
                    "          [--json-out FILE]\n"
                    "          [--resume BASE] [--trial-retries N]\n"
                    "          [--trial-timeout-s X] [--freeze-timing]\n"
-                   "          [--list]\n"
+                   "          [--list]%s%s\n"
                    "unknown argument: %s\n",
-                   argv[0], argv[i]);
+                   argv[0], extra_usage != nullptr ? "\n" : "",
+                   extra_usage != nullptr ? extra_usage : "", argv[i]);
       std::exit(2);
     }
   }
   return opts;
+}
+
+inline SweepCliOptions parse_sweep_cli(int argc, char** argv) {
+  return parse_sweep_cli(argc, argv, nullptr, nullptr);
 }
 
 /// Apply the CLI's registry/jobs overrides onto a bench's default spec.

@@ -6,6 +6,7 @@
 #include "common/types.h"
 #include "core/events.h"
 #include "core/link_interface.h"
+#include "core/link_state.h"
 
 namespace mmr::core {
 
@@ -26,6 +27,16 @@ class BeamController {
   virtual bool link_available(double t_s) const = 0;
 
   virtual const char* name() const = 0;
+
+  /// Where the link stands in the Terragraph-style state machine
+  /// (core/link_state.h). The default maps availability: available = Up,
+  /// otherwise (re)training = Acquisition. Controllers with richer
+  /// internal state (degraded modes, recovery ladders) override this
+  /// with a faithful mapping; the network layer uses it for its per-link
+  /// availability ledger.
+  virtual LinkState link_state(double t_s) const {
+    return link_available(t_s) ? LinkState::kUp : LinkState::kAcquisition;
+  }
 
   /// Install a listener for degraded-mode events (probe failures,
   /// last-good fallbacks, backoff, rejected estimates, budget-triggered

@@ -61,4 +61,20 @@ struct FaultEvent {
 
 using FaultListener = std::function<void(const FaultEvent&)>;
 
+/// A UE session switched serving cells (net-layer RSRP-threshold
+/// handover). Flows through TelemetrySink::on_handover so network
+/// campaigns expose their mobility decisions in the same JSON-lines
+/// stream as faults and samples.
+struct HandoverEvent {
+  double t_s = 0.0;
+  /// Network-wide session (link) index of the UE that moved.
+  std::size_t link = 0;
+  std::size_t from_cell = 0;
+  std::size_t to_cell = 0;
+  /// Sync-beam RSRP of the old/new serving cell at the trigger instant
+  /// [dB, relative to unit channel gain].
+  double rsrp_from_db = 0.0;
+  double rsrp_to_db = 0.0;
+};
+
 }  // namespace mmr::core

@@ -1,0 +1,123 @@
+#include "core/link_state.h"
+
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mmr::core {
+
+const char* to_string(LinkState state) {
+  switch (state) {
+    case LinkState::kDown: return "down";
+    case LinkState::kAcquisition: return "acquisition";
+    case LinkState::kUp: return "up";
+    case LinkState::kUnstable: return "unstable";
+  }
+  return "unknown";
+}
+
+const char* to_string(LinkEvent event) {
+  switch (event) {
+    case LinkEvent::kAcquire: return "acquire";
+    case LinkEvent::kAcquisitionSuccess: return "acquisition_success";
+    case LinkEvent::kAcquisitionFailure: return "acquisition_failure";
+    case LinkEvent::kErrorBurst: return "error_burst";
+    case LinkEvent::kRecovered: return "recovered";
+    case LinkEvent::kRecoveryTimeout: return "recovery_timeout";
+    case LinkEvent::kLinkLost: return "link_lost";
+  }
+  return "unknown";
+}
+
+LinkState transition(LinkState state, LinkEvent event) {
+  switch (state) {
+    case LinkState::kDown:
+      if (event == LinkEvent::kAcquire) return LinkState::kAcquisition;
+      return state;  // everything else is a no-op on a dead link
+    case LinkState::kAcquisition:
+      switch (event) {
+        case LinkEvent::kAcquisitionSuccess: return LinkState::kUp;
+        case LinkEvent::kAcquisitionFailure: return LinkState::kDown;
+        case LinkEvent::kLinkLost: return LinkState::kDown;
+        default: return state;
+      }
+    case LinkState::kUp:
+      switch (event) {
+        case LinkEvent::kErrorBurst: return LinkState::kUnstable;
+        case LinkEvent::kLinkLost: return LinkState::kDown;
+        default: return state;
+      }
+    case LinkState::kUnstable:
+      switch (event) {
+        case LinkEvent::kRecovered: return LinkState::kUp;
+        case LinkEvent::kRecoveryTimeout: return LinkState::kDown;
+        case LinkEvent::kLinkLost: return LinkState::kDown;
+        case LinkEvent::kErrorBurst: return state;  // still bursting
+        default: return state;
+      }
+  }
+  return state;
+}
+
+bool transition_is_legal(LinkState state, LinkEvent event) {
+  // Moving pairs are legal by definition; the one legal self-loop is an
+  // error burst while already unstable (the burst continues).
+  if (transition(state, event) != state) return true;
+  return state == LinkState::kUnstable && event == LinkEvent::kErrorBurst;
+}
+
+void LinkStateConfig::validate() const {
+  MMR_EXPECTS(std::isfinite(min_up_dwell_s) && min_up_dwell_s >= 0.0);
+  MMR_EXPECTS(std::isfinite(max_unstable_s) && max_unstable_s >= 0.0);
+  MMR_EXPECTS(std::isfinite(max_acquisition_s) && max_acquisition_s >= 0.0);
+}
+
+LinkStateMachine::LinkStateMachine(LinkStateConfig config, double t0_s)
+    : config_(config), entered_at_(t0_s), last_t_(t0_s) {
+  config_.validate();
+  MMR_EXPECTS(std::isfinite(t0_s));
+}
+
+void LinkStateMachine::advance_clock(double t_s) {
+  MMR_EXPECTS(std::isfinite(t_s));
+  MMR_EXPECTS(t_s >= last_t_);
+  time_in_[static_cast<std::size_t>(state_)] += t_s - last_t_;
+  last_t_ = t_s;
+}
+
+bool LinkStateMachine::apply(double t_s, LinkEvent event) {
+  advance_clock(t_s);
+  // Dwell-time hysteresis: a freshly established link shrugs off error
+  // bursts until it has served for min_up_dwell_s.
+  if (state_ == LinkState::kUp && event == LinkEvent::kErrorBurst &&
+      dwell_s(t_s) < config_.min_up_dwell_s) {
+    return false;
+  }
+  const LinkState next = transition(state_, event);
+  if (next == state_) return false;
+  state_ = next;
+  entered_at_ = t_s;
+  ++transitions_;
+  return true;
+}
+
+std::optional<LinkEvent> LinkStateMachine::poll(double t_s) {
+  advance_clock(t_s);
+  if (state_ == LinkState::kUnstable &&
+      dwell_s(t_s) >= config_.max_unstable_s) {
+    apply(t_s, LinkEvent::kRecoveryTimeout);
+    return LinkEvent::kRecoveryTimeout;
+  }
+  if (state_ == LinkState::kAcquisition &&
+      dwell_s(t_s) >= config_.max_acquisition_s) {
+    apply(t_s, LinkEvent::kAcquisitionFailure);
+    return LinkEvent::kAcquisitionFailure;
+  }
+  return std::nullopt;
+}
+
+double LinkStateMachine::time_in(LinkState state) const {
+  return time_in_[static_cast<std::size_t>(state)];
+}
+
+}  // namespace mmr::core

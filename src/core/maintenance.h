@@ -101,6 +101,22 @@ class MmReliableController final : public BeamController {
 
   const char* name() const override { return "mmReliable"; }
 
+  /// Faithful mapping of the maintenance lifecycle onto the link state
+  /// machine: (re)training in flight = Acquisition, a declared outage or
+  /// a failed-probe streak = Unstable, otherwise Up. Pure observation --
+  /// the controller's behavior is unchanged.
+  LinkState link_state(double t_s) const override {
+    if (!started_) return LinkState::kDown;
+    if (t_s < unavailable_until_ || pending_training_) {
+      return LinkState::kAcquisition;
+    }
+    if (outage_since_ >= 0.0 || probe_outage_since_ >= 0.0 ||
+        probe_failures_ > 0) {
+      return LinkState::kUnstable;
+    }
+    return LinkState::kUp;
+  }
+
   /// Degraded-mode event reporting (kProbeFailure, kFallbackLastGood,
   /// kBackoff, kEstimateRejected, kSanitizedReport, kRetrainTriggered).
   void set_fault_listener(FaultListener listener) override {

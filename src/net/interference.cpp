@@ -1,0 +1,62 @@
+#include "net/interference.h"
+
+#include <cmath>
+#include <complex>
+
+#include "array/pattern.h"
+#include "array/pattern_cache.h"
+#include "channel/pathloss.h"
+#include "common/error.h"
+#include "common/units.h"
+
+namespace mmr::net {
+
+void InterferenceConfig::validate() const {
+  MMR_EXPECTS(std::isfinite(coupling_loss_db));
+  MMR_EXPECTS(coupling_loss_db >= 0.0);
+}
+
+double interferer_gain(const array::Ula& ula, const CVec& weights,
+                       double victim_angle_rad, double distance_m,
+                       double carrier_hz, double coupling_loss_db) {
+  MMR_EXPECTS(distance_m > 0.0);
+  MMR_EXPECTS(carrier_hz > 0.0);
+  MMR_EXPECTS(coupling_loss_db >= 0.0);
+  // Free-space path-loss models break down inside the near field; clamp
+  // to 1 m (the standard reference distance) so a pathological geometry
+  // cannot produce gain > 1.
+  const double d = distance_m < 1.0 ? 1.0 : distance_m;
+  const double loss_db =
+      channel::propagation_loss_db(d, carrier_hz) + coupling_loss_db;
+  return array::power_gain(ula, weights, victim_angle_rad) *
+         from_db(-loss_db);
+}
+
+RVec interferer_gain_batch(const array::Ula& ula, const CVec& weights,
+                           const RVec& victim_angles_rad,
+                           const RVec& distances_m, double carrier_hz,
+                           double coupling_loss_db) {
+  MMR_EXPECTS(victim_angles_rad.size() == distances_m.size());
+  MMR_EXPECTS(carrier_hz > 0.0);
+  MMR_EXPECTS(coupling_loss_db >= 0.0);
+  // One fused array-factor sweep over all victims (array/pattern_cache.h
+  // batched evaluator), then the per-victim propagation discount.
+  const CVec af = array::array_factor_batch(ula, weights, victim_angles_rad);
+  RVec out(victim_angles_rad.size());
+  for (std::size_t i = 0; i < af.size(); ++i) {
+    MMR_EXPECTS(distances_m[i] > 0.0);
+    const double d = distances_m[i] < 1.0 ? 1.0 : distances_m[i];
+    const double loss_db =
+        channel::propagation_loss_db(d, carrier_hz) + coupling_loss_db;
+    out[i] = std::norm(af[i]) * from_db(-loss_db);
+  }
+  return out;
+}
+
+double sinr_db(double snr_db, double inr_linear) {
+  MMR_EXPECTS(inr_linear >= 0.0);
+  // to_db(1.0) == 0.0 exactly, so a zero-INR victim keeps its SNR bits.
+  return snr_db - to_db(1.0 + inr_linear);
+}
+
+}  // namespace mmr::net

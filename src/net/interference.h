@@ -1,0 +1,51 @@
+// Cross-link interference from the array-factor/sidelobe model.
+//
+// A neighbor link's transmit beam leaks into my receiver through its
+// array pattern evaluated at MY direction (in the interferer's frame)
+// attenuated by the propagation loss over the interferer-to-victim
+// distance. The same expression covers co-cell co-scheduled sessions
+// (src/core/multi_user.h's concern, promoted network-wide) and
+// neighbor-cell leakage; the victim folds the summed interference into
+// its SINR as SINR_dB = SNR_dB - 10 log10(1 + INR).
+//
+// The scalar entry points are allocation-free (array::array_factor is a
+// fused dsp::dot_phasor_ramp) so the per-tick network scoring loop stays
+// inside the zero-alloc contract; the batched variants ride the
+// array::PatternCache batched evaluators for cold paths and tests.
+#pragma once
+
+#include "array/geometry.h"
+#include "common/types.h"
+
+namespace mmr::net {
+
+struct InterferenceConfig {
+  bool enabled = true;
+  /// Extra coupling loss between interferer and victim [dB] (walls,
+  /// cross-polarization between deployments). 0 = co-polarized.
+  double coupling_loss_db = 0.0;
+  /// MMR_EXPECTS: coupling loss finite and non-negative.
+  void validate() const;
+};
+
+/// Linear channel power gain leaked from an interfering transmitter
+/// running `weights` toward a victim at `victim_angle_rad` (interferer's
+/// frame), `distance_m` away: |AF(w, phi)|^2 * pathloss(d) * coupling.
+/// Allocation-free.
+double interferer_gain(const array::Ula& ula, const CVec& weights,
+                       double victim_angle_rad, double distance_m,
+                       double carrier_hz, double coupling_loss_db = 0.0);
+
+/// Batched variant over many victims (one entry per angle/distance pair).
+RVec interferer_gain_batch(const array::Ula& ula, const CVec& weights,
+                           const RVec& victim_angles_rad,
+                           const RVec& distances_m, double carrier_hz,
+                           double coupling_loss_db = 0.0);
+
+/// Fold an interference-to-noise ratio into a serving-link SNR:
+/// SINR_dB = SNR_dB - 10 log10(1 + INR). Bitwise identity with the input
+/// SNR when inr_linear == 0 (the single-link collapse the byte-identity
+/// tests pin), and <= SNR for every INR >= 0.
+double sinr_db(double snr_db, double inr_linear);
+
+}  // namespace mmr::net

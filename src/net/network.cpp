@@ -1,0 +1,527 @@
+#include "net/network.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "channel/pathloss.h"
+#include "common/angles.h"
+#include "common/constants.h"
+#include "common/error.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "net/terragraph.h"
+#include "phy/mcs.h"
+#include "sim/faults.h"
+#include "sim/scenario.h"
+#include "sim/telemetry.h"
+#include "sim/workspace.h"
+#include "sim/world.h"
+
+namespace mmr::net {
+namespace {
+
+inline constexpr std::size_t kNoCell = std::numeric_limits<std::size_t>::max();
+/// Sub-stream for the crowd scenarios' walker draws.
+inline constexpr std::uint64_t kCrowdSeedStream = 0xC20D;
+
+bool is_outdoor(const sim::ScenarioSpec& s) {
+  return s.name.rfind("outdoor", 0) == 0;
+}
+
+/// gNB position inside its cell's local frame (what the world factories
+/// hard-code; see sim/engine.cpp's add_link_blockers call sites).
+channel::Vec2 scenario_tx_local(const sim::ScenarioSpec& s) {
+  return is_outdoor(s) ? channel::Vec2{0.0, 0.0} : channel::Vec2{0.5, 6.2};
+}
+
+channel::Vec2 scenario_ue_local(const sim::ScenarioSpec& s) {
+  return is_outdoor(s) ? channel::Vec2{s.link_distance_m, 0.0} : s.ue_start;
+}
+
+channel::Vec2 rotate(channel::Vec2 v, double angle_rad) {
+  const double c = std::cos(angle_rad), s = std::sin(angle_rad);
+  return {v.x * c - v.y * s, v.x * s + v.y * c};
+}
+
+double norm(channel::Vec2 v) { return std::hypot(v.x, v.y); }
+
+/// Crowd-blockage scenario: the sparse indoor room plus a seed-derived
+/// crowd of walkers crossing the link line at random times/speeds/depths.
+/// Authored spec.blockers are added first (engine convention), then the
+/// crowd, so a crowd scenario composes with explicit blockage scripts.
+sim::LinkWorld make_crowd(const sim::ScenarioSpec& spec, std::size_t min_crowd,
+                          std::size_t max_crowd) {
+  sim::ScenarioConfig config = spec.config;
+  config.sparse_room = true;
+  sim::LinkWorld world =
+      sim::make_indoor_world(config, spec.ue_velocity,
+                             spec.ue_rotation_rate_rad_s, spec.ue_start);
+  for (const sim::BlockerSpec& b : spec.blockers) {
+    world.add_blocker(sim::crossing_blocker({0.5, 6.2}, spec.ue_start,
+                                            b.crossing_time_s, b.speed_mps,
+                                            b.depth_db));
+  }
+  Rng rng(Rng::derive_stream_seed(config.seed, kCrowdSeedStream));
+  const std::size_t n =
+      min_crowd + static_cast<std::size_t>(
+                      rng.uniform_index(max_crowd - min_crowd + 1));
+  for (std::size_t k = 0; k < n; ++k) {
+    const double crossing_time_s = rng.uniform(0.1, 0.9);
+    const double speed_mps = rng.uniform(0.8, 1.8);
+    const double depth_db = rng.uniform(25.0, 35.0);
+    world.add_blocker(sim::crossing_blocker({0.5, 6.2}, spec.ue_start,
+                                            crossing_time_s, speed_mps,
+                                            depth_db));
+  }
+  return world;
+}
+
+}  // namespace
+
+void HandoverConfig::validate() const {
+  MMR_EXPECTS(std::isfinite(hysteresis_db) && hysteresis_db >= 0.0);
+  MMR_EXPECTS(std::isfinite(time_to_trigger_s) && time_to_trigger_s >= 0.0);
+  MMR_EXPECTS(std::isfinite(min_interval_s) && min_interval_s >= 0.0);
+}
+
+void NetworkSpec::validate() const {
+  MMR_EXPECTS(num_cells >= 1);
+  MMR_EXPECTS(ues_per_cell >= 1);
+  MMR_EXPECTS(std::isfinite(cell_spacing_m) && cell_spacing_m > 0.0);
+  MMR_EXPECTS(std::isfinite(ue_placement_jitter_m) &&
+              ue_placement_jitter_m >= 0.0);
+  link_state.validate();
+  handover.validate();
+  interference.validate();
+  run.faults.validate();
+}
+
+struct Network::Session {
+  std::size_t link = 0;
+  std::size_t home_cell = 0;
+  std::size_t serving_cell = 0;
+  std::uint64_t link_seed = 0;
+  /// Base fault seed (handover rebuilds derive per-rebuild streams).
+  std::uint64_t fault_seed = 0;
+  sim::ScenarioSpec scenario;
+  std::unique_ptr<sim::LinkWorld> world;
+  std::unique_ptr<core::BeamController> controller;
+  std::unique_ptr<sim::FaultInjector> injector;
+  core::LinkProbeInterface iface;
+  core::LinkStateMachine sm;
+  // Global kinematics (macro layer): position = start + velocity * t,
+  // independent of which cell currently serves.
+  channel::Vec2 global_start{0.0, 0.0};
+  channel::Vec2 velocity{0.0, 0.0};
+  // Handover bookkeeping.
+  std::size_t ttt_candidate = kNoCell;
+  double ttt_since = 0.0;
+  double last_handover_s = -1.0e18;
+  std::size_t handovers = 0;
+  bool needs_restart = false;
+  std::vector<core::LinkSample> samples;
+  std::vector<core::FaultEvent> faults;
+
+  explicit Session(const core::LinkStateConfig& sm_config) : sm(sm_config) {}
+
+  channel::Vec2 global_pos(double t_s) const {
+    return global_start + velocity * t_s;
+  }
+};
+
+Network::Network(const NetworkSpec& spec, std::uint64_t stream_seed,
+                 sim::TrialWorkspace* workspace)
+    : spec_(spec), stream_seed_(stream_seed), workspace_(workspace) {
+  spec_.validate();
+  sessions_.reserve(spec_.num_links());
+  for (std::size_t link = 0; link < spec_.num_links(); ++link) {
+    sessions_.push_back(std::make_unique<Session>(spec_.link_state));
+    build_session(link);
+  }
+}
+
+Network::~Network() {
+  // The fault listeners capture raw Session pointers; detach before the
+  // controllers (which may outlive this frame inside sessions_) could
+  // fire them during teardown.
+  for (auto& s : sessions_) {
+    if (s->controller != nullptr) s->controller->set_fault_listener(nullptr);
+  }
+}
+
+void Network::build_session(std::size_t link) {
+  Session& s = *sessions_[link];
+  s.link = link;
+  s.home_cell = link / spec_.ues_per_cell;
+  s.serving_cell = s.home_cell;
+  // Link 0 takes the trial's stream seed VERBATIM -- the single-link
+  // collapse depends on it (the engine sets scenario.config.seed =
+  // ctx.stream_seed). Other links fork their own streams.
+  s.link_seed = link == 0 ? stream_seed_
+                          : Rng::derive_stream_seed(stream_seed_, link);
+  s.scenario = spec_.link_scenario;
+  s.scenario.config.seed = s.link_seed;
+  if (link > 0 && spec_.ue_placement_jitter_m > 0.0) {
+    Rng place(Rng::derive_stream_seed(s.link_seed, kPlacementSeedStream));
+    const double j = spec_.ue_placement_jitter_m;
+    if (is_outdoor(s.scenario)) {
+      s.scenario.link_distance_m = std::max(
+          1.0, s.scenario.link_distance_m + place.uniform(-j, j));
+    } else {
+      s.scenario.ue_start.x += place.uniform(-j, j);
+      s.scenario.ue_start.y += place.uniform(-j, j);
+    }
+    if (s.scenario.ue_velocity.x != 0.0 || s.scenario.ue_velocity.y != 0.0) {
+      // Spread the crowd: same speed, random heading per session.
+      s.scenario.ue_velocity =
+          rotate(s.scenario.ue_velocity, place.uniform(0.0, 2.0 * kPi));
+    }
+  }
+  s.velocity = s.scenario.ue_velocity;
+  const channel::Vec2 origin{static_cast<double>(s.home_cell) *
+                                 spec_.cell_spacing_m,
+                             0.0};
+  s.global_start = origin + scenario_ue_local(s.scenario);
+
+  s.world = std::make_unique<sim::LinkWorld>(
+      sim::ScenarioRegistry::instance().make(s.scenario));
+  if (workspace_ != nullptr) s.world->bind_workspace(workspace_);
+  s.controller = sim::ControllerRegistry::instance().make(
+      *s.world, s.scenario.config, spec_.controller);
+  s.iface = s.world->probe_interface();
+
+  if (spec_.run.faults.enabled()) {
+    sim::FaultPlan plan = spec_.run.faults;
+    // Mirror the engine's fault seeding bit-exactly on link 0: a live
+    // plan with seed 0 gets derive(stream_seed, kFaultSeedStream). Other
+    // links decorrelate through their own link seed.
+    if (plan.seed == 0) {
+      plan.seed = Rng::derive_stream_seed(s.link_seed, sim::kFaultSeedStream);
+    } else if (link > 0) {
+      plan.seed = Rng::derive_stream_seed(plan.seed, link);
+    }
+    s.fault_seed = plan.seed;
+    s.injector = std::make_unique<sim::FaultInjector>(plan, s.iface);
+    s.iface = s.injector->interface();
+    Session* sp = &s;
+    auto record = [sp](const core::FaultEvent& ev) {
+      sp->faults.push_back(ev);
+    };
+    s.injector->set_listener(record);
+    s.controller->set_fault_listener(record);
+  }
+}
+
+double Network::cell_rsrp_db(const Session& s, std::size_t cell,
+                             double t_s) const {
+  const channel::Vec2 gnb =
+      channel::Vec2{static_cast<double>(cell) * spec_.cell_spacing_m, 0.0} +
+      scenario_tx_local(spec_.link_scenario);
+  const double d = std::max(1.0, norm(s.global_pos(t_s) - gnb));
+  const double carrier = s.world->config().spec.carrier_hz;
+  // Boresight sync beam: matched beamforming over N elements yields
+  // |a^H w|^2 = N for unit-norm weights.
+  const double n = static_cast<double>(s.world->config().tx_ula.num_elements);
+  return to_db(n) - channel::propagation_loss_db(d, carrier);
+}
+
+double Network::interference_gain(const Session& victim, double t_s) const {
+  double total = 0.0;
+  const channel::Vec2 victim_pos = victim.global_pos(t_s);
+  const channel::Vec2 tx_local = scenario_tx_local(spec_.link_scenario);
+  for (const auto& other : sessions_) {
+    const Session& o = *other;
+    if (o.link == victim.link) continue;
+    // Only links currently serving data transmit; a training sweep's
+    // SSBs are discounted as protocol overhead, not interference.
+    if (!o.controller->link_available(t_s)) continue;
+    const channel::Vec2 gnb =
+        channel::Vec2{static_cast<double>(o.serving_cell) *
+                          spec_.cell_spacing_m,
+                      0.0} +
+        tx_local;
+    const channel::Vec2 delta = victim_pos - gnb;
+    const double d = norm(delta);
+    if (d <= 0.0) continue;
+    // All cells share one array orientation (boresight +x), so the
+    // victim's angle in the interferer's frame is the global bearing.
+    const double phi = std::atan2(delta.y, delta.x);
+    total += interferer_gain(o.world->config().tx_ula,
+                             o.controller->tx_weights(), phi, d,
+                             o.world->config().spec.carrier_hz,
+                             spec_.interference.coupling_loss_db);
+  }
+  return total;
+}
+
+void Network::drive_state(Session& s, double t_s, double sinr_db_value) {
+  s.sm.poll(t_s);
+  core::LinkState desired = s.controller->link_state(t_s);
+  if (desired == core::LinkState::kUp &&
+      sinr_db_value < spec_.run.outage_snr_db) {
+    desired = core::LinkState::kUnstable;
+  }
+  // Walk the unique legal event path toward `desired`; at most three
+  // hops (Down -> Acquisition -> Up -> Unstable). The up-dwell
+  // hysteresis may legitimately suppress the final error burst.
+  for (int hop = 0; hop < 3 && s.sm.state() != desired; ++hop) {
+    switch (s.sm.state()) {
+      case core::LinkState::kDown:
+        s.sm.apply(t_s, core::LinkEvent::kAcquire);
+        break;
+      case core::LinkState::kAcquisition:
+        if (desired == core::LinkState::kDown) {
+          s.sm.apply(t_s, core::LinkEvent::kAcquisitionFailure);
+        } else {
+          s.sm.apply(t_s, core::LinkEvent::kAcquisitionSuccess);
+        }
+        break;
+      case core::LinkState::kUp:
+        if (desired == core::LinkState::kUnstable) {
+          if (!s.sm.apply(t_s, core::LinkEvent::kErrorBurst)) return;
+        } else {
+          // Controller fell back to (re)training or tore down.
+          s.sm.apply(t_s, core::LinkEvent::kLinkLost);
+        }
+        break;
+      case core::LinkState::kUnstable:
+        if (desired == core::LinkState::kUp) {
+          s.sm.apply(t_s, core::LinkEvent::kRecovered);
+        } else {
+          s.sm.apply(t_s, core::LinkEvent::kRecoveryTimeout);
+        }
+        break;
+    }
+  }
+}
+
+void Network::evaluate_handover(Session& s, double t_s) {
+  if (t_s - s.last_handover_s < spec_.handover.min_interval_s) return;
+  const double serving = cell_rsrp_db(s, s.serving_cell, t_s);
+  std::size_t best_cell = kNoCell;
+  double best = -std::numeric_limits<double>::infinity();
+  for (std::size_t c = 0; c < spec_.num_cells; ++c) {
+    if (c == s.serving_cell) continue;
+    const double rsrp = cell_rsrp_db(s, c, t_s);
+    if (rsrp > best) {
+      best = rsrp;
+      best_cell = c;
+    }
+  }
+  if (best_cell == kNoCell || best < serving + spec_.handover.hysteresis_db) {
+    s.ttt_candidate = kNoCell;
+    return;
+  }
+  if (s.ttt_candidate != best_cell) {
+    s.ttt_candidate = best_cell;
+    s.ttt_since = t_s;
+  }
+  if (t_s - s.ttt_since >= spec_.handover.time_to_trigger_s) {
+    execute_handover(s, t_s, best_cell, serving, best);
+  }
+}
+
+void Network::execute_handover(Session& s, double t_s, std::size_t to_cell,
+                               double rsrp_from_db, double rsrp_to_db) {
+  ++s.handovers;
+  s.last_handover_s = t_s;
+  s.ttt_candidate = kNoCell;
+  s.sm.apply(t_s, core::LinkEvent::kLinkLost);
+  const std::size_t from_cell = s.serving_cell;
+  s.serving_cell = to_cell;
+
+  // Rebuild the cell-local world around the UE's current global position.
+  // The factories' trajectories are absolute-time (start + v * t), so the
+  // new local start is back-propagated to t = 0.
+  const channel::Vec2 origin{static_cast<double>(to_cell) *
+                                 spec_.cell_spacing_m,
+                             0.0};
+  const channel::Vec2 local_now = s.global_pos(t_s) - origin;
+  if (is_outdoor(s.scenario)) {
+    // The outdoor factory only knows a boresight distance; project.
+    s.scenario.link_distance_m =
+        std::max(1.0, norm(local_now - s.velocity * t_s));
+  } else {
+    s.scenario.ue_start = local_now - s.velocity * t_s;
+  }
+  s.scenario.config.seed = Rng::derive_stream_seed(
+      Rng::derive_stream_seed(s.link_seed, kHandoverSeedStream), s.handovers);
+  if (s.controller != nullptr) s.controller->set_fault_listener(nullptr);
+  s.world = std::make_unique<sim::LinkWorld>(
+      sim::ScenarioRegistry::instance().make(s.scenario));
+  if (workspace_ != nullptr) s.world->bind_workspace(workspace_);
+  s.controller = sim::ControllerRegistry::instance().make(
+      *s.world, s.scenario.config, spec_.controller);
+  s.iface = s.world->probe_interface();
+  if (spec_.run.faults.enabled()) {
+    sim::FaultPlan plan = spec_.run.faults;
+    plan.seed = Rng::derive_stream_seed(s.fault_seed, s.handovers);
+    s.injector = std::make_unique<sim::FaultInjector>(plan, s.iface);
+    s.iface = s.injector->interface();
+    Session* sp = &s;
+    auto record = [sp](const core::FaultEvent& ev) {
+      sp->faults.push_back(ev);
+    };
+    s.injector->set_listener(record);
+    s.controller->set_fault_listener(record);
+  }
+  s.needs_restart = true;
+
+  core::HandoverEvent ev;
+  ev.t_s = t_s;
+  ev.link = s.link;
+  ev.from_cell = from_cell;
+  ev.to_cell = to_cell;
+  ev.rsrp_from_db = rsrp_from_db;
+  ev.rsrp_to_db = rsrp_to_db;
+  handover_events_.push_back(ev);
+}
+
+NetworkResult Network::run(sim::TelemetrySink* sink) {
+  const sim::RunConfig& rc = spec_.run;
+  // Same up-front validation as sim::run_experiment.
+  MMR_EXPECTS(rc.duration_s > 0.0 && std::isfinite(rc.duration_s));
+  MMR_EXPECTS(rc.tick_s > 0.0 && std::isfinite(rc.tick_s));
+  MMR_EXPECTS(std::isfinite(rc.outage_snr_db));
+  MMR_EXPECTS(rc.protocol_overhead >= 0.0 && rc.protocol_overhead < 1.0);
+  handover_events_.clear();
+
+  const phy::McsTable& mcs = phy::McsTable::nr();
+  const auto num_ticks = static_cast<std::size_t>(rc.duration_s / rc.tick_s);
+  for (auto& s : sessions_) {
+    s->samples.clear();
+    s->samples.reserve(num_ticks);
+  }
+  const bool multi = sessions_.size() > 1;
+  const bool interference_on = spec_.interference.enabled && multi;
+  const bool handover_on =
+      spec_.handover.enabled && spec_.num_cells > 1;
+
+  for (std::size_t i = 0; i < num_ticks; ++i) {
+    const double t = static_cast<double>(i) * rc.tick_s;
+    // Advance pass: worlds, injectors, controllers -- the exact per-link
+    // sequence sim/runner.cpp executes.
+    for (auto& sp : sessions_) {
+      Session& s = *sp;
+      s.world->set_time(t);
+      if (s.injector != nullptr) s.injector->on_tick(t);
+      if (i == 0 || s.needs_restart) {
+        s.controller->start(t, s.iface);
+        s.needs_restart = false;
+      } else {
+        s.controller->step(t, s.iface);
+      }
+    }
+    // Scoring pass: every link scored against the TRUE channel with the
+    // other links' current beams folded in as interference.
+    for (auto& sp : sessions_) {
+      Session& s = *sp;
+      const double bandwidth = s.world->config().spec.bandwidth_hz;
+      const double snr = s.world->true_snr_db(s.controller->tx_weights());
+      double inr = 0.0;
+      if (interference_on) {
+        inr = interference_gain(s, t) / s.world->power_for_snr(0.0);
+      }
+      const double sinr = sinr_db(snr, inr);
+      core::LinkSample sample;
+      sample.t_s = t;
+      sample.available = s.controller->link_available(t);
+      sample.snr_db = sinr;
+      sample.throughput_bps =
+          sample.available
+              ? mcs.throughput_bps(sinr, bandwidth, rc.protocol_overhead)
+              : 0.0;
+      s.samples.push_back(sample);
+      drive_state(s, t, sinr);
+    }
+    if (handover_on) {
+      for (auto& sp : sessions_) evaluate_handover(*sp, t);
+    }
+  }
+
+  NetworkResult result;
+  result.links.reserve(sessions_.size());
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    if (s.controller != nullptr) s.controller->set_fault_listener(nullptr);
+    // Close the availability ledger at the nominal end of the run (this
+    // may legitimately fire a final deadline transition).
+    s.sm.poll(rc.duration_s);
+    const double bandwidth = s.world->config().spec.bandwidth_hz;
+    LinkReport report;
+    report.link = s.link;
+    report.serving_cell = s.serving_cell;
+    report.summary =
+        core::summarize_link(s.samples, rc.outage_snr_db, bandwidth);
+    report.handovers = s.handovers;
+    report.time_down_s = s.sm.time_in(core::LinkState::kDown);
+    report.time_acquisition_s = s.sm.time_in(core::LinkState::kAcquisition);
+    report.time_up_s = s.sm.time_in(core::LinkState::kUp);
+    report.time_unstable_s = s.sm.time_in(core::LinkState::kUnstable);
+    report.final_state = s.sm.state();
+    report.faults = s.faults;
+    result.links.push_back(std::move(report));
+  }
+  result.handovers = handover_events_;
+  std::stable_sort(result.handovers.begin(), result.handovers.end(),
+                   [](const core::HandoverEvent& a,
+                      const core::HandoverEvent& b) { return a.t_s < b.t_s; });
+
+  if (result.links.size() == 1) {
+    // Single-link collapse: the network IS the link, bit for bit.
+    result.network = result.links.front().summary;
+  } else {
+    core::LinkSummary agg;
+    const double n = static_cast<double>(result.links.size());
+    for (const LinkReport& r : result.links) {
+      agg.reliability += r.summary.reliability / n;
+      agg.mean_throughput_bps += r.summary.mean_throughput_bps / n;
+      agg.mean_spectral_efficiency += r.summary.mean_spectral_efficiency / n;
+      agg.throughput_reliability_product +=
+          r.summary.throughput_reliability_product / n;
+      agg.num_samples += r.summary.num_samples;
+    }
+    result.network = agg;
+  }
+
+  if (sink != nullptr) {
+    for (const core::HandoverEvent& ev : result.handovers) {
+      sink->on_handover(ev);
+    }
+  }
+  return result;
+}
+
+void register_net_builtins() {
+  static const bool once = [] {
+    auto& scenarios = sim::ScenarioRegistry::instance();
+    if (!scenarios.contains("indoor_crowd")) {
+      scenarios.add("indoor_crowd", [](const sim::ScenarioSpec& s) {
+        return make_crowd(s, 2, 4);
+      });
+      scenarios.add("indoor_crowd_dense", [](const sim::ScenarioSpec& s) {
+        return make_crowd(s, 5, 8);
+      });
+    }
+    auto& controllers = sim::ControllerRegistry::instance();
+    if (!controllers.contains("terragraph")) {
+      controllers.add(
+          "terragraph",
+          [](const sim::LinkWorld& w, const sim::ScenarioConfig& c,
+             const sim::ControllerSpec&)
+              -> std::unique_ptr<core::BeamController> {
+            const array::Ula ula = w.config().tx_ula;
+            TerragraphConfig tc;
+            tc.outage_power_linear = w.power_for_snr(kOutageSnrDb);
+            return std::make_unique<TerragraphController>(
+                ula, sim::sector_codebook(ula, c.codebook_size), tc);
+          });
+    }
+    return true;
+  }();
+  (void)once;
+}
+
+}  // namespace mmr::net

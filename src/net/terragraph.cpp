@@ -1,0 +1,187 @@
+#include "net/terragraph.h"
+
+#include <cmath>
+#include <utility>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "core/probing.h"
+
+namespace mmr::net {
+
+void TerragraphConfig::validate() const {
+  MMR_EXPECTS(std::isfinite(outage_power_linear));
+  MMR_EXPECTS(outage_power_linear >= 0.0);
+  MMR_EXPECTS(std::isfinite(recover_margin_db) && recover_margin_db >= 0.0);
+  MMR_EXPECTS(refine_radius >= 1);
+  link_state.validate();
+}
+
+TerragraphController::TerragraphController(const array::Ula& ula,
+                                           array::Codebook codebook,
+                                           TerragraphConfig config)
+    : ula_(ula),
+      codebook_(std::move(codebook)),
+      config_(config),
+      sm_(config.link_state) {
+  config_.validate();
+  MMR_EXPECTS(codebook_.size() >= 2);
+  weights_ = codebook_.weights(0);
+}
+
+double TerragraphController::recover_threshold() const {
+  return config_.outage_power_linear * from_db(config_.recover_margin_db);
+}
+
+std::size_t TerragraphController::nearest_codebook_index(
+    double angle_rad) const {
+  std::size_t best = 0;
+  double best_err = std::abs(codebook_.angle(0) - angle_rad);
+  for (std::size_t i = 1; i < codebook_.size(); ++i) {
+    const double err = std::abs(codebook_.angle(i) - angle_rad);
+    if (err < best_err) {
+      best = i;
+      best_err = err;
+    }
+  }
+  return best;
+}
+
+void TerragraphController::serve_index(std::size_t index) {
+  serving_index_ = index;
+  weights_ = codebook_.weights(index);
+}
+
+bool TerragraphController::probe_power(const core::LinkProbeInterface& link,
+                                       const CVec& weights,
+                                       double& power) const {
+  power = 0.0;
+  return core::mean_probe_power(link.csi(weights), power);
+}
+
+double TerragraphController::training_airtime_s() const {
+  return static_cast<double>(trainings_) *
+         phy::ssb_burst_airtime_s(config_.rs, codebook_.size());
+}
+
+void TerragraphController::reacquire(double t_s,
+                                     const core::LinkProbeInterface& link) {
+  ++trainings_;
+  sm_.apply(t_s, core::LinkEvent::kAcquire);
+  const core::TrainingResult result =
+      core::exhaustive_training(codebook_, link.csi, config_.training);
+  MMR_EXPECTS(!result.beams.empty());
+  candidates_.clear();
+  candidates_.reserve(result.beams.size());
+  for (const core::TrainedBeam& b : result.beams) {
+    candidates_.push_back(nearest_codebook_index(b.angle_rad));
+  }
+  next_candidate_ = 1;
+  refines_this_burst_ = 0;
+  serve_index(candidates_.front());
+  unavailable_until_ =
+      t_s + phy::ssb_burst_airtime_s(config_.rs, codebook_.size());
+}
+
+void TerragraphController::start(double t_s,
+                                 const core::LinkProbeInterface& link) {
+  reacquire(t_s, link);
+  started_ = true;
+}
+
+bool TerragraphController::refine(double t_s,
+                                  const core::LinkProbeInterface& link) {
+  ++refinements_;
+  ++refines_this_burst_;
+  std::size_t best = serving_index_;
+  double best_power = 0.0;
+  (void)probe_power(link, weights_, best_power);
+  for (std::size_t off = 1; off <= config_.refine_radius; ++off) {
+    for (const int sign : {-1, +1}) {
+      const long idx = static_cast<long>(serving_index_) +
+                       sign * static_cast<long>(off);
+      if (idx < 0 || idx >= static_cast<long>(codebook_.size())) continue;
+      double p = 0.0;
+      if (!probe_power(link, codebook_.weights(static_cast<std::size_t>(idx)),
+                       p)) {
+        continue;
+      }
+      if (p > best_power) {
+        best_power = p;
+        best = static_cast<std::size_t>(idx);
+      }
+    }
+  }
+  if (best != serving_index_) serve_index(best);
+  if (best_power >= recover_threshold()) {
+    sm_.apply(t_s, core::LinkEvent::kRecovered);
+    refines_this_burst_ = 0;
+    return true;
+  }
+  return false;
+}
+
+bool TerragraphController::switch_beam(double t_s,
+                                       const core::LinkProbeInterface& link) {
+  if (next_candidate_ >= candidates_.size()) return false;
+  ++switches_;
+  serve_index(candidates_[next_candidate_++]);
+  double p = 0.0;
+  if (probe_power(link, weights_, p) && p >= recover_threshold()) {
+    sm_.apply(t_s, core::LinkEvent::kRecovered);
+    refines_this_burst_ = 0;
+    return true;
+  }
+  return false;
+}
+
+void TerragraphController::step(double t_s,
+                                const core::LinkProbeInterface& link) {
+  MMR_EXPECTS(started_);
+  if (t_s < unavailable_until_) return;  // sweep airtime in flight
+  if (sm_.state() == core::LinkState::kAcquisition) {
+    // The sweep that put us into acquisition has drained its airtime.
+    sm_.apply(t_s, core::LinkEvent::kAcquisitionSuccess);
+  }
+  // Deadline pass: an over-long recovery tears down to LinkDown here.
+  sm_.poll(t_s);
+  if (sm_.state() == core::LinkState::kDown) {
+    reacquire(t_s, link);
+    return;
+  }
+
+  double power = 0.0;
+  const bool usable = probe_power(link, weights_, power);
+  if (sm_.state() == core::LinkState::kUp) {
+    if (!usable || power < config_.outage_power_linear) {
+      // May be suppressed by the up-dwell hysteresis; if it lands, the
+      // recovery ladder starts fresh.
+      if (sm_.apply(t_s, core::LinkEvent::kErrorBurst)) {
+        refines_this_burst_ = 0;
+        next_candidate_ = 1;
+      }
+    }
+    return;
+  }
+
+  // LinkUnstable: the recovery ladder.
+  if (usable && power >= recover_threshold()) {
+    sm_.apply(t_s, core::LinkEvent::kRecovered);
+    refines_this_burst_ = 0;
+    return;
+  }
+  if (refines_this_burst_ < config_.refine_attempts) {
+    (void)refine(t_s, link);
+    return;
+  }
+  // Refinement exhausted: try the remembered next-best directions, then
+  // let the recovery deadline tear the link down to full reacquisition.
+  (void)switch_beam(t_s, link);
+}
+
+core::LinkState TerragraphController::link_state(double t_s) const {
+  (void)t_s;
+  return sm_.state();
+}
+
+}  // namespace mmr::net

@@ -8,6 +8,7 @@ namespace mmr::sim {
 void MemorySink::on_run_begin(const RunConfig& /*config*/) {
   runs_.emplace_back();
   faults_.emplace_back();
+  handovers_.emplace_back();
 }
 
 void MemorySink::on_sample(const core::LinkSample& sample) {
@@ -16,6 +17,7 @@ void MemorySink::on_sample(const core::LinkSample& sample) {
   if (runs_.empty()) {
     runs_.emplace_back();
     faults_.emplace_back();
+    handovers_.emplace_back();
   }
   runs_.back().push_back(sample);
 }
@@ -24,8 +26,18 @@ void MemorySink::on_fault(const core::FaultEvent& event) {
   if (faults_.empty()) {
     runs_.emplace_back();
     faults_.emplace_back();
+    handovers_.emplace_back();
   }
   faults_.back().push_back(event);
+}
+
+void MemorySink::on_handover(const core::HandoverEvent& event) {
+  if (handovers_.empty()) {
+    runs_.emplace_back();
+    faults_.emplace_back();
+    handovers_.emplace_back();
+  }
+  handovers_.back().push_back(event);
 }
 
 void MemorySink::on_trial_failure(const TrialFailure& failure) {
@@ -85,6 +97,21 @@ void JsonLinesSink::on_fault(const core::FaultEvent& event) {
   os_.flush();  // durability contract: at most one record lost on a kill
 }
 
+void JsonLinesSink::on_handover(const core::HandoverEvent& event) {
+  const auto flags = os_.flags();
+  const auto precision = os_.precision();
+  os_.precision(10);
+  os_ << "{\"handover\": {\"t_s\": " << event.t_s
+      << ", \"link\": " << event.link
+      << ", \"from_cell\": " << event.from_cell
+      << ", \"to_cell\": " << event.to_cell
+      << ", \"rsrp_from_db\": " << event.rsrp_from_db
+      << ", \"rsrp_to_db\": " << event.rsrp_to_db << "}}\n";
+  os_.flags(flags);
+  os_.precision(precision);
+  os_.flush();  // durability contract: at most one record lost on a kill
+}
+
 void JsonLinesSink::on_trial_failure(const TrialFailure& failure) {
   os_ << "{\"trial_failure\": {\"index\": " << failure.index
       << ", \"stream_seed\": " << failure.stream_seed
@@ -116,6 +143,10 @@ void FanoutSink::on_sample(const core::LinkSample& sample) {
 
 void FanoutSink::on_fault(const core::FaultEvent& event) {
   for (TelemetrySink* s : sinks_) s->on_fault(event);
+}
+
+void FanoutSink::on_handover(const core::HandoverEvent& event) {
+  for (TelemetrySink* s : sinks_) s->on_handover(event);
 }
 
 void FanoutSink::on_trial_failure(const TrialFailure& failure) {

@@ -51,6 +51,9 @@ class TelemetrySink {
   /// An injected fault or controller degradation during the active run
   /// (only emitted when the run's FaultPlan is enabled).
   virtual void on_fault(const core::FaultEvent& event) { (void)event; }
+  /// A UE session switched serving cells during the active network run
+  /// (only emitted by net-layer campaigns with handover enabled).
+  virtual void on_handover(const core::HandoverEvent& event) { (void)event; }
   /// The active trial was quarantined after exhausting its retry budget,
   /// or flagged by the wall-clock watchdog (durable campaigns only;
   /// delivered before the trial's on_run_end, in trial-index order).
@@ -74,6 +77,7 @@ class MemorySink final : public TelemetrySink {
   void on_run_begin(const RunConfig& config) override;
   void on_sample(const core::LinkSample& sample) override;
   void on_fault(const core::FaultEvent& event) override;
+  void on_handover(const core::HandoverEvent& event) override;
   void on_trial_failure(const TrialFailure& failure) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;
@@ -85,6 +89,10 @@ class MemorySink final : public TelemetrySink {
   /// Fault events of run r (parallel to runs()).
   const std::vector<std::vector<core::FaultEvent>>& faults() const {
     return faults_;
+  }
+  /// Handover events of run r (parallel to runs()).
+  const std::vector<std::vector<core::HandoverEvent>>& handovers() const {
+    return handovers_;
   }
   const std::vector<core::LinkSummary>& summaries() const {
     return summaries_;
@@ -98,6 +106,7 @@ class MemorySink final : public TelemetrySink {
  private:
   std::vector<std::vector<core::LinkSample>> runs_;
   std::vector<std::vector<core::FaultEvent>> faults_;
+  std::vector<std::vector<core::HandoverEvent>> handovers_;
   std::vector<core::LinkSummary> summaries_;
   std::vector<TrialFailure> trial_failures_;
   std::size_t num_sweeps_ = 0;
@@ -125,6 +134,7 @@ class JsonLinesSink final : public TelemetrySink {
 
   void on_sample(const core::LinkSample& sample) override;
   void on_fault(const core::FaultEvent& event) override;
+  void on_handover(const core::HandoverEvent& event) override;
   void on_trial_failure(const TrialFailure& failure) override;
   void on_sweep(const SweepRecord& record) override;
 
@@ -142,6 +152,7 @@ class FanoutSink final : public TelemetrySink {
   void on_run_begin(const RunConfig& config) override;
   void on_sample(const core::LinkSample& sample) override;
   void on_fault(const core::FaultEvent& event) override;
+  void on_handover(const core::HandoverEvent& event) override;
   void on_trial_failure(const TrialFailure& failure) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;

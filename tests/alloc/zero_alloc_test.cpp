@@ -8,12 +8,17 @@
 // anywhere in the stack fails loudly with the offending count.
 #include <gtest/gtest.h>
 
+#include <cmath>
 #include <cstddef>
 #include <cstdio>
 #include <vector>
 
+#include "array/geometry.h"
+
 #include "common/types.h"
+#include "core/link_state.h"
 #include "core/metrics.h"
+#include "net/interference.h"
 #include "phy/mcs.h"
 #include "sim/engine.h"
 #include "sim/runner.h"
@@ -139,6 +144,71 @@ TEST_F(ZeroAllocTest, UnboundWorldStillAllocatesPerTick) {
       << "expected the no-workspace path to allocate every tick";
 }
 
+/// The network layer's per-tick SCORING pass (src/net/network.cpp run()
+/// tick loop minus the controller advance, whose probe path is out of
+/// the zero-alloc scope): true-channel SNR with a bound workspace, the
+/// scalar interferer-gain fold into SINR, the sample append into a
+/// reserved vector, and the link state machine's poll/apply ledger.
+std::size_t network_scoring_allocations(bool bind_workspace) {
+  sim::LinkWorld victim =
+      sim::ScenarioRegistry::instance().make(fig16_scenario());
+  sim::LinkWorld other =
+      sim::ScenarioRegistry::instance().make(fig18_scenario());
+  sim::TrialWorkspace victim_ws, other_ws;
+  if (bind_workspace) {
+    victim.bind_workspace(&victim_ws);
+    other.bind_workspace(&other_ws);
+  }
+
+  const phy::McsTable& mcs = phy::McsTable::nr();
+  const double bandwidth = victim.config().spec.bandwidth_hz;
+  const double carrier_hz = victim.config().spec.carrier_hz;
+  const double noise_ref = victim.power_for_snr(0.0);
+  const CVec weights(victim.config().tx_ula.num_elements,
+                     cplx{1.0 / 8.0, 0.0});
+  const CVec other_weights(other.config().tx_ula.num_elements,
+                           cplx{1.0 / 8.0, 0.0});
+  const array::Ula other_ula = other.config().tx_ula;
+  core::LinkStateMachine sm;
+  sm.apply(0.0, core::LinkEvent::kAcquire);
+  sm.apply(0.0, core::LinkEvent::kAcquisitionSuccess);
+  std::vector<core::LinkSample> samples;
+  samples.reserve(kNumTicks);
+
+  // Warm-up over the full time range (blocked and unblocked regimes).
+  for (std::size_t i = 0; i < kNumTicks; ++i) {
+    const double t = static_cast<double>(i) * kTickS;
+    victim.set_time(t);
+    other.set_time(t);
+    (void)victim.true_snr_db(weights);
+    (void)other.true_snr_db(other_weights);
+  }
+
+  samples.clear();
+  mmr::testing::AllocationCounter audit;
+  for (std::size_t i = 0; i < kNumTicks; ++i) {
+    const double t = static_cast<double>(i) * kTickS;
+    victim.set_time(t);
+    other.set_time(t);
+    const double snr = victim.true_snr_db(weights);
+    const double gain =
+        net::interferer_gain(other_ula, other_weights,
+                             0.3 * std::sin(t), 25.0, carrier_hz);
+    const double sinr = net::sinr_db(snr, gain / noise_ref);
+    core::LinkSample sample;
+    sample.t_s = t;
+    sample.available = true;
+    sample.snr_db = sinr;
+    sample.throughput_bps = mcs.throughput_bps(sinr, bandwidth, 0.005);
+    samples.push_back(sample);
+    (void)sm.poll(t);
+    sm.apply(t, sinr < 6.0 ? core::LinkEvent::kErrorBurst
+                           : core::LinkEvent::kRecovered);
+  }
+  (void)sm.time_in(core::LinkState::kUp);
+  return audit.delta();
+}
+
 // Full-trial regression: the complete run_experiment (controller,
 // probing, estimator -- everything) under a total-allocation budget.
 // The controller's probe path legitimately allocates; this budget pins
@@ -164,6 +234,22 @@ TEST_F(ZeroAllocTest, FullTrialAllocationBudgetRegression) {
       << "full trial performed " << count
       << " allocations (budget " << kFullTrialAllocationBudget
       << "): a hot-path allocation has crept back in";
+}
+
+// PR-9: the network scoring loop -- SNR + interference fold + SINR +
+// sample + state-machine ledger -- is zero-allocation once workspaces
+// are bound, exactly like the single-link engine loop above.
+TEST_F(ZeroAllocTest, NetworkScoringLoopIsAllocationFree) {
+  EXPECT_EQ(network_scoring_allocations(true), 0u)
+      << "the per-tick network scoring loop allocated on the hot path";
+}
+
+// Same mechanism pin as UnboundWorldStillAllocatesPerTick: dropping the
+// workspace binding brings the per-tick CSI temporaries back, proving
+// the audit above exercises an allocation-prone path.
+TEST_F(ZeroAllocTest, UnboundNetworkScoringLoopStillAllocatesPerTick) {
+  EXPECT_GE(network_scoring_allocations(false), kNumTicks)
+      << "expected the no-workspace network path to allocate every tick";
 }
 
 }  // namespace

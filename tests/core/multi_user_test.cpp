@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "array/pattern.h"
 #include "common/angles.h"
 #include "common/units.h"
 
@@ -110,6 +111,97 @@ TEST(MultiUser, SinrComputation) {
 
 TEST(MultiUser, RejectsEmptyUsers) {
   EXPECT_THROW(plan_multi_user(kUla, {}), std::logic_error);
+}
+
+// ---- Direct behavioral pins on the planner internals (PR-9 backfill) ----
+
+TEST(MultiUser, MaxBeamsPerUserIsEnforced) {
+  const std::vector<UserChannel> users{
+      make_user({-40.0, -10.0, 20.0}, {0.0, -2.0, -4.0})};
+  MultiUserConfig config;
+  config.max_beams_per_user = 2;
+  EXPECT_EQ(plan_multi_user(kUla, users, config)[0].assigned_paths.size(), 2u);
+  config.max_beams_per_user = 1;
+  EXPECT_EQ(plan_multi_user(kUla, users, config)[0].assigned_paths.size(), 1u);
+  EXPECT_EQ(plan_naive(kUla, users, 2)[0].assigned_paths,
+            (std::vector<std::size_t>{0u, 1u}));
+}
+
+TEST(MultiUser, PathsAreClaimedStrongestRatioFirst) {
+  // Index 1 carries +3 dB relative to the reference path, so the planner
+  // must claim it first -- assignment order follows |ratio|, not index.
+  const std::vector<UserChannel> users{
+      make_user({-35.0, 10.0, 40.0}, {0.0, 3.0, -6.0})};
+  MultiUserConfig config;
+  config.max_beams_per_user = 1;
+  const auto plans = plan_multi_user(kUla, users, config);
+  ASSERT_EQ(plans[0].assigned_paths.size(), 1u);
+  EXPECT_EQ(plans[0].assigned_paths[0], 1u);
+}
+
+TEST(MultiUser, BeamIsReReferencedToItsFirstAssignedPath) {
+  // Force a single-beam plan onto the +3 dB path: the synthesized beam
+  // must peak at THAT angle (full array gain N) and stay far below it at
+  // the unassigned reference angle -- only possible if the coefficients
+  // were re-referenced to the assigned path.
+  const std::vector<UserChannel> users{
+      make_user({-35.0, 10.0}, {0.0, 3.0})};
+  MultiUserConfig config;
+  config.max_beams_per_user = 1;
+  const auto plans = plan_multi_user(kUla, users, config);
+  ASSERT_EQ(plans[0].assigned_paths, (std::vector<std::size_t>{1u}));
+  const double at_assigned =
+      array::power_gain(kUla, plans[0].beam.weights, deg_to_rad(10.0));
+  const double at_unassigned =
+      array::power_gain(kUla, plans[0].beam.weights, deg_to_rad(-35.0));
+  EXPECT_NEAR(at_assigned, static_cast<double>(kUla.num_elements),
+              0.05 * static_cast<double>(kUla.num_elements));
+  EXPECT_LT(at_unassigned, 0.2 * at_assigned);
+}
+
+TEST(MultiUser, PlanIsIndexedByInputPositionNotServiceOrder) {
+  // The weaker user listed FIRST: service order is by reference power,
+  // but plans[] must still line up with the input vector.
+  const std::vector<UserChannel> weak_first{
+      make_user({40.0, 21.0}, {0.0, -3.0}, 0.25),
+      make_user({-30.0, 20.0}, {0.0, -3.0}, 1.0)};
+  const auto plans = plan_multi_user(kUla, weak_first);
+  EXPECT_EQ(plans[1].assigned_paths.size(), 2u);  // strong user, listed 2nd
+  ASSERT_EQ(plans[0].assigned_paths.size(), 1u);  // weak user yields
+  EXPECT_EQ(plans[0].assigned_paths[0], 0u);
+}
+
+TEST(MultiUser, MinSeparationKnobSetsTheYieldBoundary) {
+  // 4 degrees apart: contested under an 8-degree clearance, clear under
+  // a 2-degree one.
+  const std::vector<UserChannel> users{
+      make_user({-30.0, 20.0}, {0.0, -3.0}, 1.0),
+      make_user({40.0, 24.0}, {0.0, -3.0}, 0.5)};
+  MultiUserConfig config;
+  config.min_separation_rad = deg_to_rad(8.0);
+  EXPECT_EQ(plan_multi_user(kUla, users, config)[1].assigned_paths.size(), 1u);
+  config.min_separation_rad = deg_to_rad(2.0);
+  EXPECT_EQ(plan_multi_user(kUla, users, config)[1].assigned_paths.size(), 2u);
+}
+
+TEST(MultiUser, SinrScalesLinearlyWithReferencePower) {
+  const double noise = 1e-2;
+  const std::vector<UserChannel> one{make_user({-20.0, 25.0}, {0.0, -3.0})};
+  const std::vector<UserChannel> four{
+      make_user({-20.0, 25.0}, {0.0, -3.0}, 4.0)};
+  const auto plan_one = plan_multi_user(kUla, one);
+  const auto plan_four = plan_multi_user(kUla, four);
+  const double s1 = user_sinr(kUla, one, plan_one, 0, noise);
+  const double s4 = user_sinr(kUla, four, plan_four, 0, noise);
+  EXPECT_NEAR(s4 / s1, 4.0, 1e-9);
+}
+
+TEST(MultiUser, UserSinrValidatesItsArguments) {
+  const std::vector<UserChannel> users{make_user({-20.0, 25.0}, {0.0, -3.0})};
+  const auto plans = plan_multi_user(kUla, users);
+  EXPECT_THROW(user_sinr(kUla, users, plans, 1, 1e-2), std::logic_error);
+  EXPECT_THROW(user_sinr(kUla, users, plans, 0, 0.0), std::logic_error);
+  EXPECT_THROW(user_sinr(kUla, users, {}, 0, 1e-2), std::logic_error);
 }
 
 }  // namespace

@@ -1,0 +1,280 @@
+// Exhaustive and fuzzed coverage of the Terragraph-style link state
+// machine (core/link_state.h):
+//   * EVERY (state, event) pair checked against the documented table --
+//     the pure transition() function is total, so the whole space is
+//     4 x 7 = 28 assertions, no sampling;
+//   * a fuzzed-event property suite (>= 1500 Rng::fork cases) drives the
+//     time-aware LinkStateMachine with random event/poll sequences and
+//     asserts no illegal state is reachable, the up-dwell hysteresis and
+//     unstable/acquisition deadlines hold, and the per-state time ledger
+//     stays conservative (sums to elapsed time).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <limits>
+#include <optional>
+#include <vector>
+
+#include "common/rng.h"
+#include "core/link_state.h"
+
+namespace {
+
+using namespace mmr;
+using core::LinkEvent;
+using core::LinkState;
+
+constexpr std::size_t kFuzzCases = 1500;
+constexpr std::uint64_t kBaseSeed = 0x11575A7E;  // "link state"
+
+const LinkState kStates[] = {LinkState::kDown, LinkState::kAcquisition,
+                             LinkState::kUp, LinkState::kUnstable};
+const LinkEvent kEvents[] = {
+    LinkEvent::kAcquire,          LinkEvent::kAcquisitionSuccess,
+    LinkEvent::kAcquisitionFailure, LinkEvent::kErrorBurst,
+    LinkEvent::kRecovered,        LinkEvent::kRecoveryTimeout,
+    LinkEvent::kLinkLost};
+
+/// The documented table, written out independently of the implementation.
+LinkState expected_transition(LinkState s, LinkEvent e) {
+  switch (s) {
+    case LinkState::kDown:
+      return e == LinkEvent::kAcquire ? LinkState::kAcquisition : s;
+    case LinkState::kAcquisition:
+      if (e == LinkEvent::kAcquisitionSuccess) return LinkState::kUp;
+      if (e == LinkEvent::kAcquisitionFailure) return LinkState::kDown;
+      if (e == LinkEvent::kLinkLost) return LinkState::kDown;
+      return s;
+    case LinkState::kUp:
+      if (e == LinkEvent::kErrorBurst) return LinkState::kUnstable;
+      if (e == LinkEvent::kLinkLost) return LinkState::kDown;
+      return s;
+    case LinkState::kUnstable:
+      if (e == LinkEvent::kRecovered) return LinkState::kUp;
+      if (e == LinkEvent::kRecoveryTimeout) return LinkState::kDown;
+      if (e == LinkEvent::kLinkLost) return LinkState::kDown;
+      return s;
+  }
+  return s;
+}
+
+bool is_legal_state(LinkState s) {
+  for (const LinkState k : kStates) {
+    if (s == k) return true;
+  }
+  return false;
+}
+
+TEST(LinkStateTable, EveryStateEventPairMatchesTheDocumentedTable) {
+  for (const LinkState s : kStates) {
+    for (const LinkEvent e : kEvents) {
+      EXPECT_EQ(core::transition(s, e), expected_transition(s, e))
+          << core::to_string(s) << " x " << core::to_string(e);
+    }
+  }
+}
+
+TEST(LinkStateTable, TransitionIsTotalOverTheFourStates) {
+  for (const LinkState s : kStates) {
+    for (const LinkEvent e : kEvents) {
+      EXPECT_TRUE(is_legal_state(core::transition(s, e)))
+          << core::to_string(s) << " x " << core::to_string(e);
+    }
+  }
+}
+
+TEST(LinkStateTable, LegalityMatchesMovesPlusTheDocumentedSelfLoop) {
+  for (const LinkState s : kStates) {
+    for (const LinkEvent e : kEvents) {
+      const bool moves = expected_transition(s, e) != s;
+      const bool documented_self_loop =
+          s == LinkState::kUnstable && e == LinkEvent::kErrorBurst;
+      EXPECT_EQ(core::transition_is_legal(s, e),
+                moves || documented_self_loop)
+          << core::to_string(s) << " x " << core::to_string(e);
+    }
+  }
+}
+
+TEST(LinkStateTable, NamesAreStableLowerSnake) {
+  for (const LinkState s : kStates) {
+    ASSERT_NE(core::to_string(s), nullptr);
+    EXPECT_GT(std::strlen(core::to_string(s)), 0u);
+  }
+  for (const LinkEvent e : kEvents) {
+    ASSERT_NE(core::to_string(e), nullptr);
+    EXPECT_GT(std::strlen(core::to_string(e)), 0u);
+  }
+  EXPECT_STREQ(core::to_string(LinkState::kUp), "up");
+  EXPECT_STREQ(core::to_string(LinkState::kDown), "down");
+  EXPECT_STREQ(core::to_string(LinkEvent::kErrorBurst), "error_burst");
+}
+
+TEST(LinkStateMachine, HappyPathAcquireServeRecover) {
+  core::LinkStateConfig cfg;
+  core::LinkStateMachine sm(cfg);
+  EXPECT_EQ(sm.state(), LinkState::kDown);
+  EXPECT_TRUE(sm.apply(0.0, LinkEvent::kAcquire));
+  EXPECT_EQ(sm.state(), LinkState::kAcquisition);
+  EXPECT_TRUE(sm.apply(0.01, LinkEvent::kAcquisitionSuccess));
+  EXPECT_EQ(sm.state(), LinkState::kUp);
+  // Inside the up-dwell window: suppressed.
+  EXPECT_FALSE(sm.apply(0.01 + cfg.min_up_dwell_s / 2.0,
+                        LinkEvent::kErrorBurst));
+  EXPECT_EQ(sm.state(), LinkState::kUp);
+  // Past the window: the burst lands.
+  EXPECT_TRUE(sm.apply(0.01 + 2.0 * cfg.min_up_dwell_s,
+                       LinkEvent::kErrorBurst));
+  EXPECT_EQ(sm.state(), LinkState::kUnstable);
+  EXPECT_TRUE(sm.apply(0.035, LinkEvent::kRecovered));
+  EXPECT_EQ(sm.state(), LinkState::kUp);
+  EXPECT_EQ(sm.transitions(), 4u);
+}
+
+TEST(LinkStateMachine, DeadlinesFireThroughPoll) {
+  core::LinkStateConfig cfg;
+  core::LinkStateMachine sm(cfg);
+  sm.apply(0.0, LinkEvent::kAcquire);
+  // Acquisition overruns its deadline.
+  const auto failed = sm.poll(cfg.max_acquisition_s + 1e-3);
+  ASSERT_TRUE(failed.has_value());
+  EXPECT_EQ(*failed, LinkEvent::kAcquisitionFailure);
+  EXPECT_EQ(sm.state(), LinkState::kDown);
+
+  const double t1 = cfg.max_acquisition_s + 2e-3;
+  sm.apply(t1, LinkEvent::kAcquire);
+  sm.apply(t1, LinkEvent::kAcquisitionSuccess);
+  sm.apply(t1 + cfg.min_up_dwell_s + 1e-3, LinkEvent::kErrorBurst);
+  ASSERT_EQ(sm.state(), LinkState::kUnstable);
+  EXPECT_FALSE(sm.poll(t1 + cfg.min_up_dwell_s + 2e-3).has_value());
+  const auto timed_out =
+      sm.poll(t1 + cfg.min_up_dwell_s + 1e-3 + cfg.max_unstable_s + 1e-3);
+  ASSERT_TRUE(timed_out.has_value());
+  EXPECT_EQ(*timed_out, LinkEvent::kRecoveryTimeout);
+  EXPECT_EQ(sm.state(), LinkState::kDown);
+}
+
+// ---------------------------------------------------------------------------
+// Fuzzed property suite.
+
+struct FuzzStats {
+  std::size_t applied = 0;
+  std::size_t suppressed_bursts = 0;
+  std::size_t deadline_events = 0;
+};
+
+// One fuzz case: a random config and ~80 random steps (apply or poll)
+// with non-decreasing times. All invariants asserted inside.
+FuzzStats run_fuzz_case(std::uint64_t case_index) {
+  Rng rng = Rng(kBaseSeed).fork(case_index);
+  core::LinkStateConfig cfg;
+  cfg.min_up_dwell_s = rng.uniform(0.0, 20.0e-3);
+  cfg.max_unstable_s = rng.uniform(1.0e-3, 50.0e-3);
+  cfg.max_acquisition_s = rng.uniform(5.0e-3, 200.0e-3);
+  cfg.validate();
+
+  core::LinkStateMachine sm(cfg);
+  FuzzStats stats;
+  double t = 0.0;
+  LinkState shadow = LinkState::kDown;
+  const std::size_t steps = 40 + rng.uniform_index(80);
+  for (std::size_t k = 0; k < steps; ++k) {
+    t += rng.uniform(0.0, 8.0e-3);
+    if (rng.bernoulli(0.3)) {
+      const LinkState before = sm.state();
+      const auto fired = sm.poll(t);
+      if (fired.has_value()) {
+        ++stats.deadline_events;
+        // poll only fires the two deadline events, from their states.
+        if (*fired == LinkEvent::kRecoveryTimeout) {
+          EXPECT_EQ(before, LinkState::kUnstable) << "case " << case_index;
+        } else {
+          EXPECT_EQ(*fired, LinkEvent::kAcquisitionFailure)
+              << "case " << case_index;
+          EXPECT_EQ(before, LinkState::kAcquisition)
+              << "case " << case_index;
+        }
+        shadow = core::transition(shadow, *fired);
+      }
+      // Deadline bound: after a poll, no state may dwell past its
+      // deadline.
+      if (sm.state() == LinkState::kUnstable) {
+        EXPECT_LT(sm.dwell_s(t), cfg.max_unstable_s + 1e-12)
+            << "case " << case_index;
+      }
+      if (sm.state() == LinkState::kAcquisition) {
+        EXPECT_LT(sm.dwell_s(t), cfg.max_acquisition_s + 1e-12)
+            << "case " << case_index;
+      }
+    } else {
+      const LinkEvent e =
+          kEvents[rng.uniform_index(core::kNumLinkEvents)];
+      const LinkState before = sm.state();
+      const double dwell_before = sm.dwell_s(t);
+      const bool changed = sm.apply(t, e);
+      ++stats.applied;
+      if (changed) {
+        // A change must match the pure table.
+        EXPECT_EQ(sm.state(), core::transition(before, e))
+            << "case " << case_index;
+        EXPECT_NE(sm.state(), before) << "case " << case_index;
+        shadow = core::transition(shadow, e);
+      } else {
+        EXPECT_EQ(sm.state(), before) << "case " << case_index;
+        if (core::transition(before, e) != before) {
+          // The only legal reason a moving event did not move: up-dwell
+          // hysteresis suppressing an error burst.
+          EXPECT_EQ(before, LinkState::kUp) << "case " << case_index;
+          EXPECT_EQ(e, LinkEvent::kErrorBurst) << "case " << case_index;
+          EXPECT_LT(dwell_before, cfg.min_up_dwell_s) << "case "
+                                                      << case_index;
+          ++stats.suppressed_bursts;
+        } else {
+          shadow = core::transition(shadow, e);  // self-loop, no change
+        }
+      }
+    }
+    // No illegal state is reachable, ever.
+    EXPECT_TRUE(is_legal_state(sm.state())) << "case " << case_index;
+    // The machine tracks the shadow table modulo suppressed bursts
+    // (which by construction keep the shadow in sync too).
+    EXPECT_EQ(sm.state(), shadow) << "case " << case_index;
+  }
+  // Ledger conservation: per-state times sum to elapsed time.
+  const double total =
+      sm.time_in(LinkState::kDown) + sm.time_in(LinkState::kAcquisition) +
+      sm.time_in(LinkState::kUp) + sm.time_in(LinkState::kUnstable);
+  EXPECT_NEAR(total, t, 1e-9) << "case " << case_index;
+  for (const LinkState s : kStates) {
+    EXPECT_GE(sm.time_in(s), 0.0) << "case " << case_index;
+  }
+  return stats;
+}
+
+TEST(LinkStateFuzz, NoIllegalStateDwellOrDeadlineViolationIn1500Cases) {
+  FuzzStats total;
+  for (std::uint64_t i = 0; i < kFuzzCases; ++i) {
+    const FuzzStats s = run_fuzz_case(i);
+    total.applied += s.applied;
+    total.suppressed_bursts += s.suppressed_bursts;
+    total.deadline_events += s.deadline_events;
+    if (::testing::Test::HasFatalFailure()) {
+      FAIL() << "fuzz aborted at case " << i;
+    }
+  }
+  // The fuzz actually exercised the interesting machinery.
+  EXPECT_GT(total.applied, kFuzzCases * 20);
+  EXPECT_GT(total.suppressed_bursts, 0u);
+  EXPECT_GT(total.deadline_events, 0u);
+}
+
+TEST(LinkStateMachine, ValidateRejectsNonFiniteAndNegative) {
+  core::LinkStateConfig cfg;
+  cfg.min_up_dwell_s = -1.0;
+  EXPECT_THROW(cfg.validate(), std::exception);
+  cfg = {};
+  cfg.max_unstable_s = std::numeric_limits<double>::quiet_NaN();
+  EXPECT_THROW(cfg.validate(), std::exception);
+}
+
+}  // namespace
