@@ -1,0 +1,295 @@
+#include "common/streaming_stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/error.h"
+
+namespace mmr {
+
+void StreamingMoments::add(double x) {
+  if (n_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    if (x < min_) min_ = x;
+    if (x > max_) max_ = x;
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+void StreamingMoments::merge_from(const StreamingMoments& other) {
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double n = na + nb;
+  const double delta = other.mean_ - mean_;
+  mean_ += delta * (nb / n);
+  m2_ += other.m2_ + delta * delta * (na * nb / n);
+  n_ += other.n_;
+  if (other.min_ < min_) min_ = other.min_;
+  if (other.max_ > max_) max_ = other.max_;
+}
+
+double StreamingMoments::mean() const {
+  MMR_EXPECTS(n_ > 0);
+  return mean_;
+}
+
+double StreamingMoments::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double StreamingMoments::stddev() const { return std::sqrt(variance()); }
+
+double StreamingMoments::min() const {
+  MMR_EXPECTS(n_ > 0);
+  return min_;
+}
+
+double StreamingMoments::max() const {
+  MMR_EXPECTS(n_ > 0);
+  return max_;
+}
+
+P2Quantile::P2Quantile(double p) : p_(p) {
+  MMR_EXPECTS(std::isfinite(p) && p > 0.0 && p < 1.0);
+  rate_ = {0.0, p / 2.0, p, (1.0 + p) / 2.0, 1.0};
+}
+
+void P2Quantile::add_initial(double x) {
+  // Insertion into the sorted head buffer (exact for n <= 5).
+  std::size_t i = n_;
+  q_[i] = x;
+  while (i > 0 && q_[i - 1] > q_[i]) {
+    std::swap(q_[i - 1], q_[i]);
+    --i;
+  }
+  ++n_;
+  if (n_ == 5) {
+    for (std::size_t j = 0; j < 5; ++j) {
+      pos_[j] = static_cast<double>(j + 1);
+      desired_[j] = 1.0 + rate_[j] * 4.0;
+    }
+  }
+}
+
+void P2Quantile::add(double x) {
+  MMR_EXPECTS(std::isfinite(x));
+  if (n_ < 5) {
+    add_initial(x);
+    return;
+  }
+  // Locate the marker cell and update the extremes.
+  std::size_t k = 0;
+  if (x < q_[0]) {
+    q_[0] = x;
+    k = 0;
+  } else if (x >= q_[4]) {
+    q_[4] = x;
+    k = 3;
+  } else {
+    while (k < 3 && x >= q_[k + 1]) ++k;
+  }
+  for (std::size_t i = k + 1; i < 5; ++i) pos_[i] += 1.0;
+  for (std::size_t i = 0; i < 5; ++i) desired_[i] += rate_[i];
+  ++n_;
+
+  // Adjust the three interior markers toward their desired positions.
+  for (std::size_t i = 1; i <= 3; ++i) {
+    const double d = desired_[i] - pos_[i];
+    if ((d >= 1.0 && pos_[i + 1] - pos_[i] > 1.0) ||
+        (d <= -1.0 && pos_[i - 1] - pos_[i] < -1.0)) {
+      const double sign = d >= 0.0 ? 1.0 : -1.0;
+      // Piecewise-parabolic (P²) prediction of the marker height.
+      const double dp = pos_[i + 1] - pos_[i];
+      const double dm = pos_[i - 1] - pos_[i];
+      const double qp = (q_[i + 1] - q_[i]) / dp;
+      const double qm = (q_[i - 1] - q_[i]) / dm;
+      double candidate =
+          q_[i] + sign / (pos_[i + 1] - pos_[i - 1]) *
+                      ((pos_[i] - pos_[i - 1] + sign) * qp * dp / dp +
+                       (pos_[i + 1] - pos_[i] - sign) * qm * dm / dm);
+      // The canonical parabolic form; fall back to linear when it would
+      // leave the bracketing markers' interval.
+      candidate = q_[i] + sign / (pos_[i + 1] - pos_[i - 1]) *
+                              ((pos_[i] - pos_[i - 1] + sign) *
+                                   (q_[i + 1] - q_[i]) / (pos_[i + 1] - pos_[i]) +
+                               (pos_[i + 1] - pos_[i] - sign) *
+                                   (q_[i] - q_[i - 1]) / (pos_[i] - pos_[i - 1]));
+      if (q_[i - 1] < candidate && candidate < q_[i + 1]) {
+        q_[i] = candidate;
+      } else {
+        const std::size_t j = sign > 0.0 ? i + 1 : i - 1;
+        q_[i] += sign * (q_[j] - q_[i]) / (pos_[j] - pos_[i]);
+      }
+      pos_[i] += sign;
+    }
+  }
+}
+
+double P2Quantile::quantile() const {
+  MMR_EXPECTS(n_ > 0);
+  if (n_ >= 5) return q_[2];
+  // Exact linear-interpolated quantile of the sorted head buffer.
+  const double h = p_ * static_cast<double>(n_ - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, static_cast<std::size_t>(n_ - 1));
+  const double frac = h - static_cast<double>(lo);
+  return q_[lo] + (q_[hi] - q_[lo]) * frac;
+}
+
+double P2Quantile::min() const {
+  MMR_EXPECTS(n_ > 0);
+  return q_[0];
+}
+
+double P2Quantile::max() const {
+  MMR_EXPECTS(n_ > 0);
+  return q_[n_ >= 5 ? 4 : static_cast<std::size_t>(n_ - 1)];
+}
+
+double P2Quantile::marker_fraction(std::size_t i) const {
+  if (n_ <= 1) return i == 0 ? 0.0 : 1.0;
+  return (pos_[i] - 1.0) / (static_cast<double>(n_) - 1.0);
+}
+
+double P2Quantile::cdf_at(double x) const {
+  if (x <= q_[0]) return 0.0;
+  if (x >= q_[4]) return 1.0;
+  for (std::size_t i = 0; i < 4; ++i) {
+    if (x <= q_[i + 1]) {
+      const double span = q_[i + 1] - q_[i];
+      const double f0 = marker_fraction(i);
+      const double f1 = marker_fraction(i + 1);
+      if (span <= 0.0) return f1;
+      return f0 + (f1 - f0) * (x - q_[i]) / span;
+    }
+  }
+  return 1.0;
+}
+
+void P2Quantile::merge_from(const P2Quantile& other) {
+  MMR_EXPECTS(other.p_ == p_);
+  if (other.n_ == 0) return;
+  if (n_ == 0) {
+    *this = other;
+    return;
+  }
+  if (other.n_ < 5) {
+    // The operand still holds its raw (sorted) head buffer: replay it.
+    for (std::size_t i = 0; i < other.n_; ++i) add(other.q_[i]);
+    return;
+  }
+  if (n_ < 5) {
+    // Swap roles: adopt the larger estimator, replay my raw buffer.
+    std::array<double, 5> raw = q_;
+    const std::uint64_t raw_n = n_;
+    *this = other;
+    for (std::size_t i = 0; i < raw_n; ++i) add(raw[i]);
+    return;
+  }
+
+  // Both sides are in marker mode: invert the count-weighted mixture of
+  // the two piecewise-linear marker CDFs at the five P² fractions.
+  const double na = static_cast<double>(n_);
+  const double nb = static_cast<double>(other.n_);
+  const double nt = na + nb;
+  std::array<double, 10> breaks;
+  std::merge(q_.begin(), q_.end(), other.q_.begin(), other.q_.end(),
+             breaks.begin());
+  std::array<double, 10> frac;
+  for (std::size_t i = 0; i < 10; ++i) {
+    frac[i] = (na * cdf_at(breaks[i]) + nb * other.cdf_at(breaks[i])) / nt;
+  }
+
+  std::array<double, 5> merged;
+  merged[0] = std::min(q_[0], other.q_[0]);
+  merged[4] = std::max(q_[4], other.q_[4]);
+  for (std::size_t j = 1; j <= 3; ++j) {
+    const double f = rate_[j];
+    double x = breaks[9];
+    if (f <= frac[0]) {
+      x = breaks[0];
+    } else {
+      for (std::size_t i = 1; i < 10; ++i) {
+        if (f <= frac[i]) {
+          const double df = frac[i] - frac[i - 1];
+          x = df > 0.0 ? breaks[i - 1] + (f - frac[i - 1]) *
+                                             (breaks[i] - breaks[i - 1]) / df
+                       : breaks[i];
+          break;
+        }
+      }
+    }
+    merged[j] = x;
+  }
+  for (std::size_t j = 1; j < 5; ++j) {
+    if (merged[j] < merged[j - 1]) merged[j] = merged[j - 1];
+  }
+
+  const std::uint64_t n_total = n_ + other.n_;
+  q_ = merged;
+  n_ = n_total;
+  pos_[0] = 1.0;
+  pos_[4] = static_cast<double>(n_total);
+  for (std::size_t j = 1; j <= 3; ++j) {
+    double pos = 1.0 + std::round(rate_[j] * (static_cast<double>(n_total) - 1.0));
+    const double lo = pos_[j - 1] + 1.0;
+    if (pos < lo) pos = lo;
+    const double hi = pos_[4] - static_cast<double>(4 - j);
+    if (pos > hi) pos = hi;
+    pos_[j] = pos;
+  }
+  for (std::size_t j = 0; j < 5; ++j) {
+    desired_[j] = 1.0 + rate_[j] * (static_cast<double>(n_total) - 1.0);
+  }
+}
+
+void AvailabilityCounter::add(bool available, bool above_floor) {
+  ++ticks_;
+  ++w_ticks_;
+  if (available && above_floor) {
+    ++usable_;
+    ++w_usable_;
+  } else if (available) {
+    ++outage_;
+    ++w_outage_;
+  }
+}
+
+void AvailabilityCounter::merge_from(const AvailabilityCounter& other) {
+  ticks_ += other.ticks_;
+  usable_ += other.usable_;
+  outage_ += other.outage_;
+  w_ticks_ += other.w_ticks_;
+  w_usable_ += other.w_usable_;
+  w_outage_ += other.w_outage_;
+}
+
+void AvailabilityCounter::reset_window() {
+  w_ticks_ = 0;
+  w_usable_ = 0;
+  w_outage_ = 0;
+}
+
+double AvailabilityCounter::availability() const {
+  return ticks_ > 0 ? static_cast<double>(usable_) / static_cast<double>(ticks_)
+                    : 0.0;
+}
+
+double AvailabilityCounter::window_availability() const {
+  return w_ticks_ > 0
+             ? static_cast<double>(w_usable_) / static_cast<double>(w_ticks_)
+             : 0.0;
+}
+
+}  // namespace mmr

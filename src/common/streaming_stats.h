@@ -1,0 +1,141 @@
+// O(1) streaming accumulators for the long-running service mode.
+//
+// The batch harness keeps every sample and aggregates at the end; a
+// traffic-serving run cannot (millions of session-ticks, bounded memory).
+// This family accumulates in O(1) state per metric:
+//   * StreamingMoments -- Welford mean/variance with min/max;
+//   * P2Quantile      -- the P-square (Jain & Chlamtac) single-quantile
+//                        estimator: five markers, no sample storage;
+//   * AvailabilityCounter -- exact windowed + cumulative usable/outage
+//                        tick counts.
+//
+// Mergeable-shard contract: every accumulator supports merge_from(other),
+// so per-shard accumulators fold into one. Folding is DETERMINISTIC --
+// merging the same states in the same order produces bit-identical
+// results, regardless of which threads filled the shards (the streaming
+// service always folds shards in shard-index order, making jobs=K output
+// byte-identical to jobs=1). Counter merges are exact and associative;
+// moments merge by Chan's parallel update (exact count/min/max, mean and
+// variance correct up to floating-point reassociation); quantile merges
+// are approximate (see P2Quantile::merge_from) with error bounded by the
+// marker resolution, pinned by the props suite against exact sorted
+// quantiles.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace mmr {
+
+/// Welford online mean/variance with exact min/max and a Chan-style
+/// pairwise merge. O(1) state; no sample storage.
+class StreamingMoments {
+ public:
+  void add(double x);
+  /// Fold another accumulator's state into this one (Chan's parallel
+  /// variance update). Deterministic: same operand states, same bits out.
+  void merge_from(const StreamingMoments& other);
+
+  std::uint64_t count() const { return n_; }
+  double mean() const;
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::uint64_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// P-square (P²) streaming quantile estimator (Jain & Chlamtac 1985; the
+/// libtrs-style O(1) accumulator design): five markers tracking
+/// {min, p/2, p, (1+p)/2, max} positions, adjusted by parabolic
+/// interpolation as observations arrive. The first five observations are
+/// buffered exactly; quantile() is exact until then.
+class P2Quantile {
+ public:
+  /// `p` in (0, 1), e.g. 0.5 / 0.99 / 0.999.
+  explicit P2Quantile(double p = 0.5);
+
+  double p() const { return p_; }
+  std::uint64_t count() const { return n_; }
+
+  void add(double x);
+
+  /// Current estimate of the p-quantile. Exact for n <= 5; requires at
+  /// least one observation.
+  double quantile() const;
+  /// Exact observed extremes (markers 0 and 4 never drift).
+  double min() const;
+  double max() const;
+
+  /// Fold another estimator for the SAME p into this one. Small operands
+  /// (n <= 5) replay their buffered samples exactly; otherwise the two
+  /// marker sets define piecewise-linear CDFs whose count-weighted
+  /// mixture is inverted at the five P² marker fractions -- O(1), no
+  /// sample storage. Deterministic (same operands -> same bits); the
+  /// estimate error stays bounded by the marker resolution (props tier
+  /// pins it against exact sorted quantiles under arbitrary sharding).
+  void merge_from(const P2Quantile& other);
+
+ private:
+  void add_initial(double x);
+  /// CDF fraction assigned to marker i: (pos - 1) / (n - 1).
+  double marker_fraction(std::size_t i) const;
+  /// Piecewise-linear CDF of this estimator's markers evaluated at x.
+  double cdf_at(double x) const;
+
+  double p_ = 0.5;
+  std::uint64_t n_ = 0;
+  /// Marker heights (sorted) and positions (1-based, fractional during
+  /// adjustment as in the original algorithm).
+  std::array<double, 5> q_{};
+  std::array<double, 5> pos_{};
+  std::array<double, 5> desired_{};
+  std::array<double, 5> rate_{};
+};
+
+/// Exact availability / outage tick counters, windowed and cumulative.
+/// One call per scored session-tick; reset_window() at every snapshot
+/// boundary. Merges are integer additions: exact, associative,
+/// deterministic.
+class AvailabilityCounter {
+ public:
+  /// `available`: the link could carry data this tick (not retraining);
+  /// `above_floor`: SNR at or above the outage threshold.
+  void add(bool available, bool above_floor);
+  void merge_from(const AvailabilityCounter& other);
+  void reset_window();
+
+  // Cumulative (since construction).
+  std::uint64_t ticks() const { return ticks_; }
+  /// available AND above the outage floor (the reliability numerator).
+  std::uint64_t usable() const { return usable_; }
+  /// available but below the outage floor.
+  std::uint64_t outage() const { return outage_; }
+  /// consumed by (re)training.
+  std::uint64_t unavailable() const { return ticks_ - usable_ - outage_; }
+  double availability() const;
+
+  // Window (since the last reset_window()).
+  std::uint64_t window_ticks() const { return w_ticks_; }
+  std::uint64_t window_usable() const { return w_usable_; }
+  std::uint64_t window_outage() const { return w_outage_; }
+  double window_availability() const;
+
+ private:
+  std::uint64_t ticks_ = 0;
+  std::uint64_t usable_ = 0;
+  std::uint64_t outage_ = 0;
+  std::uint64_t w_ticks_ = 0;
+  std::uint64_t w_usable_ = 0;
+  std::uint64_t w_outage_ = 0;
+};
+
+}  // namespace mmr

@@ -4,7 +4,6 @@
 #include <complex>
 
 #include "array/pattern.h"
-#include "array/pattern_cache.h"
 #include "channel/pathloss.h"
 #include "common/error.h"
 #include "common/units.h"
@@ -32,24 +31,37 @@ double interferer_gain(const array::Ula& ula, const CVec& weights,
          from_db(-loss_db);
 }
 
-RVec interferer_gain_batch(const array::Ula& ula, const CVec& weights,
-                           const RVec& victim_angles_rad,
-                           const RVec& distances_m, double carrier_hz,
-                           double coupling_loss_db) {
+void interferer_gain_batch_into(const array::Ula& ula, const CVec& weights,
+                                std::span<const double> victim_angles_rad,
+                                std::span<const double> distances_m,
+                                double carrier_hz, double coupling_loss_db,
+                                std::span<double> out) {
   MMR_EXPECTS(victim_angles_rad.size() == distances_m.size());
+  MMR_EXPECTS(out.size() == victim_angles_rad.size());
   MMR_EXPECTS(carrier_hz > 0.0);
   MMR_EXPECTS(coupling_loss_db >= 0.0);
-  // One fused array-factor sweep over all victims (array/pattern_cache.h
-  // batched evaluator), then the per-victim propagation discount.
-  const CVec af = array::array_factor_batch(ula, weights, victim_angles_rad);
-  RVec out(victim_angles_rad.size());
-  for (std::size_t i = 0; i < af.size(); ++i) {
+  // Each victim runs the SAME fused power_gain evaluation as the scalar
+  // interferer_gain -- not array_factor_batch, whose separate
+  // phasor-ramp + cdot loops reassociate differently under the SIMD
+  // backends. That keeps batch == scalar BITWISE on every backend (the
+  // network layer's byte-identity contracts fold these values into SINR).
+  for (std::size_t i = 0; i < out.size(); ++i) {
     MMR_EXPECTS(distances_m[i] > 0.0);
     const double d = distances_m[i] < 1.0 ? 1.0 : distances_m[i];
     const double loss_db =
         channel::propagation_loss_db(d, carrier_hz) + coupling_loss_db;
-    out[i] = std::norm(af[i]) * from_db(-loss_db);
+    out[i] = array::power_gain(ula, weights, victim_angles_rad[i]) *
+             from_db(-loss_db);
   }
+}
+
+RVec interferer_gain_batch(const array::Ula& ula, const CVec& weights,
+                           const RVec& victim_angles_rad,
+                           const RVec& distances_m, double carrier_hz,
+                           double coupling_loss_db) {
+  RVec out(victim_angles_rad.size());
+  interferer_gain_batch_into(ula, weights, victim_angles_rad, distances_m,
+                             carrier_hz, coupling_loss_db, out);
   return out;
 }
 

@@ -10,9 +10,13 @@
 //
 // The scalar entry points are allocation-free (array::array_factor is a
 // fused dsp::dot_phasor_ramp) so the per-tick network scoring loop stays
-// inside the zero-alloc contract; the batched variants ride the
-// array::PatternCache batched evaluators for cold paths and tests.
+// inside the zero-alloc contract; the batched variant runs the SAME fused
+// evaluation per element into caller-provided storage, which keeps it
+// bitwise-equal to the scalar path on every backend (pinned by the props
+// tier) and allocation-free on the network's per-tick fold.
 #pragma once
+
+#include <span>
 
 #include "array/geometry.h"
 #include "common/types.h"
@@ -36,7 +40,22 @@ double interferer_gain(const array::Ula& ula, const CVec& weights,
                        double victim_angle_rad, double distance_m,
                        double carrier_hz, double coupling_loss_db = 0.0);
 
+/// Batched variant over many victims (one entry per angle/distance pair),
+/// writing into caller-provided storage (`out.size()` must match).
+/// BITWISE-identical to calling `interferer_gain` per victim on EVERY
+/// kernel backend -- each element goes through the same fused
+/// array::power_gain evaluation as the scalar path, so the network's
+/// batched interference fold keeps the byte-identity contracts.
+/// Allocation-free: the per-tick network scoring loop calls this with
+/// preallocated buffers.
+void interferer_gain_batch_into(const array::Ula& ula, const CVec& weights,
+                                std::span<const double> victim_angles_rad,
+                                std::span<const double> distances_m,
+                                double carrier_hz, double coupling_loss_db,
+                                std::span<double> out);
+
 /// Batched variant over many victims (one entry per angle/distance pair).
+/// Allocating convenience wrapper over interferer_gain_batch_into.
 RVec interferer_gain_batch(const array::Ula& ula, const CVec& weights,
                            const RVec& victim_angles_rad,
                            const RVec& distances_m, double carrier_hz,

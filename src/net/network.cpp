@@ -115,6 +115,12 @@ struct Network::Session {
   // independent of which cell currently serves.
   channel::Vec2 global_start{0.0, 0.0};
   channel::Vec2 velocity{0.0, 0.0};
+  // Streaming-table state: slot occupancy and local-timeline offset.
+  // Batch tables keep birth_s = 0, so local time t - 0.0 is bitwise the
+  // shared time and the historical behavior is unchanged.
+  bool live = true;
+  bool started = false;
+  double birth_s = 0.0;
   // Handover bookkeeping.
   std::size_t ttt_candidate = kNoCell;
   double ttt_since = 0.0;
@@ -129,17 +135,21 @@ struct Network::Session {
   channel::Vec2 global_pos(double t_s) const {
     return global_start + velocity * t_s;
   }
+  double local_time(double t_s) const { return t_s - birth_s; }
 };
 
 Network::Network(const NetworkSpec& spec, std::uint64_t stream_seed,
-                 sim::TrialWorkspace* workspace)
+                 sim::TrialWorkspace* workspace, bool populate_sessions)
     : spec_(spec), stream_seed_(stream_seed), workspace_(workspace) {
   spec_.validate();
+  if (!populate_sessions) return;
   sessions_.reserve(spec_.num_links());
   for (std::size_t link = 0; link < spec_.num_links(); ++link) {
     sessions_.push_back(std::make_unique<Session>(spec_.link_state));
-    build_session(link);
+    build_session(*sessions_.back(), link);
+    ++live_count_;
   }
+  tick_samples_.resize(sessions_.size());
 }
 
 Network::~Network() {
@@ -151,10 +161,62 @@ Network::~Network() {
   }
 }
 
-void Network::build_session(std::size_t link) {
-  Session& s = *sessions_[link];
+bool Network::slot_live(std::size_t slot) const {
+  return slot < sessions_.size() && sessions_[slot]->live;
+}
+
+std::size_t Network::join(std::uint64_t session_id, double birth_s) {
+  MMR_EXPECTS(std::isfinite(birth_s) && birth_s >= 0.0);
+  std::size_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot = sessions_.size();
+    sessions_.push_back(std::make_unique<Session>(spec_.link_state));
+    tick_samples_.resize(sessions_.size());
+    inr_accum_.resize(sessions_.size());
+    pos_x_.resize(sessions_.size());
+    pos_y_.resize(sessions_.size());
+    batch_angles_.resize(sessions_.size());
+    batch_dist_.resize(sessions_.size());
+    batch_gain_.resize(sessions_.size());
+    batch_victim_.resize(sessions_.size());
+  }
+  Session& s = *sessions_[slot];
+  // Reset the recycled slot to a fresh Session, then seed it from the
+  // session id exactly like link `session_id` of a batch table.
+  s = Session(spec_.link_state);
+  build_session(s, session_id);
+  s.birth_s = birth_s;
+  s.live = true;
+  s.started = false;
+  ++live_count_;
+  return slot;
+}
+
+void Network::leave(std::size_t slot) {
+  MMR_EXPECTS(slot_live(slot));
+  Session& s = *sessions_[slot];
+  if (s.controller != nullptr) s.controller->set_fault_listener(nullptr);
+  s.controller.reset();
+  s.injector.reset();
+  s.world.reset();
+  s.samples.clear();
+  s.samples.shrink_to_fit();
+  s.faults.clear();
+  s.faults.shrink_to_fit();
+  s.live = false;
+  --live_count_;
+  free_slots_.push_back(slot);
+}
+
+void Network::build_session(Session& s, std::uint64_t session_id) {
+  const auto link = static_cast<std::size_t>(session_id);
   s.link = link;
-  s.home_cell = link / spec_.ues_per_cell;
+  // Batch tables fill cell 0 first (link / ues_per_cell); streaming ids
+  // beyond the table wrap around the cells with the same formula.
+  s.home_cell = (link / spec_.ues_per_cell) % spec_.num_cells;
   s.serving_cell = s.home_cell;
   // Link 0 takes the trial's stream seed VERBATIM -- the single-link
   // collapse depends on it (the engine sets scenario.config.seed =
@@ -227,33 +289,60 @@ double Network::cell_rsrp_db(const Session& s, std::size_t cell,
   return to_db(n) - channel::propagation_loss_db(d, carrier);
 }
 
-double Network::interference_gain(const Session& victim, double t_s) const {
-  double total = 0.0;
-  const channel::Vec2 victim_pos = victim.global_pos(t_s);
+void Network::accumulate_interference(double t_s) {
+  // Per-interferer batched fold (interferer_gain_batch_into is
+  // bitwise-identical to the scalar interferer_gain on every backend):
+  // interferers walk the slots in order and scatter-add their leaked gain
+  // into each victim's accumulator -- the SAME addends in the SAME order
+  // as the historical per-victim scalar loop, so the folded totals keep
+  // their bits. Allocation-free: all scratch is slot-sized and resized
+  // only on join().
+  const std::size_t n = sessions_.size();
   const channel::Vec2 tx_local = scenario_tx_local(spec_.link_scenario);
-  for (const auto& other : sessions_) {
-    const Session& o = *other;
-    if (o.link == victim.link) continue;
+  for (std::size_t v = 0; v < n; ++v) {
+    inr_accum_[v] = 0.0;
+    if (!sessions_[v]->live) continue;
+    const channel::Vec2 pos = sessions_[v]->global_pos(
+        sessions_[v]->local_time(t_s));
+    pos_x_[v] = pos.x;
+    pos_y_[v] = pos.y;
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Session& o = *sessions_[i];
+    if (!o.live) continue;
     // Only links currently serving data transmit; a training sweep's
     // SSBs are discounted as protocol overhead, not interference.
-    if (!o.controller->link_available(t_s)) continue;
+    if (!o.controller->link_available(o.local_time(t_s))) continue;
     const channel::Vec2 gnb =
         channel::Vec2{static_cast<double>(o.serving_cell) *
                           spec_.cell_spacing_m,
                       0.0} +
         tx_local;
-    const channel::Vec2 delta = victim_pos - gnb;
-    const double d = norm(delta);
-    if (d <= 0.0) continue;
-    // All cells share one array orientation (boresight +x), so the
-    // victim's angle in the interferer's frame is the global bearing.
-    const double phi = std::atan2(delta.y, delta.x);
-    total += interferer_gain(o.world->config().tx_ula,
-                             o.controller->tx_weights(), phi, d,
-                             o.world->config().spec.carrier_hz,
-                             spec_.interference.coupling_loss_db);
+    std::size_t count = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      if (v == i || !sessions_[v]->live) continue;
+      const channel::Vec2 delta{pos_x_[v] - gnb.x, pos_y_[v] - gnb.y};
+      const double d = norm(delta);
+      if (d <= 0.0) continue;
+      // All cells share one array orientation (boresight +x), so the
+      // victim's angle in the interferer's frame is the global bearing.
+      batch_angles_[count] = std::atan2(delta.y, delta.x);
+      batch_dist_[count] = d;
+      batch_victim_[count] = v;
+      ++count;
+    }
+    if (count == 0) continue;
+    interferer_gain_batch_into(
+        o.world->config().tx_ula, o.controller->tx_weights(),
+        std::span<const double>(batch_angles_.data(), count),
+        std::span<const double>(batch_dist_.data(), count),
+        o.world->config().spec.carrier_hz,
+        spec_.interference.coupling_loss_db,
+        std::span<double>(batch_gain_.data(), count));
+    for (std::size_t k = 0; k < count; ++k) {
+      inr_accum_[batch_victim_[k]] += batch_gain_[k];
+    }
   }
-  return total;
 }
 
 void Network::drive_state(Session& s, double t_s, double sinr_db_value) {
@@ -379,7 +468,7 @@ void Network::execute_handover(Session& s, double t_s, std::size_t to_cell,
   handover_events_.push_back(ev);
 }
 
-NetworkResult Network::run(sim::TelemetrySink* sink) {
+void Network::begin() {
   const sim::RunConfig& rc = spec_.run;
   // Same up-front validation as sim::run_experiment.
   MMR_EXPECTS(rc.duration_s > 0.0 && std::isfinite(rc.duration_s));
@@ -387,64 +476,102 @@ NetworkResult Network::run(sim::TelemetrySink* sink) {
   MMR_EXPECTS(std::isfinite(rc.outage_snr_db));
   MMR_EXPECTS(rc.protocol_overhead >= 0.0 && rc.protocol_overhead < 1.0);
   handover_events_.clear();
-
-  const phy::McsTable& mcs = phy::McsTable::nr();
   const auto num_ticks = static_cast<std::size_t>(rc.duration_s / rc.tick_s);
   for (auto& s : sessions_) {
+    s->started = false;
     s->samples.clear();
-    s->samples.reserve(num_ticks);
+    if (record_samples_ && s->live) s->samples.reserve(num_ticks);
   }
-  const bool multi = sessions_.size() > 1;
-  const bool interference_on = spec_.interference.enabled && multi;
-  const bool handover_on =
-      spec_.handover.enabled && spec_.num_cells > 1;
+  tick_samples_.resize(sessions_.size());
+  inr_accum_.resize(sessions_.size());
+  pos_x_.resize(sessions_.size());
+  pos_y_.resize(sessions_.size());
+  batch_angles_.resize(sessions_.size());
+  batch_dist_.resize(sessions_.size());
+  batch_gain_.resize(sessions_.size());
+  batch_victim_.resize(sessions_.size());
+}
 
-  for (std::size_t i = 0; i < num_ticks; ++i) {
-    const double t = static_cast<double>(i) * rc.tick_s;
-    // Advance pass: worlds, injectors, controllers -- the exact per-link
-    // sequence sim/runner.cpp executes.
-    for (auto& sp : sessions_) {
-      Session& s = *sp;
-      s.world->set_time(t);
-      if (s.injector != nullptr) s.injector->on_tick(t);
-      if (i == 0 || s.needs_restart) {
-        s.controller->start(t, s.iface);
-        s.needs_restart = false;
-      } else {
-        s.controller->step(t, s.iface);
-      }
-    }
-    // Scoring pass: every link scored against the TRUE channel with the
-    // other links' current beams folded in as interference.
-    for (auto& sp : sessions_) {
-      Session& s = *sp;
-      const double bandwidth = s.world->config().spec.bandwidth_hz;
-      const double snr = s.world->true_snr_db(s.controller->tx_weights());
-      double inr = 0.0;
-      if (interference_on) {
-        inr = interference_gain(s, t) / s.world->power_for_snr(0.0);
-      }
-      const double sinr = sinr_db(snr, inr);
-      core::LinkSample sample;
-      sample.t_s = t;
-      sample.available = s.controller->link_available(t);
-      sample.snr_db = sinr;
-      sample.throughput_bps =
-          sample.available
-              ? mcs.throughput_bps(sinr, bandwidth, rc.protocol_overhead)
-              : 0.0;
-      s.samples.push_back(sample);
-      drive_state(s, t, sinr);
-    }
-    if (handover_on) {
-      for (auto& sp : sessions_) evaluate_handover(*sp, t);
-    }
-  }
-
-  NetworkResult result;
-  result.links.reserve(sessions_.size());
+void Network::advance_pass(double t_s) {
+  // Worlds, injectors, controllers -- the exact per-link sequence
+  // sim/runner.cpp executes.
   for (auto& sp : sessions_) {
     Session& s = *sp;
+    if (!s.live) continue;
+    const double t = s.local_time(t_s);
+    s.world->set_time(t);
+    if (s.injector != nullptr) s.injector->on_tick(t);
+    if (!s.started || s.needs_restart) {
+      s.controller->start(t, s.iface);
+      s.started = true;
+      s.needs_restart = false;
+    } else {
+      s.controller->step(t, s.iface);
+    }
+  }
+}
+
+void Network::scoring_pass(double t_s) {
+  const sim::RunConfig& rc = spec_.run;
+  const phy::McsTable& mcs = phy::McsTable::nr();
+  const bool interference_on = spec_.interference.enabled && live_count_ > 1;
+  if (interference_on) accumulate_interference(t_s);
+  // Every link scored against the TRUE channel with the other links'
+  // current beams folded in as interference.
+  for (std::size_t slot = 0; slot < sessions_.size(); ++slot) {
+    Session& s = *sessions_[slot];
+    if (!s.live) continue;
+    const double t = s.local_time(t_s);
+    const double bandwidth = s.world->config().spec.bandwidth_hz;
+    const double snr = s.world->true_snr_db(s.controller->tx_weights());
+    double inr = 0.0;
+    if (interference_on) {
+      inr = inr_accum_[slot] / s.world->power_for_snr(0.0);
+    }
+    const double sinr = sinr_db(snr, inr);
+    core::LinkSample sample;
+    sample.t_s = t;
+    sample.available = s.controller->link_available(t);
+    sample.snr_db = sinr;
+    sample.throughput_bps =
+        sample.available
+            ? mcs.throughput_bps(sinr, bandwidth, rc.protocol_overhead)
+            : 0.0;
+    tick_samples_[slot] = sample;
+    if (record_samples_) s.samples.push_back(sample);
+    drive_state(s, t, sinr);
+  }
+}
+
+void Network::handover_pass(double t_s) {
+  for (auto& sp : sessions_) {
+    if (sp->live) evaluate_handover(*sp, sp->local_time(t_s));
+  }
+}
+
+void Network::step_tick(double t_s) {
+  advance_pass(t_s);
+  scoring_pass(t_s);
+  if (spec_.handover.enabled && spec_.num_cells > 1) handover_pass(t_s);
+}
+
+NetworkResult Network::run(sim::TelemetrySink* sink) {
+  begin();
+  const sim::RunConfig& rc = spec_.run;
+  const auto num_ticks = static_cast<std::size_t>(rc.duration_s / rc.tick_s);
+  for (std::size_t i = 0; i < num_ticks; ++i) {
+    step_tick(static_cast<double>(i) * rc.tick_s);
+  }
+  return finish(sink);
+}
+
+NetworkResult Network::finish(sim::TelemetrySink* sink) {
+  const sim::RunConfig& rc = spec_.run;
+  NetworkResult result;
+  result.links.reserve(live_count_);
+  for (auto& sp : sessions_) {
+    Session& s = *sp;
+    if (!s.live) continue;
     if (s.controller != nullptr) s.controller->set_fault_listener(nullptr);
     // Close the availability ledger at the nominal end of the run (this
     // may legitimately fire a final deadline transition).

@@ -26,6 +26,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -116,16 +117,28 @@ struct NetworkResult {
   core::LinkSummary network;
 };
 
-/// One network trial on a shared timeline. Construction builds every
-/// session's world/controller (link 0 from stream_seed verbatim); run()
-/// executes the tick loop and scores every link with interference folded
-/// into its SINR.
+/// One network timeline. Construction builds every session's
+/// world/controller (link 0 from stream_seed verbatim); run() executes
+/// the tick loop and scores every link with interference folded into its
+/// SINR.
+///
+/// Resumable-step contract (PR-8): run() is now a thin wrapper over
+///   begin();  step_tick(t) for each tick;  finish(sink);
+/// and the step path is BYTE-IDENTICAL to the historical monolithic loop
+/// (pinned by tests/net). Callers that own the timeline -- the streaming
+/// service -- drive step_tick directly, join()/leave() sessions between
+/// ticks (churn), and read the per-slot tick_samples() instead of calling
+/// finish(). Slots are reused through a free list so a churning table
+/// keeps bounded memory.
 class Network {
  public:
   /// `workspace` (optional) is bound to every session's world so the
   /// per-tick scoring path is allocation-free; it must outlive run().
+  /// `populate_sessions = false` starts with an EMPTY table (streaming
+  /// mode: sessions arrive via join()).
   Network(const NetworkSpec& spec, std::uint64_t stream_seed,
-          sim::TrialWorkspace* workspace = nullptr);
+          sim::TrialWorkspace* workspace = nullptr,
+          bool populate_sessions = true);
   ~Network();
 
   Network(const Network&) = delete;
@@ -136,10 +149,55 @@ class Network {
   /// thread, deterministic).
   NetworkResult run(sim::TelemetrySink* sink = nullptr);
 
+  // --- Resumable-step interface -------------------------------------
+  /// Validate the run config and reset per-run state (sample buffers,
+  /// handover events, controller start flags). Call once before a
+  /// step_tick sequence; run() calls it for you.
+  void begin();
+  /// Advance every live session to absolute time `t_s` (advance /
+  /// score+drive / handover passes -- the exact historical sequence) and
+  /// leave each slot's scored sample in tick_samples()[slot]. Sessions
+  /// joined mid-run are evaluated at their LOCAL time t_s - birth_s.
+  void step_tick(double t_s);
+  /// Close every live session's availability ledger at the configured
+  /// duration and aggregate reports. run() == begin + ticks + finish.
+  NetworkResult finish(sim::TelemetrySink* sink = nullptr);
+
+  // --- Streaming session table --------------------------------------
+  /// Add a session between ticks. `session_id` seeds its world/placement
+  /// exactly like link `session_id` of the batch table (id 0 verbatim);
+  /// `birth_s` offsets its local timeline. Reuses a free slot when one
+  /// exists. Returns the slot index.
+  std::size_t join(std::uint64_t session_id, double birth_s);
+  /// Retire a live slot: releases its world/controller/injector and
+  /// recycles the slot for the next join (bounded memory under churn).
+  void leave(std::size_t slot);
+
+  std::size_t slot_count() const { return sessions_.size(); }
+  bool slot_live(std::size_t slot) const;
+  std::size_t live_count() const { return live_count_; }
+  /// Slot-indexed scored samples of the most recent step_tick (valid for
+  /// live slots only). Storage is stable across ticks; resized on join.
+  std::span<const core::LinkSample> tick_samples() const {
+    return tick_samples_;
+  }
+  /// Retain per-tick sample history for finish()'s summaries (default
+  /// true; the streaming service turns it off -- bounded memory).
+  void set_record_samples(bool record) { record_samples_ = record; }
+
  private:
   struct Session;
 
-  void build_session(std::size_t link);
+  void build_session(Session& s, std::uint64_t session_id);
+  void advance_pass(double t_s);
+  void scoring_pass(double t_s);
+  void handover_pass(double t_s);
+  /// Batched cross-link interference fold: per interferer (slot order),
+  /// one interferer_gain_batch_into sweep over all victims, scatter-added
+  /// into inr_accum_. Bitwise-identical to the historical per-victim
+  /// scalar fold (same addends, same order). Allocation-free once the
+  /// scratch buffers are sized.
+  void accumulate_interference(double t_s);
   void evaluate_handover(Session& s, double t_s);
   void execute_handover(Session& s, double t_s, std::size_t to_cell,
                         double rsrp_from_db, double rsrp_to_db);
@@ -149,15 +207,23 @@ class Network {
   /// Sync-beam RSRP of cell `cell` at the session's current global
   /// position [dB rel. unit gain]. Allocation-free.
   double cell_rsrp_db(const Session& s, std::size_t cell, double t_s) const;
-  /// Summed interference gain (linear) from every other transmitting
-  /// session into `victim` at time t. Allocation-free.
-  double interference_gain(const Session& victim, double t_s) const;
 
   NetworkSpec spec_;
   std::uint64_t stream_seed_ = 0;
   sim::TrialWorkspace* workspace_ = nullptr;
   std::vector<std::unique_ptr<Session>> sessions_;
+  std::vector<std::size_t> free_slots_;
+  std::size_t live_count_ = 0;
+  bool record_samples_ = true;
   std::vector<core::HandoverEvent> handover_events_;
+  /// Slot-indexed scoring state (stable storage, resized on join).
+  std::vector<core::LinkSample> tick_samples_;
+  std::vector<double> inr_accum_;
+  std::vector<double> pos_x_, pos_y_;
+  /// Per-interferer batch scratch: victim angles/distances/gains plus the
+  /// victim slot each batch entry scatter-adds into.
+  std::vector<double> batch_angles_, batch_dist_, batch_gain_;
+  std::vector<std::size_t> batch_victim_;
 };
 
 /// Register the net-layer builtins into the process-wide registries:

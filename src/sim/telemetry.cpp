@@ -44,6 +44,10 @@ void MemorySink::on_trial_failure(const TrialFailure& failure) {
   trial_failures_.push_back(failure);
 }
 
+void MemorySink::on_snapshot(const StreamSnapshot& snapshot) {
+  snapshots_.push_back(snapshot);
+}
+
 void MemorySink::on_run_end(const core::LinkSummary& summary) {
   summaries_.push_back(summary);
 }
@@ -70,6 +74,46 @@ std::string escape_json(const std::string& s) {
 
 }  // namespace
 
+void JsonLinesSink::record_written() {
+  if (flush_every_n_ == 0) return;  // never flush mid-stream
+  if (++records_since_flush_ >= flush_every_n_) {
+    // Durability contract: at most flush_every_n records lost on a kill
+    // (one, with the default policy).
+    os_.flush();
+    records_since_flush_ = 0;
+  }
+}
+
+void JsonLinesSink::on_snapshot(const StreamSnapshot& s) {
+  const auto flags = os_.flags();
+  const auto precision = os_.precision();
+  os_.precision(10);
+  os_ << "{\"snapshot\": {\"index\": " << s.index << ", \"t_s\": " << s.t_s
+      << ", \"live_sessions\": " << s.live_sessions
+      << ", \"total_joined\": " << s.total_joined
+      << ", \"total_left\": " << s.total_left
+      << ", \"window_ticks\": " << s.window_ticks
+      << ", \"total_ticks\": " << s.total_ticks
+      << ", \"session_ticks_per_s\": " << s.session_ticks_per_s
+      << ", \"window_availability\": " << s.window_availability
+      << ", \"availability\": " << s.availability
+      << ", \"outage_ticks\": " << s.outage_ticks
+      << ", \"snr_mean_db\": " << s.snr_mean_db
+      << ", \"snr_stddev_db\": " << s.snr_stddev_db
+      << ", \"snr_p50_db\": " << s.snr_p50_db
+      << ", \"snr_p99_db\": " << s.snr_p99_db
+      << ", \"snr_p999_db\": " << s.snr_p999_db
+      << ", \"tput_mean_bps\": " << s.tput_mean_bps
+      << ", \"tput_stddev_bps\": " << s.tput_stddev_bps
+      << ", \"tput_p50_bps\": " << s.tput_p50_bps
+      << ", \"tput_p99_bps\": " << s.tput_p99_bps
+      << ", \"tput_p999_bps\": " << s.tput_p999_bps
+      << ", \"dropped\": " << s.dropped << "}}\n";
+  os_.flags(flags);
+  os_.precision(precision);
+  record_written();
+}
+
 void JsonLinesSink::on_sample(const core::LinkSample& sample) {
   if (!per_tick_) return;
   const auto flags = os_.flags();
@@ -81,7 +125,7 @@ void JsonLinesSink::on_sample(const core::LinkSample& sample) {
       << "}\n";
   os_.flags(flags);
   os_.precision(precision);
-  os_.flush();  // durability contract: at most one record lost on a kill
+  record_written();
 }
 
 void JsonLinesSink::on_fault(const core::FaultEvent& event) {
@@ -94,7 +138,7 @@ void JsonLinesSink::on_fault(const core::FaultEvent& event) {
   os_ << ", \"value\": " << event.value << "}\n";
   os_.flags(flags);
   os_.precision(precision);
-  os_.flush();  // durability contract: at most one record lost on a kill
+  record_written();
 }
 
 void JsonLinesSink::on_handover(const core::HandoverEvent& event) {
@@ -109,7 +153,7 @@ void JsonLinesSink::on_handover(const core::HandoverEvent& event) {
       << ", \"rsrp_to_db\": " << event.rsrp_to_db << "}}\n";
   os_.flags(flags);
   os_.precision(precision);
-  os_.flush();  // durability contract: at most one record lost on a kill
+  record_written();
 }
 
 void JsonLinesSink::on_trial_failure(const TrialFailure& failure) {
@@ -119,13 +163,13 @@ void JsonLinesSink::on_trial_failure(const TrialFailure& failure) {
       << (failure.timed_out ? "true" : "false") << ", \"quarantined\": "
       << (failure.quarantined() ? "true" : "false") << ", \"error\": \""
       << escape_json(failure.error) << "\"}}\n";
-  os_.flush();  // durability contract: at most one record lost on a kill
+  record_written();
 }
 
 void JsonLinesSink::on_sweep(const SweepRecord& record) {
   write_sweep_json(os_, record.name, record.trials, record.timing,
                    record.labels, record.failures);
-  os_.flush();  // durability contract: at most one record lost on a kill
+  record_written();
 }
 
 void FanoutSink::add(TelemetrySink* sink) {
@@ -151,6 +195,10 @@ void FanoutSink::on_handover(const core::HandoverEvent& event) {
 
 void FanoutSink::on_trial_failure(const TrialFailure& failure) {
   for (TelemetrySink* s : sinks_) s->on_trial_failure(failure);
+}
+
+void FanoutSink::on_snapshot(const StreamSnapshot& snapshot) {
+  for (TelemetrySink* s : sinks_) s->on_snapshot(snapshot);
 }
 
 void FanoutSink::on_run_end(const core::LinkSummary& summary) {

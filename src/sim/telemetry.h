@@ -16,6 +16,7 @@
 // is deterministic and independent of the worker schedule.
 #pragma once
 
+#include <cstdint>
 #include <ostream>
 #include <string>
 #include <vector>
@@ -27,6 +28,47 @@
 namespace mmr::sim {
 
 struct RunConfig;
+
+/// One periodic snapshot of a live streaming run (sim/streaming.h), as
+/// delivered to TelemetrySink::on_snapshot: the merged shard accumulators
+/// projected to scalars at a snapshot boundary. POD by design -- snapshots
+/// queue by value through the backpressure buffer without allocating.
+struct StreamSnapshot {
+  /// Shared-timeline time of the snapshot boundary [s].
+  double t_s = 0.0;
+  /// Snapshot ordinal (0-based, monotonically increasing as emitted;
+  /// gaps appear only through `dropped`).
+  std::uint64_t index = 0;
+  /// Live sessions at the boundary and cumulative joins/leaves.
+  std::uint64_t live_sessions = 0;
+  std::uint64_t total_joined = 0;
+  std::uint64_t total_left = 0;
+  /// Session-ticks scored this window / since the run began.
+  std::uint64_t window_ticks = 0;
+  std::uint64_t total_ticks = 0;
+  /// Scored session-ticks per wall second over the window (0 when the
+  /// service runs with freeze_timing -- byte-stable output).
+  double session_ticks_per_s = 0.0;
+  /// Availability = usable / ticks (window and cumulative).
+  double window_availability = 0.0;
+  double availability = 0.0;
+  std::uint64_t outage_ticks = 0;
+  /// Cumulative SINR moments and P² quantile estimates [dB].
+  double snr_mean_db = 0.0;
+  double snr_stddev_db = 0.0;
+  double snr_p50_db = 0.0;
+  double snr_p99_db = 0.0;
+  double snr_p999_db = 0.0;
+  /// Cumulative throughput moments and P² quantile estimates [bit/s].
+  double tput_mean_bps = 0.0;
+  double tput_stddev_bps = 0.0;
+  double tput_p50_bps = 0.0;
+  double tput_p99_bps = 0.0;
+  double tput_p999_bps = 0.0;
+  /// Snapshots shed by the bounded telemetry queue so far (drop-oldest
+  /// watermark; 0 unless a sink fell behind).
+  std::uint64_t dropped = 0;
+};
 
 /// One completed sweep campaign, as delivered to TelemetrySink::on_sweep.
 struct SweepRecord {
@@ -60,6 +102,14 @@ class TelemetrySink {
   virtual void on_trial_failure(const TrialFailure& failure) {
     (void)failure;
   }
+  /// A periodic snapshot of a live streaming run (sim/streaming.h). Like
+  /// every other event, delivered from ONE thread; under the service's
+  /// async telemetry queue that thread is the drain thread, still one at
+  /// a time and in emission order (minus shed snapshots -- see
+  /// StreamSnapshot::dropped).
+  virtual void on_snapshot(const StreamSnapshot& snapshot) {
+    (void)snapshot;
+  }
   /// The active run finished with this summary.
   virtual void on_run_end(const core::LinkSummary& summary) { (void)summary; }
   /// A whole sweep campaign finished (one record per Engine::run).
@@ -79,6 +129,7 @@ class MemorySink final : public TelemetrySink {
   void on_fault(const core::FaultEvent& event) override;
   void on_handover(const core::HandoverEvent& event) override;
   void on_trial_failure(const TrialFailure& failure) override;
+  void on_snapshot(const StreamSnapshot& snapshot) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;
 
@@ -101,6 +152,8 @@ class MemorySink final : public TelemetrySink {
   const std::vector<TrialFailure>& trial_failures() const {
     return trial_failures_;
   }
+  /// Streaming snapshots in delivery order.
+  const std::vector<StreamSnapshot>& snapshots() const { return snapshots_; }
   std::size_t num_sweeps() const { return num_sweeps_; }
 
  private:
@@ -109,6 +162,7 @@ class MemorySink final : public TelemetrySink {
   std::vector<std::vector<core::HandoverEvent>> handovers_;
   std::vector<core::LinkSummary> summaries_;
   std::vector<TrialFailure> trial_failures_;
+  std::vector<StreamSnapshot> snapshots_;
   std::size_t num_sweeps_ = 0;
 };
 
@@ -120,27 +174,41 @@ class MemorySink final : public TelemetrySink {
 /// run produces none, keeping its byte stream unchanged. Trial failures
 /// appear as {"trial_failure": {...}} lines.
 ///
-/// Durability contract: the sink flushes the stream after EVERY record it
-/// writes (sample, fault, trial failure, sweep), so a process killed at
-/// an arbitrary instruction loses at most the one record being written --
-/// never previously delivered lines sitting in a stream buffer. (Flushing
+/// Durability contract: with the default `flush_every_n = 1` the sink
+/// flushes the stream after EVERY record it writes (sample, fault, trial
+/// failure, snapshot, sweep), so a process killed at an arbitrary
+/// instruction loses at most the one record being written -- never
+/// previously delivered lines sitting in a stream buffer. (Flushing
 /// pushes bytes to the OS; callers that need power-loss durability should
 /// write through common::AtomicFile or fsync the underlying file, as the
 /// bench CLI's --json-out and the CampaignJournal do.)
+///
+/// At streaming snapshot rates unconditional flushing dominates sink
+/// cost; `flush_every_n = N > 1` amortizes it to one flush per N records
+/// (at most N records lost on a kill). `flush_every_n = 0` never flushes
+/// mid-stream (the destructor-driven stream flush still applies).
+/// Campaigns keep the durable default.
 class JsonLinesSink final : public TelemetrySink {
  public:
-  explicit JsonLinesSink(std::ostream& os, bool per_tick = false)
-      : os_(os), per_tick_(per_tick) {}
+  explicit JsonLinesSink(std::ostream& os, bool per_tick = false,
+                         std::size_t flush_every_n = 1)
+      : os_(os), per_tick_(per_tick), flush_every_n_(flush_every_n) {}
 
   void on_sample(const core::LinkSample& sample) override;
   void on_fault(const core::FaultEvent& event) override;
   void on_handover(const core::HandoverEvent& event) override;
   void on_trial_failure(const TrialFailure& failure) override;
+  void on_snapshot(const StreamSnapshot& snapshot) override;
   void on_sweep(const SweepRecord& record) override;
 
  private:
+  /// One record was written: flush per the flush_every_n policy.
+  void record_written();
+
   std::ostream& os_;
   bool per_tick_ = false;
+  std::size_t flush_every_n_ = 1;
+  std::size_t records_since_flush_ = 0;
 };
 
 /// Fans every event out to several sinks in registration order (tee).
@@ -154,6 +222,7 @@ class FanoutSink final : public TelemetrySink {
   void on_fault(const core::FaultEvent& event) override;
   void on_handover(const core::HandoverEvent& event) override;
   void on_trial_failure(const TrialFailure& failure) override;
+  void on_snapshot(const StreamSnapshot& snapshot) override;
   void on_run_end(const core::LinkSummary& summary) override;
   void on_sweep(const SweepRecord& record) override;
 

@@ -3,6 +3,7 @@
 // with write_sweep_json, FanoutSink teeing, and the RunConfig contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <memory>
 #include <sstream>
@@ -145,6 +146,97 @@ TEST(Telemetry, EngineReplaysSinkEventsInTrialIndexOrder) {
       EXPECT_EQ(serial.runs()[i][k].snr_db, parallel.runs()[i][k].snr_db);
     }
   }
+}
+
+// --- Streaming snapshots and the flush_every_n policy -------------------
+
+StreamSnapshot sample_snapshot() {
+  StreamSnapshot s;
+  s.t_s = 0.25;
+  s.index = 3;
+  s.live_sessions = 42;
+  s.total_joined = 50;
+  s.total_left = 8;
+  s.window_ticks = 420;
+  s.total_ticks = 1680;
+  s.availability = 0.975;
+  s.snr_mean_db = 21.5;
+  s.tput_mean_bps = 1.5e9;
+  s.dropped = 2;
+  return s;
+}
+
+TEST(Telemetry, JsonLinesSinkEmitsOneSnapshotLine) {
+  std::ostringstream os;
+  JsonLinesSink sink(os);
+  sink.on_snapshot(sample_snapshot());
+  const std::string line = os.str();
+  EXPECT_EQ(line.rfind("{\"snapshot\": {\"index\": 3, ", 0), 0u);
+  EXPECT_EQ(line.back(), '\n');
+  EXPECT_NE(line.find("\"live_sessions\": 42"), std::string::npos);
+  EXPECT_NE(line.find("\"total_ticks\": 1680"), std::string::npos);
+  EXPECT_NE(line.find("\"availability\": 0.975"), std::string::npos);
+  EXPECT_NE(line.find("\"dropped\": 2"), std::string::npos);
+  // One line per snapshot: no embedded newlines.
+  EXPECT_EQ(std::count(line.begin(), line.end(), '\n'), 1);
+}
+
+TEST(Telemetry, MemoryAndFanoutSinksCaptureSnapshots) {
+  MemorySink a, b;
+  FanoutSink fanout;
+  fanout.add(&a);
+  fanout.add(&b);
+  fanout.on_snapshot(sample_snapshot());
+  ASSERT_EQ(a.snapshots().size(), 1u);
+  ASSERT_EQ(b.snapshots().size(), 1u);
+  EXPECT_EQ(a.snapshots()[0].index, 3u);
+  EXPECT_EQ(a.snapshots()[0].total_ticks, 1680u);
+  EXPECT_EQ(b.snapshots()[0].availability, 0.975);
+}
+
+/// ostringstream buffer that counts sync() (i.e. flush) calls.
+struct CountingBuf : std::stringbuf {
+  int syncs = 0;
+  int sync() override {
+    ++syncs;
+    return std::stringbuf::sync();
+  }
+};
+
+TEST(Telemetry, FlushEveryNAmortizesFlushesWithoutChangingBytes) {
+  const StreamSnapshot snap = sample_snapshot();
+  auto emit = [&](std::size_t flush_every_n, int* syncs) {
+    CountingBuf buf;
+    std::ostream os(&buf);
+    JsonLinesSink sink(os, /*per_tick=*/false, flush_every_n);
+    for (int i = 0; i < 10; ++i) sink.on_snapshot(snap);
+    if (syncs != nullptr) *syncs = buf.syncs;
+    return buf.str();
+  };
+
+  int durable = 0, amortized = 0, never = 0;
+  const std::string bytes_durable = emit(1, &durable);
+  const std::string bytes_amortized = emit(4, &amortized);
+  const std::string bytes_never = emit(0, &never);
+  // The policy changes WHEN bytes reach the OS, never WHICH bytes.
+  EXPECT_EQ(bytes_durable, bytes_amortized);
+  EXPECT_EQ(bytes_durable, bytes_never);
+  EXPECT_EQ(durable, 10);   // the durable default: every record
+  EXPECT_EQ(amortized, 2);  // 10 records / 4 per flush
+  EXPECT_EQ(never, 0);      // 0 = never flush mid-stream
+}
+
+TEST(Telemetry, DefaultFlushPolicyStaysPerRecordForFaultLines) {
+  // The campaign durability contract rides on the default: every record
+  // type flushes as it is written.
+  CountingBuf buf;
+  std::ostream os(&buf);
+  JsonLinesSink sink(os);
+  core::FaultEvent ev;
+  ev.t_s = 0.5;
+  sink.on_fault(ev);
+  sink.on_snapshot(sample_snapshot());
+  EXPECT_EQ(buf.syncs, 2);
 }
 
 // --- RunConfig validation ----------------------------------------------

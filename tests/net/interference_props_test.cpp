@@ -11,6 +11,7 @@
 
 #include <cmath>
 #include <complex>
+#include <span>
 #include <vector>
 
 #include "array/geometry.h"
@@ -156,6 +157,55 @@ TEST(InterferenceProps, BatchEvaluatorMatchesScalar) {
           << "case " << i << " victim " << k;
     }
   }
+}
+
+// The allocation-free batch path the network's per-tick interference
+// fold runs on. BITWISE equality -- not NEAR -- because the fold's
+// byte-identity contracts (jobs=K vs jobs=1, the single-link collapse)
+// depend on the batch producing exactly the scalar bits on every SIMD
+// backend (this binary is re-registered per backend as
+// net_forced_<backend>).
+TEST(InterferenceProps, BatchIntoIsBitwiseEqualToScalarOnEveryBackend) {
+  const Rng base(kBaseSeed + 6);
+  std::vector<double> angles, distances, out;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    Rng rng = base.fork(i);
+    const array::Ula ula = random_ula(rng);
+    const CVec w = steer(ula, rng.uniform(-kPi / 2.0, kPi / 2.0));
+    const double carrier = rng.uniform(24.0e9, 70.0e9);
+    const double coupling = rng.uniform(0.0, 15.0);
+    const std::size_t n = 1 + rng.uniform_index(24);
+    angles.resize(n);
+    distances.resize(n);
+    out.assign(n, -1.0);
+    for (std::size_t k = 0; k < n; ++k) {
+      angles[k] = rng.uniform(-kPi / 2.0, kPi / 2.0);
+      // Include the sub-1 m near-field clamp region.
+      distances[k] = rng.uniform(0.25, 300.0);
+    }
+    net::interferer_gain_batch_into(ula, w, angles, distances, carrier,
+                                    coupling, out);
+    for (std::size_t k = 0; k < n; ++k) {
+      const double scalar = net::interferer_gain(ula, w, angles[k],
+                                                 distances[k], carrier,
+                                                 coupling);
+      ASSERT_EQ(out[k], scalar) << "case " << i << " victim " << k;
+    }
+  }
+}
+
+TEST(InterferenceProps, BatchIntoValidatesSpanShapes) {
+  const array::Ula ula{8, 0.5};
+  const CVec w = steer(ula, 0.0);
+  std::vector<double> angles(3, 0.0), distances(3, 10.0), out(2, 0.0);
+  EXPECT_THROW(net::interferer_gain_batch_into(ula, w, angles, distances,
+                                               28.0e9, 0.0, out),
+               std::exception);
+  std::vector<double> short_dist(2, 10.0);
+  EXPECT_THROW(net::interferer_gain_batch_into(ula, w, angles, short_dist,
+                                               28.0e9, 0.0,
+                                               std::span<double>(angles)),
+               std::exception);
 }
 
 TEST(InterferenceProps, RejectsNegativeInrAndBadGeometry) {

@@ -313,6 +313,90 @@ TEST(Network, StateLedgerIsConservativeAcrossLinks) {
   EXPECT_NEAR(result.network.reliability, reliability, 1e-12);
 }
 
+// PR-8 resumable-step contract: driving begin / step_tick / finish by
+// hand is bit-identical to run() -- the streaming service's step path IS
+// the batch path.
+TEST(Network, ManualStepSequenceMatchesRunBitExactly) {
+  net::register_net_builtins();
+  net::NetworkSpec spec;
+  spec.num_cells = 2;
+  spec.ues_per_cell = 2;
+  spec.cell_spacing_m = 12.0;
+  spec.link_scenario = blocked_sparse_scenario(0);
+  spec.controller.name = "terragraph";
+  spec.interference.enabled = true;
+  spec.run.duration_s = 0.4;
+
+  net::Network batch(spec, 77);
+  const net::NetworkResult via_run = batch.run();
+
+  net::Network stepped(spec, 77);
+  stepped.begin();
+  const auto num_ticks =
+      static_cast<std::size_t>(spec.run.duration_s / spec.run.tick_s);
+  for (std::size_t i = 0; i < num_ticks; ++i) {
+    stepped.step_tick(static_cast<double>(i) * spec.run.tick_s);
+  }
+  const net::NetworkResult via_steps = stepped.finish();
+
+  ASSERT_EQ(via_run.links.size(), via_steps.links.size());
+  for (std::size_t i = 0; i < via_run.links.size(); ++i) {
+    expect_summaries_bit_identical(via_run.links[i].summary,
+                                   via_steps.links[i].summary);
+    EXPECT_EQ(via_run.links[i].time_up_s, via_steps.links[i].time_up_s);
+    EXPECT_EQ(via_run.links[i].handovers, via_steps.links[i].handovers);
+  }
+  expect_summaries_bit_identical(via_run.network, via_steps.network);
+  EXPECT_EQ(via_run.handovers.size(), via_steps.handovers.size());
+}
+
+// Streaming session table: join() populates an empty table with the same
+// per-id builds as the batch constructor, leave() recycles slots through
+// the free list (bounded memory under churn), and tick_samples() exposes
+// the per-slot scores.
+TEST(Network, JoinLeaveRecyclesSlotsAndMatchesBatchSessions) {
+  net::register_net_builtins();
+  net::NetworkSpec spec;
+  spec.num_cells = 1;
+  spec.ues_per_cell = 2;
+  spec.link_scenario = blocked_sparse_scenario(0);
+
+  // An empty table populated by join(id, 0) scores the same first tick
+  // as the batch table with the same ids.
+  net::Network batch(spec, 5);
+  batch.begin();
+  batch.step_tick(0.0);
+  const std::vector<core::LinkSample> batch_tick(
+      batch.tick_samples().begin(), batch.tick_samples().end());
+
+  net::Network table(spec, 5, nullptr, /*populate_sessions=*/false);
+  EXPECT_EQ(table.slot_count(), 0u);
+  table.begin();
+  EXPECT_EQ(table.join(0, 0.0), 0u);
+  EXPECT_EQ(table.join(1, 0.0), 1u);
+  EXPECT_EQ(table.live_count(), 2u);
+  table.step_tick(0.0);
+  ASSERT_EQ(table.tick_samples().size(), 2u);
+  for (std::size_t i = 0; i < 2; ++i) {
+    EXPECT_EQ(table.tick_samples()[i].snr_db, batch_tick[i].snr_db);
+    EXPECT_EQ(table.tick_samples()[i].throughput_bps,
+              batch_tick[i].throughput_bps);
+  }
+
+  // leave + join reuses the freed slot: the table never grows.
+  table.leave(0);
+  EXPECT_FALSE(table.slot_live(0));
+  EXPECT_EQ(table.live_count(), 1u);
+  EXPECT_EQ(table.join(2, spec.run.tick_s), 0u);
+  EXPECT_EQ(table.slot_count(), 2u);
+  EXPECT_EQ(table.live_count(), 2u);
+  EXPECT_TRUE(table.slot_live(0));
+  table.step_tick(spec.run.tick_s);  // the rejoined slot scores again
+  EXPECT_THROW(table.leave(5), std::exception);
+  table.leave(0);
+  EXPECT_THROW(table.leave(0), std::exception);  // already retired
+}
+
 TEST(Network, SpecValidationRejectsBadShapes) {
   net::NetworkSpec spec;
   spec.num_cells = 0;

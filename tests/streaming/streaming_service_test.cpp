@@ -1,0 +1,297 @@
+// Integration tests of the streaming service (sim/streaming.h): the
+// 1-session/1-shard collapse onto the engine's run_experiment path, the
+// jobs=K byte-identity of snapshot telemetry, bounded session tables
+// under churn, drop-oldest backpressure with the dropped-count watermark,
+// snapshot cadence, and spec validation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.h"
+#include "net/network.h"
+#include "sim/engine.h"
+#include "sim/runner.h"
+#include "sim/scenario.h"
+#include "sim/streaming.h"
+#include "sim/telemetry.h"
+#include "sim/workspace.h"
+
+namespace {
+
+using namespace mmr;
+
+sim::ScenarioSpec sparse_scenario() {
+  sim::ScenarioSpec s;
+  s.name = "indoor_sparse";
+  s.config.tx_power_dbm = 14.0;
+  s.ue_velocity = {1.0, 0.0};
+  return s;
+}
+
+sim::StreamingSpec base_spec() {
+  sim::StreamingSpec spec;
+  spec.name = "streaming_test";
+  spec.network.link_scenario = sparse_scenario();
+  spec.network.run.duration_s = 0.2;
+  spec.duration_s = 0.2;
+  spec.snapshot_every_s = 0.2;
+  spec.seed = 21;
+  return spec;
+}
+
+// The collapse contract: a 1-shard/1-session service with churn off
+// scores the exact tick sequence of the engine's run_experiment with
+// scenario seed == spec.seed (shard 0 takes the seed verbatim, session 0
+// takes the shard seed verbatim -- both conventions pinned here).
+TEST(StreamingService, SingleSessionCollapsesToEngineTrial) {
+  net::register_net_builtins();
+  sim::StreamingSpec spec = base_spec();
+  sim::MemorySink sink;
+  sim::StreamingService service(spec, &sink);
+  const sim::StreamingResult result = service.run();
+
+  sim::ScenarioSpec scenario = sparse_scenario();
+  scenario.config.seed = spec.seed;
+  sim::LinkWorld world = sim::ScenarioRegistry::instance().make(scenario);
+  sim::TrialWorkspace ws;
+  world.bind_workspace(&ws);
+  const auto controller = sim::ControllerRegistry::instance().make(
+      world, scenario.config, spec.network.controller);
+  const sim::RunResult direct =
+      sim::run_experiment(world, *controller, spec.network.run);
+
+  ASSERT_FALSE(direct.samples.empty());
+  EXPECT_EQ(result.epochs, direct.samples.size());
+  EXPECT_EQ(result.total_joined, 1u);
+  EXPECT_EQ(result.total_left, 0u);
+  EXPECT_EQ(result.live_sessions, 1u);
+
+  const sim::StreamSnapshot& snap = result.final_snapshot;
+  EXPECT_EQ(snap.total_ticks, direct.samples.size());
+  // reliability and availability are the same usable/ticks integer
+  // division: bit-identical.
+  EXPECT_EQ(snap.availability, direct.summary.reliability);
+  // Welford vs naive-sum mean: equal to reassociation accuracy.
+  EXPECT_NEAR(snap.tput_mean_bps, direct.summary.mean_throughput_bps,
+              1e-12 * (1.0 + direct.summary.mean_throughput_bps));
+  std::vector<double> snr;
+  double snr_sum = 0.0;
+  for (const core::LinkSample& s : direct.samples) {
+    snr.push_back(s.snr_db);
+    snr_sum += s.snr_db;
+  }
+  EXPECT_NEAR(snap.snr_mean_db, snr_sum / static_cast<double>(snr.size()),
+              1e-9);
+  // The P² median lands inside a rank band of the exact per-tick SNRs.
+  std::sort(snr.begin(), snr.end());
+  const auto rank = [&](double f) {
+    return snr[static_cast<std::size_t>(f * static_cast<double>(snr.size() - 1))];
+  };
+  EXPECT_GE(snap.snr_p50_db, rank(0.35) - 1e-9);
+  EXPECT_LE(snap.snr_p50_db, rank(0.65) + 1e-9);
+  // One snapshot was emitted, and it matches the returned final one.
+  ASSERT_EQ(sink.snapshots().size(), 1u);
+  EXPECT_EQ(sink.snapshots()[0].total_ticks, snap.total_ticks);
+  EXPECT_EQ(sink.snapshots()[0].availability, snap.availability);
+}
+
+std::string snapshot_bytes(std::size_t jobs) {
+  sim::StreamingSpec spec = base_spec();
+  spec.sessions = 8;
+  spec.shards = 4;
+  spec.jobs = jobs;
+  spec.duration_s = 0.05;
+  spec.network.run.duration_s = 0.05;
+  spec.snapshot_every_s = 0.0125;
+  spec.freeze_timing = true;
+  spec.network.interference.enabled = true;  // exercise the batched fold
+  std::ostringstream os;
+  sim::JsonLinesSink sink(os);
+  sim::StreamingService service(spec, &sink);
+  (void)service.run();
+  return os.str();
+}
+
+// jobs only parallelizes the per-epoch shard sweep; shard accumulators
+// fold in shard-index order on the orchestrator thread. With frozen
+// timing the snapshot JSON must be BYTE-identical across worker counts.
+TEST(StreamingService, Jobs8SnapshotBytesMatchJobs1) {
+  net::register_net_builtins();
+  const std::string serial = snapshot_bytes(1);
+  const std::string parallel = snapshot_bytes(8);
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, parallel);
+  // 20 epochs at a 5-tick cadence: exactly 4 snapshot lines, no partial.
+  EXPECT_EQ(std::count(serial.begin(), serial.end(), '\n'), 4);
+}
+
+TEST(StreamingService, RepeatedRunsAreByteStable) {
+  net::register_net_builtins();
+  EXPECT_EQ(snapshot_bytes(2), snapshot_bytes(2));
+}
+
+TEST(StreamingService, ChurnKeepsTheSessionTableBounded) {
+  net::register_net_builtins();
+  sim::StreamingSpec spec = base_spec();
+  spec.sessions = 4;
+  spec.shards = 2;
+  spec.max_sessions = 6;
+  spec.duration_s = 0.4;
+  spec.network.run.duration_s = 0.4;
+  spec.snapshot_every_s = 0.1;
+  spec.churn.arrival_rate_per_s = 300.0;
+  spec.churn.mean_lifetime_s = 0.05;
+  sim::MemorySink sink;
+  sim::StreamingService service(spec, &sink);
+  const sim::StreamingResult result = service.run();
+
+  // Sessions actually churned...
+  EXPECT_GT(result.total_joined, spec.sessions);
+  EXPECT_GT(result.total_left, 0u);
+  // ...and the live table never exceeded the cap (checked at every
+  // snapshot boundary, not just at the end).
+  EXPECT_EQ(result.total_joined - result.total_left, result.live_sessions);
+  ASSERT_FALSE(sink.snapshots().empty());
+  for (const sim::StreamSnapshot& s : sink.snapshots()) {
+    EXPECT_LE(s.live_sessions, spec.max_sessions);
+    EXPECT_EQ(s.total_joined - s.total_left, s.live_sessions);
+  }
+  EXPECT_LE(result.live_sessions, spec.max_sessions);
+}
+
+// Churn draws come from dedicated per-shard sub-streams: the whole churn
+// history is a pure function of the spec, independent of jobs.
+TEST(StreamingService, ChurnIsDeterministicAcrossJobs) {
+  net::register_net_builtins();
+  auto run_churn = [](std::size_t jobs) {
+    sim::StreamingSpec spec = base_spec();
+    spec.sessions = 4;
+    spec.shards = 2;
+    spec.max_sessions = 8;
+    spec.jobs = jobs;
+    spec.duration_s = 0.2;
+    spec.network.run.duration_s = 0.2;
+    spec.snapshot_every_s = 0.05;
+    spec.churn.arrival_rate_per_s = 200.0;
+    spec.churn.mean_lifetime_s = 0.04;
+    sim::StreamingService service(spec);
+    return service.run();
+  };
+  const sim::StreamingResult a = run_churn(1);
+  const sim::StreamingResult b = run_churn(4);
+  EXPECT_EQ(a.total_joined, b.total_joined);
+  EXPECT_EQ(a.total_left, b.total_left);
+  EXPECT_EQ(a.live_sessions, b.live_sessions);
+  EXPECT_EQ(a.final_snapshot.total_ticks, b.final_snapshot.total_ticks);
+  EXPECT_EQ(a.final_snapshot.availability, b.final_snapshot.availability);
+  EXPECT_EQ(a.final_snapshot.snr_mean_db, b.final_snapshot.snr_mean_db);
+}
+
+/// A sink that cannot keep up: sleeps on every snapshot and records what
+/// it actually received.
+class SlowSink final : public sim::TelemetrySink {
+ public:
+  void on_snapshot(const sim::StreamSnapshot& snapshot) override {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    received_.push_back(snapshot);
+  }
+  const std::vector<sim::StreamSnapshot>& received() const {
+    return received_;
+  }
+
+ private:
+  std::vector<sim::StreamSnapshot> received_;
+};
+
+TEST(StreamingService, BackpressureShedsOldestAndWatermarksTheDrops) {
+  net::register_net_builtins();
+  sim::StreamingSpec spec = base_spec();
+  spec.duration_s = 0.25;
+  spec.network.run.duration_s = 0.25;
+  spec.snapshot_every_s = spec.network.run.tick_s;  // one per epoch
+  spec.async_snapshots = true;
+  spec.queue_capacity = 2;
+  SlowSink sink;
+  sim::StreamingService service(spec, &sink);
+  const sim::StreamingResult result = service.run();
+
+  ASSERT_GT(result.snapshots_emitted, 10u);
+  // The sink fell behind: snapshots were shed, never blocking the run.
+  EXPECT_GT(result.snapshots_dropped, 0u);
+  EXPECT_EQ(sink.received().size() + result.snapshots_dropped,
+            result.snapshots_emitted);
+  // Delivery preserves emission order (oldest-first shedding only makes
+  // index gaps, never reordering), and the final snapshot -- the newest
+  // push -- always survives, carrying a positive dropped watermark.
+  const auto& got = sink.received();
+  ASSERT_FALSE(got.empty());
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(got[i - 1].index, got[i].index);
+  }
+  EXPECT_EQ(got.back().index, result.snapshots_emitted - 1);
+  EXPECT_GT(got.back().dropped, 0u);
+  EXPECT_LE(got.back().dropped, result.snapshots_dropped);
+}
+
+TEST(StreamingService, SnapshotCadenceAndPartialFinalWindow) {
+  net::register_net_builtins();
+  sim::StreamingSpec spec = base_spec();
+  spec.duration_s = 0.1;  // 40 ticks
+  spec.network.run.duration_s = 0.1;
+  spec.snapshot_every_s = 0.0075;  // every 3 ticks -> 13 full + 1 partial
+  sim::MemorySink sink;
+  sim::StreamingService service(spec, &sink);
+  const sim::StreamingResult result = service.run();
+
+  EXPECT_EQ(result.epochs, 40u);
+  ASSERT_EQ(result.snapshots_emitted, 14u);
+  ASSERT_EQ(sink.snapshots().size(), 14u);
+  std::uint64_t window_sum = 0;
+  for (std::size_t i = 0; i < sink.snapshots().size(); ++i) {
+    const sim::StreamSnapshot& s = sink.snapshots()[i];
+    EXPECT_EQ(s.index, i);
+    EXPECT_EQ(s.window_ticks, i + 1 < sink.snapshots().size() ? 3u : 1u);
+    window_sum += s.window_ticks;
+    if (i > 0) EXPECT_GT(s.t_s, sink.snapshots()[i - 1].t_s);
+  }
+  EXPECT_EQ(window_sum, result.final_snapshot.total_ticks);
+  EXPECT_EQ(result.final_snapshot.total_ticks, 40u);
+}
+
+TEST(StreamingService, ValidatesTheSpec) {
+  net::register_net_builtins();
+  {
+    sim::StreamingSpec spec = base_spec();
+    spec.seed = 0;
+    EXPECT_THROW(sim::StreamingService service(spec), std::logic_error);
+  }
+  {
+    sim::StreamingSpec spec = base_spec();
+    spec.shards = 0;
+    EXPECT_THROW(sim::StreamingService service(spec), std::logic_error);
+  }
+  {
+    sim::StreamingSpec spec = base_spec();
+    spec.snapshot_every_s = spec.network.run.tick_s / 2.0;
+    EXPECT_THROW(sim::StreamingService service(spec), std::logic_error);
+  }
+  {
+    sim::StreamingSpec spec = base_spec();
+    spec.churn.arrival_rate_per_s = -1.0;
+    EXPECT_THROW(sim::StreamingService service(spec), std::logic_error);
+  }
+  {
+    sim::StreamingSpec spec = base_spec();
+    spec.duration_s = 0.0;
+    EXPECT_THROW(sim::StreamingService service(spec), std::logic_error);
+  }
+}
+
+}  // namespace

@@ -1,0 +1,234 @@
+// Property suite for the P² streaming quantile estimator and the
+// mergeable-shard contract (common/streaming_stats.h), >= 1000 Rng::fork
+// cases per property:
+//   * the P² estimate lands inside a rank band around the exact sorted
+//     quantile for uniform, lognormal, and bimodal streams;
+//   * the far tail (p999) stays inside its band on large streams;
+//   * shard-merged estimators stay inside the band under arbitrary shard
+//     counts, and merging is deterministic (same operands -> same bits);
+//   * different merge GROUPINGS agree: exactly for the integer counters,
+//     to fp-reassociation accuracy for the moments, and within the rank
+//     band for P² (its merge is approximate, so bit-level associativity
+//     is not claimed -- bounded error under any grouping is).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstddef>
+#include <vector>
+
+#include "common/rng.h"
+#include "common/streaming_stats.h"
+
+namespace {
+
+using namespace mmr;
+
+constexpr std::size_t kCases = 1050;
+constexpr std::uint64_t kBaseSeed = 0x509A1;
+
+/// Draw one observation of distribution family `family` (0 = uniform,
+/// 1 = lognormal, 2 = bimodal Gaussian mixture).
+double draw(Rng& rng, int family) {
+  switch (family) {
+    case 0:
+      return rng.uniform(-25.0, 75.0);
+    case 1:
+      return std::exp(rng.normal(0.0, 1.0));
+    default:
+      return rng.bernoulli(0.5) ? rng.normal(-10.0, 1.0)
+                                : rng.normal(10.0, 1.0);
+  }
+}
+
+/// Exact quantile of a SORTED sample at fraction f, linear interpolation
+/// (the same h = f * (n - 1) convention the exact small-n P² path uses).
+double exact_at(const std::vector<double>& sorted, double f) {
+  f = std::clamp(f, 0.0, 1.0);
+  const double h = f * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+  return sorted[lo] + (h - static_cast<double>(lo)) * (sorted[hi] - sorted[lo]);
+}
+
+/// Assert `estimate` lies inside the value band the rank band
+/// [p - band, p + band] maps to under the exact sample CDF.
+void expect_in_rank_band(double estimate, const std::vector<double>& sorted,
+                         double p, double band, const char* what,
+                         std::size_t c) {
+  const double lo = exact_at(sorted, p - band);
+  const double hi = exact_at(sorted, p + band);
+  const double tol = 1e-9 * (1.0 + std::abs(lo) + std::abs(hi));
+  ASSERT_GE(estimate, lo - tol) << what << " case " << c << " p " << p;
+  ASSERT_LE(estimate, hi + tol) << what << " case " << c << " p " << p;
+}
+
+TEST(StreamingStatsProps, P2MatchesExactSortedQuantiles) {
+  const Rng base(kBaseSeed);
+  for (std::size_t c = 0; c < kCases; ++c) {
+    Rng rng = base.fork(c);
+    const int family = static_cast<int>(c % 3);
+    const std::size_t n = 500 + rng.uniform_index(2000);
+    P2Quantile p50(0.5), p99(0.99);
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = draw(rng, family);
+      samples.push_back(x);
+      p50.add(x);
+      p99.add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    expect_in_rank_band(p50.quantile(), samples, 0.5, 0.05, "p50", c);
+    expect_in_rank_band(p99.quantile(), samples, 0.99, 0.02, "p99", c);
+    ASSERT_EQ(p50.min(), samples.front()) << "case " << c;
+    ASSERT_EQ(p50.max(), samples.back()) << "case " << c;
+  }
+}
+
+TEST(StreamingStatsProps, P2FarTailStaysInBandOnLargeStreams) {
+  const Rng base(kBaseSeed + 1);
+  for (std::size_t c = 0; c < 48; ++c) {
+    Rng rng = base.fork(c);
+    const int family = static_cast<int>(c % 3);
+    const std::size_t n = 20000;
+    P2Quantile p999(0.999);
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = draw(rng, family);
+      samples.push_back(x);
+      p999.add(x);
+    }
+    std::sort(samples.begin(), samples.end());
+    expect_in_rank_band(p999.quantile(), samples, 0.999, 0.004, "p999", c);
+  }
+}
+
+TEST(StreamingStatsProps, ShardMergedP2StaysInRankBand) {
+  const Rng base(kBaseSeed + 2);
+  for (std::size_t c = 0; c < kCases; ++c) {
+    Rng rng = base.fork(c);
+    const int family = static_cast<int>(c % 3);
+    const std::size_t shards = 2 + rng.uniform_index(7);
+    const std::size_t n = 1000 + rng.uniform_index(2000);
+    std::vector<P2Quantile> shard_q(shards, P2Quantile(0.5));
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = draw(rng, family);
+      samples.push_back(x);
+      shard_q[i % shards].add(x);
+    }
+    // Fold in shard-index order, exactly as the streaming service does.
+    P2Quantile merged(0.5);
+    for (const P2Quantile& q : shard_q) merged.merge_from(q);
+    ASSERT_EQ(merged.count(), n) << "case " << c;
+    std::sort(samples.begin(), samples.end());
+    // The merge is approximate on top of the P² approximation: allow a
+    // wider band than the unsharded property above.
+    expect_in_rank_band(merged.quantile(), samples, 0.5, 0.10, "merged p50",
+                        c);
+    ASSERT_EQ(merged.min(), samples.front()) << "case " << c;
+    ASSERT_EQ(merged.max(), samples.back()) << "case " << c;
+  }
+}
+
+TEST(StreamingStatsProps, P2MergeIsDeterministic) {
+  // Same operand states, same fold order -> bit-identical results. This
+  // is the property that makes jobs=K snapshots byte-identical to jobs=1
+  // (the service always folds shards in index order).
+  const Rng base(kBaseSeed + 3);
+  for (std::size_t c = 0; c < kCases; ++c) {
+    Rng rng = base.fork(c);
+    const std::size_t shards = 2 + rng.uniform_index(5);
+    std::vector<P2Quantile> shard_q(shards, P2Quantile(0.99));
+    const std::size_t n = 200 + rng.uniform_index(800);
+    for (std::size_t i = 0; i < n; ++i) {
+      shard_q[i % shards].add(draw(rng, static_cast<int>(c % 3)));
+    }
+    P2Quantile a(0.99), b(0.99);
+    for (const P2Quantile& q : shard_q) a.merge_from(q);
+    for (const P2Quantile& q : shard_q) b.merge_from(q);
+    ASSERT_EQ(a.quantile(), b.quantile()) << "case " << c;
+    ASSERT_EQ(a.count(), b.count()) << "case " << c;
+    ASSERT_EQ(a.min(), b.min()) << "case " << c;
+    ASSERT_EQ(a.max(), b.max()) << "case " << c;
+  }
+}
+
+TEST(StreamingStatsProps, P2GroupedMergesAgreeWithinTheBand) {
+  // Associativity in the bounded-error sense: sequential fold vs pairwise
+  // tree fold both land in the rank band (bit-level associativity is not
+  // claimed for the approximate quantile merge).
+  const Rng base(kBaseSeed + 4);
+  for (std::size_t c = 0; c < 260; ++c) {
+    Rng rng = base.fork(c);
+    const int family = static_cast<int>(c % 3);
+    std::vector<P2Quantile> shard_q(4, P2Quantile(0.5));
+    const std::size_t n = 2000;
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = draw(rng, family);
+      samples.push_back(x);
+      shard_q[i % 4].add(x);
+    }
+    P2Quantile seq(0.5);
+    for (const P2Quantile& q : shard_q) seq.merge_from(q);
+    P2Quantile left = shard_q[0], right = shard_q[2];
+    left.merge_from(shard_q[1]);
+    right.merge_from(shard_q[3]);
+    left.merge_from(right);
+    ASSERT_EQ(seq.count(), left.count()) << "case " << c;
+    std::sort(samples.begin(), samples.end());
+    expect_in_rank_band(seq.quantile(), samples, 0.5, 0.10, "seq", c);
+    expect_in_rank_band(left.quantile(), samples, 0.5, 0.10, "tree", c);
+  }
+}
+
+TEST(StreamingStatsProps, MomentsAndCountersMergeUnderAnyGrouping) {
+  const Rng base(kBaseSeed + 5);
+  for (std::size_t c = 0; c < kCases; ++c) {
+    Rng rng = base.fork(c);
+    std::vector<StreamingMoments> m(4);
+    std::vector<AvailabilityCounter> a(4);
+    const std::size_t n = 400 + rng.uniform_index(400);
+    for (std::size_t i = 0; i < n; ++i) {
+      const double x = draw(rng, static_cast<int>(c % 3));
+      m[i % 4].add(x);
+      a[i % 4].add(rng.bernoulli(0.9), rng.bernoulli(0.8));
+    }
+    StreamingMoments m_seq;
+    AvailabilityCounter a_seq;
+    for (std::size_t k = 0; k < 4; ++k) {
+      m_seq.merge_from(m[k]);
+      a_seq.merge_from(a[k]);
+    }
+    StreamingMoments m_left = m[0], m_right = m[2];
+    m_left.merge_from(m[1]);
+    m_right.merge_from(m[3]);
+    m_left.merge_from(m_right);
+    AvailabilityCounter a_left = a[0], a_right = a[2];
+    a_left.merge_from(a[1]);
+    a_right.merge_from(a[3]);
+    a_left.merge_from(a_right);
+
+    // Counter merges are exact integer additions: associative in bits.
+    ASSERT_EQ(a_seq.ticks(), a_left.ticks()) << "case " << c;
+    ASSERT_EQ(a_seq.usable(), a_left.usable()) << "case " << c;
+    ASSERT_EQ(a_seq.outage(), a_left.outage()) << "case " << c;
+    // Moments: counts and extremes exact, mean/variance to reassociation.
+    ASSERT_EQ(m_seq.count(), m_left.count()) << "case " << c;
+    ASSERT_EQ(m_seq.min(), m_left.min()) << "case " << c;
+    ASSERT_EQ(m_seq.max(), m_left.max()) << "case " << c;
+    ASSERT_NEAR(m_seq.mean(), m_left.mean(),
+                1e-11 * (1.0 + std::abs(m_seq.mean())))
+        << "case " << c;
+    ASSERT_NEAR(m_seq.variance(), m_left.variance(),
+                1e-8 * (1.0 + m_seq.variance()))
+        << "case " << c;
+  }
+}
+
+}  // namespace
