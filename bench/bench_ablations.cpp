@@ -148,6 +148,11 @@ int main(int argc, char** argv) {
       return ctrls[ctx.index];
     };
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     Table t({"controller", "reliability", "mean tput (Mbps)"});
     for (std::size_t i = 0; i < ctrls.size(); ++i) {
       t.add_row({ctrls[i], Table::num(res.trials[i].value.reliability, 3),

@@ -128,6 +128,14 @@ int main(int argc, char** argv) {
     };
     const auto res = bench::run_campaign(spec, opts);
 
+    // Distributed roles still sweep EVERY preset campaign (each has its
+    // own journal) but skip the sample-dependent tables.
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      continue;
+    }
+
     std::printf("--- preset: %s ---\n", preset.c_str());
     Table t({"scheme", "mean SNR (dB)", "reliability", "fault events"});
     for (std::size_t s = 0; s < kSchemes.size(); ++s) {

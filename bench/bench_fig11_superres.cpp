@@ -106,6 +106,11 @@ int main(int argc, char** argv) {
     spec.trials = opts.trials > 0 ? opts.trials : 3;
     spec.seed = opts.seed > 0 ? opts.seed : 5;
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     std::printf("%zu rooms: median reliability %.3f, median throughput "
                 "%.0f Mbps\n", spec.trials,
                 res.aggregate.median_reliability,

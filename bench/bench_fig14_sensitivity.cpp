@@ -78,6 +78,11 @@ int main(int argc, char** argv) {
       return std::to_string(static_cast<int>(powers_dbm[ctx.index])) + "dBm";
     };
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     for (std::size_t i = 0; i < powers_dbm.size(); ++i) {
       std::printf("%5.0f dBm: reliability %.3f, mean throughput %.0f Mbps\n",
                   powers_dbm[i], res.trials[i].value.reliability,

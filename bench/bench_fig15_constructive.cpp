@@ -157,6 +157,11 @@ int main(int argc, char** argv) {
     spec.trials = opts.trials > 0 ? opts.trials : 8;
     spec.seed = opts.seed > 0 ? opts.seed : 7;
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     std::printf("%zu rooms: median throughput %.0f Mbps, median reliability "
                 "%.3f (sweep %.2f s wall, %.2fx speedup with %zu jobs)\n",
                 spec.trials, res.aggregate.median_throughput_bps / 1e6,

@@ -89,6 +89,12 @@ int main(int argc, char** argv) {
            std::to_string(ctx.index % reps);
   };
   const auto res = bench::run_campaign(spec, opts);
+  // Shard workers / the merger have no per-tick samples to tabulate.
+  if (bench::distributed_mode(opts)) {
+    bench::emit_distributed(opts, spec.name, res);
+    bench::emit_json(spec.name, res);
+    return 0;
+  }
 
   const Trace tr_multi = trace_of(res.samples[0]);
   const Trace tr_single = trace_of(res.samples[reps]);

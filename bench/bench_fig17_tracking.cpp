@@ -171,6 +171,11 @@ int main(int argc, char** argv) {
       return std::string(variants[ctx.index].name);
     };
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
 
     Table t({"scheme", "mean tput (Mbps)", "min tput (Mbps)",
              "end-of-run tput (Mbps)"});

@@ -77,20 +77,28 @@ int main(int argc, char** argv) {
     };
     const auto res = bench::run_campaign(spec, opts);
 
-    Table t({"scheme", "0 blockers (Mbps)", "1 blocker (Mbps)",
-             "2 blockers (Mbps)", "drop w/ 2 (%)"});
-    for (std::size_t s = 0; s < all.size(); ++s) {
-      RVec tput;
-      for (int nb = 0; nb <= 2; ++nb) {
-        tput.push_back(res.trials[s * 3 + nb].value.mean_throughput_bps / 1e6);
+    // A shard worker / merger runs BOTH campaigns (each has its own
+    // journal) but skips the per-scheme tables: a shard's non-owned
+    // slots hold default summaries.
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+    } else {
+      Table t({"scheme", "0 blockers (Mbps)", "1 blocker (Mbps)",
+               "2 blockers (Mbps)", "drop w/ 2 (%)"});
+      for (std::size_t s = 0; s < all.size(); ++s) {
+        RVec tput;
+        for (int nb = 0; nb <= 2; ++nb) {
+          tput.push_back(res.trials[s * 3 + nb].value.mean_throughput_bps /
+                         1e6);
+        }
+        t.add_row({all[s].name, Table::num(tput[0], 0),
+                   Table::num(tput[1], 0), Table::num(tput[2], 0),
+                   Table::num(100.0 * (1.0 - tput[2] / tput[0]), 1)});
       }
-      t.add_row({all[s].name, Table::num(tput[0], 0), Table::num(tput[1], 0),
-                 Table::num(tput[2], 0),
-                 Table::num(100.0 * (1.0 - tput[2] / tput[0]), 1)});
+      t.print(std::cout);
+      std::printf("paper shape: mmReliable loses only a few %% with two "
+                  "blockers; single-beam baselines lose far more.\n");
     }
-    t.print(std::cout);
-    std::printf("paper shape: mmReliable loses only a few %% with two "
-                "blockers; single-beam baselines lose far more.\n");
     bench::emit_json(spec.name, res);
   }
 
@@ -139,6 +147,11 @@ int main(int argc, char** argv) {
     };
     const auto res = bench::run_campaign(spec, opts);
 
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     Table t({"scheme", "reliability p25", "median", "p75",
              "mean tput (Mbps)", "T x R product (Mbps)"});
     double mmr_trp = 0.0, reactive_trp = 0.0;

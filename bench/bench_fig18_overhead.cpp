@@ -71,6 +71,11 @@ int main(int argc, char** argv) {
       return std::to_string(ctx.index == 0 ? 2 : 3) + "-beam";
     };
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     for (std::size_t i = 0; i < res.trials.size(); ++i) {
       std::printf("%zu-beam: reliability %.3f, mean throughput %.0f Mbps\n",
                   i + 2, res.trials[i].value.reliability,

@@ -65,6 +65,11 @@ int main(int argc, char** argv) {
     return std::string(ctx.index == 0 ? "natural" : "irs_60db");
   };
   const auto res = bench::run_campaign(spec, opts);
+  if (bench::distributed_mode(opts)) {
+    bench::emit_distributed(opts, spec.name, res);
+    bench::emit_json(spec.name, res);
+    return 0;
+  }
 
   Table t({"deployment", "reliability", "mean tput (Mbps)",
            "min SNR during blockage (dB)"});

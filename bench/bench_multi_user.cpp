@@ -89,6 +89,11 @@ int main(int argc, char** argv) {
       return ctrls[ctx.index];
     };
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     for (std::size_t i = 0; i < ctrls.size(); ++i) {
       std::printf("%12s: reliability %.3f, mean throughput %.0f Mbps\n",
                   ctrls[i].c_str(), res.trials[i].value.reliability,

@@ -110,6 +110,14 @@ int main(int argc, char** argv) {
       argc, argv, extra,
       "          [--cells N] [--ues-per-cell N] [--cell-spacing-m X]\n"
       "          [--network-json-out FILE]");
+  if (bench::distributed_mode(opts) || !opts.shard_queue.empty()) {
+    std::fprintf(stderr,
+                 "%s: --shard/--shard-queue/--merge apply only to "
+                 "trial-campaign benches; the network campaign has no "
+                 "journal to shard\n",
+                 argv[0]);
+    return 2;
+  }
   const std::size_t trials = opts.trials > 0 ? opts.trials : 10;
   const std::uint64_t seed = opts.seed > 0 ? opts.seed : 21;
   const std::vector<std::string> schemes =

@@ -98,6 +98,11 @@ int main(int argc, char** argv) {
       return ctrls[ctx.index];
     };
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     for (std::size_t i = 0; i < ctrls.size(); ++i) {
       std::printf("%14s: spectral efficiency %.2f bit/s/Hz, "
                   "mean throughput %.0f Mbps\n",

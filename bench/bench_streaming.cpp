@@ -194,6 +194,15 @@ int main(int argc, char** argv) {
       "          [--max-sessions N] [--tick-s X] [--cells N]\n"
       "          [--ues-per-cell N] [--interference 0|1] "
       "[--flush-every-n N]");
+  if (bench::distributed_mode(opts) || !opts.shard_queue.empty()) {
+    std::fprintf(stderr,
+                 "%s: --shard/--shard-queue/--merge apply only to "
+                 "trial-campaign benches; the streaming service has no "
+                 "journal to shard (--shards here sizes the session "
+                 "table)\n",
+                 argv[0]);
+    return 2;
+  }
 
   sim::StreamingSpec spec;
   spec.name = "streaming";

@@ -166,6 +166,11 @@ int main(int argc, char** argv) {
       return std::string(ctx.index == 0 ? "static" : "rotating_45dps");
     };
     const auto res = bench::run_campaign(spec, opts);
+    if (bench::distributed_mode(opts)) {
+      bench::emit_distributed(opts, spec.name, res);
+      bench::emit_json(spec.name, res);
+      return 0;
+    }
     for (std::size_t i = 0; i < res.trials.size(); ++i) {
       std::printf("%16s: reliability %.3f, mean throughput %.0f Mbps\n",
                   i == 0 ? "static UE" : "45 deg/s rotation",

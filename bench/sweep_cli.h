@@ -45,6 +45,36 @@
 //   --freeze-timing    zero all wall/cpu timing fields in the JSON record
 //                      so output is a pure function of (spec, seed) --
 //                      for byte-diffing runs (crash/resume tests, CI).
+//   --shard I/N        distributed campaigns: this process runs only the
+//                      trials shard I of N owns (strided: index % N == I)
+//                      and checkpoints them into
+//                      BASE.<campaign>.shard-I-of-N.journal. Requires
+//                      --resume BASE (the shard journal IS the worker's
+//                      output). Trial randomness derives purely from
+//                      (seed, index), so shard trials are bit-identical
+//                      to the 1-process run's.
+//   --shard-queue DIR  claim a shard from the file-based work queue under
+//                      DIR instead of naming it: `--shards N` (first
+//                      caller wins the init) offers tickets shard-0-of-N
+//                      .. shard-(N-1)-of-N; each worker atomically claims
+//                      the lowest free one (claim-by-rename). An empty
+//                      queue prints a note and exits 0, so a fleet loop
+//                      can simply spawn more workers than shards.
+//                      Requires --resume; mutually exclusive with
+//                      --shard.
+//   --merge BASE       merge the shard journals written under --resume
+//                      BASE back into the unsharded journal
+//                      BASE.<campaign>.journal (validating that every
+//                      shard belongs to this campaign and the shard set
+//                      is disjoint and covering -- violations exit(2)
+//                      naming the offending field), then replay it
+//                      through the engine: completed trials restore
+//                      bit-exactly, missing ones (crashed before
+//                      checkpoint, or quarantined -- quarantine is never
+//                      journaled) re-run live. With --freeze-timing the
+//                      merged JSON is byte-identical to the 1-process
+//                      run. Mutually exclusive with --shard/--shard-queue
+//                      and --resume.
 //   --list             print the registered scenario/controller names and
 //                      the fault presets, then exit.
 // and ends its report with one JSON line (sweep timing, per-trial
@@ -64,8 +94,10 @@
 #include <functional>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "common/atomic_file.h"
 #include "common/parse.h"
@@ -73,6 +105,7 @@
 #include "sim/engine.h"
 #include "sim/faults.h"
 #include "sim/journal.h"
+#include "sim/shard.h"
 #include "sim/telemetry.h"
 
 namespace mmr::bench {
@@ -90,7 +123,18 @@ struct SweepCliOptions {
   std::size_t trial_retries = 0;
   double trial_timeout_s = 0.0;  ///< 0 = watchdog off
   bool freeze_timing = false;
+  sim::ShardPlan shard;     ///< --shard I/N (or claimed from the queue)
+  std::string shard_queue;  ///< --shard-queue DIR; empty = no queue
+  std::size_t shards = 0;   ///< --shards N: init the queue (0 = no init)
+  std::string merge;        ///< --merge BASE; empty = no merge
 };
+
+/// True when this invocation is a distributed worker or merger: benches
+/// must skip sample-dependent figure reporting (record_samples is forced
+/// off) and report via emit_distributed()/emit_json() instead.
+inline bool distributed_mode(const SweepCliOptions& opts) {
+  return opts.shard.enabled() || !opts.merge.empty();
+}
 
 namespace detail {
 
@@ -198,6 +242,18 @@ inline std::string journal_path(const std::string& base,
   return base + "." + safe + ".journal";
 }
 
+/// A shard worker's journal: the unsharded path with the shard spec
+/// infixed (BASE.<campaign>.shard-I-of-N.journal), which is exactly what
+/// discover_shard_journals() scans for at merge time.
+inline std::string shard_journal_path(const std::string& base,
+                                      const std::string& campaign,
+                                      const sim::ShardPlan& plan) {
+  std::string path = journal_path(base, campaign);
+  const std::string suffix = ".journal";
+  path.resize(path.size() - suffix.size());
+  return path + "." + plan.suffix() + suffix;
+}
+
 }  // namespace detail
 
 /// Hook for bench-specific flags layered onto the shared parser: called
@@ -221,6 +277,12 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
     return nullptr;
   };
   for (int i = 1; i < argc; ++i) {
+    // Bench-specific flags win over sweep-wide ones so a bench that
+    // already owns a spelling (bench_streaming's --shards counts
+    // StreamingSpec shards) keeps its meaning.
+    if (extra && extra(i, argc, argv)) {
+      continue;
+    }
     if (std::strcmp(argv[i], "--list") == 0) {
       detail::print_registries();
       std::exit(0);
@@ -260,8 +322,38 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
       // Validated AND applied eagerly: the backend switch is process
       // global and must land before any sweep warms kernel caches.
       detail::apply_kernel_backend(opts.kernel_backend, argv[0]);
-    } else if (extra && extra(i, argc, argv)) {
-      // Bench-specific flag, consumed by the hook.
+    } else if (const char* v12 = value_of(i, "--shard-queue")) {
+      opts.shard_queue = v12;
+      if (opts.shard_queue.empty()) {
+        std::fprintf(stderr, "%s: --shard-queue needs a directory\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (const char* v13 = value_of(i, "--shards")) {
+      opts.shards = detail::require_size("--shards", v13, argv[0]);
+      if (opts.shards == 0) {
+        std::fprintf(stderr, "%s: --shards needs at least 1 shard\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (const char* v14 = value_of(i, "--shard")) {
+      const std::optional<sim::ShardPlan> plan =
+          sim::ShardPlan::parse(v14 != nullptr ? v14 : "");
+      if (!plan.has_value()) {
+        std::fprintf(stderr,
+                     "%s: invalid value for --shard: '%s' (expected I/N "
+                     "with base-10 I < N, e.g. 0/3)\n",
+                     argv[0], v14 != nullptr ? v14 : "");
+        std::exit(2);
+      }
+      opts.shard = *plan;
+    } else if (const char* v15 = value_of(i, "--merge")) {
+      opts.merge = v15;
+      if (opts.merge.empty()) {
+        std::fprintf(stderr, "%s: --merge needs a journal base path\n",
+                     argv[0]);
+        std::exit(2);
+      }
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--trials N] [--seed S]\n"
@@ -270,10 +362,68 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
                    "          [--json-out FILE]\n"
                    "          [--resume BASE] [--trial-retries N]\n"
                    "          [--trial-timeout-s X] [--freeze-timing]\n"
+                   "          [--shard I/N | --shard-queue DIR "
+                   "[--shards N]]\n"
+                   "          [--merge BASE]\n"
                    "          [--list]%s%s\n"
                    "unknown argument: %s\n",
                    argv[0], extra_usage != nullptr ? "\n" : "",
                    extra_usage != nullptr ? extra_usage : "", argv[i]);
+      std::exit(2);
+    }
+  }
+  // Distributed-flag constraints: one role per invocation.
+  if (opts.shard.enabled() && !opts.shard_queue.empty()) {
+    std::fprintf(stderr,
+                 "%s: --shard and --shard-queue are mutually exclusive "
+                 "(name the shard or claim it from the queue, not both)\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  if (opts.shards > 0 && opts.shard_queue.empty()) {
+    std::fprintf(stderr, "%s: --shards requires --shard-queue DIR\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  if (!opts.merge.empty() &&
+      (opts.shard.enabled() || !opts.shard_queue.empty() ||
+       !opts.resume.empty())) {
+    std::fprintf(stderr,
+                 "%s: --merge is a standalone role; it cannot be combined "
+                 "with --shard, --shard-queue, or --resume\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  if ((opts.shard.enabled() || !opts.shard_queue.empty()) &&
+      opts.resume.empty()) {
+    std::fprintf(stderr,
+                 "%s: --shard/--shard-queue require --resume BASE (the "
+                 "shard journal is the worker's output)\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  // Claim a shard from the queue (once per process: every campaign this
+  // bench runs uses the same claimed shard).
+  if (!opts.shard_queue.empty()) {
+    try {
+      if (opts.shards > 0) {
+        sim::ShardQueue::init(opts.shard_queue, opts.shards);
+      }
+      const std::optional<sim::ShardPlan> claimed =
+          sim::ShardQueue::claim(opts.shard_queue);
+      if (!claimed.has_value()) {
+        std::fprintf(stderr,
+                     "%s: shard queue '%s' has no unclaimed shards; "
+                     "nothing to do\n",
+                     argv[0], opts.shard_queue.c_str());
+        std::exit(0);
+      }
+      opts.shard = *claimed;
+      std::fprintf(stderr, "%s: claimed %s from '%s'\n", argv[0],
+                   opts.shard.suffix().c_str(), opts.shard_queue.c_str());
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: shard queue error: %s\n", argv[0],
+                   e.what());
       std::exit(2);
     }
   }
@@ -308,6 +458,18 @@ inline void apply_cli(const SweepCliOptions& opts, sim::ExperimentSpec& spec) {
 /// each newly completed trial. A journal from a different campaign
 /// exits(2); campaigns that record per-tick samples cannot resume and
 /// exit(2) with an explanation.
+///
+/// --shard I/N: like --resume, but into the shard's own journal
+/// (BASE.<campaign>.shard-I-of-N.journal) and running only the owned
+/// trials. record_samples is forced off (per-tick samples cannot be
+/// journaled; the JSON record never contained them, so its bytes are
+/// unchanged).
+///
+/// --merge BASE: discover + validate the campaign's shard journals, write
+/// the merged unsharded journal, then replay it through the engine --
+/// journaled trials restore bit-exactly, missing ones re-run live under
+/// the same retry/timeout flags (deterministic failures re-quarantine
+/// identically). Invalid shard sets exit(2) naming the offending field.
 inline sim::EngineResult run_campaign(sim::ExperimentSpec spec,
                                       const SweepCliOptions& opts) {
   apply_cli(opts, spec);
@@ -315,8 +477,46 @@ inline sim::EngineResult run_campaign(sim::ExperimentSpec spec,
   eng_opts.trial_retries = opts.trial_retries;
   eng_opts.trial_timeout_s = opts.trial_timeout_s;
   eng_opts.freeze_timing = opts.freeze_timing;
+  // Distributed roles journal every trial, and journals cannot replay
+  // per-tick samples. Dropping them does not change the JSON record
+  // (JsonLinesSink only reads samples in per-tick mode), so the merged
+  // output stays byte-identical to the 1-process run. Forced BEFORE
+  // campaign_key: record_samples is fingerprinted, and worker and merger
+  // must agree on it.
+  if (distributed_mode(opts)) spec.record_samples = false;
   std::unique_ptr<sim::CampaignJournal> journal;
-  if (!opts.resume.empty()) {
+  if (!opts.merge.empty()) {
+    const std::string merged = detail::journal_path(opts.merge, spec.name);
+    const std::vector<std::string> shard_paths =
+        sim::discover_shard_journals(merged);
+    if (shard_paths.empty()) {
+      std::fprintf(stderr,
+                   "no shard journals found for campaign '%s' under base "
+                   "'%s' (expected %s)\n",
+                   spec.name.c_str(), opts.merge.c_str(),
+                   detail::shard_journal_path(opts.merge, spec.name,
+                                              sim::ShardPlan{0, 1})
+                       .c_str());
+      std::exit(2);
+    }
+    try {
+      const sim::MergeStats stats =
+          sim::merge_journals(shard_paths, merged, sim::campaign_key(spec));
+      std::fprintf(stderr,
+                   "merged %zu shard journals for campaign '%s': %zu "
+                   "trials checkpointed, %zu to re-run\n",
+                   stats.shard_count, spec.name.c_str(),
+                   stats.merged_trials, stats.missing_trials);
+      journal = std::make_unique<sim::CampaignJournal>(
+          merged, sim::campaign_key(spec));
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "cannot merge shard journals for campaign "
+                   "'%s': %s\n",
+                   spec.name.c_str(), e.what());
+      std::exit(2);
+    }
+    eng_opts.journal = journal.get();
+  } else if (!opts.resume.empty()) {
     if (spec.record_samples) {
       std::fprintf(stderr,
                    "--resume is not supported for campaign '%s': it records "
@@ -324,16 +524,20 @@ inline sim::EngineResult run_campaign(sim::ExperimentSpec spec,
                    spec.name.c_str());
       std::exit(2);
     }
-    const std::string path = detail::journal_path(opts.resume, spec.name);
+    const std::string path =
+        opts.shard.enabled()
+            ? detail::shard_journal_path(opts.resume, spec.name, opts.shard)
+            : detail::journal_path(opts.resume, spec.name);
     try {
       journal = std::make_unique<sim::CampaignJournal>(
-          path, sim::campaign_key(spec));
+          path, sim::campaign_key(spec), opts.shard);
     } catch (const std::exception& e) {
       std::fprintf(stderr, "cannot resume from journal %s: %s\n",
                    path.c_str(), e.what());
       std::exit(2);
     }
     eng_opts.journal = journal.get();
+    eng_opts.shard = opts.shard;
   }
   sim::Engine engine;
   if (opts.json_out.empty()) return engine.run(spec, nullptr, eng_opts);
@@ -377,6 +581,29 @@ inline void emit_json(const std::string& name, const sim::EngineResult& r) {
   record.labels = r.labels;
   record.failures = r.failures;
   sink.on_sweep(record);
+}
+
+/// Stderr progress note for a distributed role (shard worker / merger).
+/// The JSON record still goes through emit_json / --json-out as usual;
+/// only the human-readable figure reporting is skipped in distributed
+/// mode (it would read per-tick samples, which workers do not record).
+inline void emit_distributed(const SweepCliOptions& opts,
+                             const std::string& name,
+                             const sim::EngineResult& r) {
+  if (opts.shard.enabled()) {
+    std::fprintf(stderr,
+                 "%s: %s done: %zu trials owned (%zu replayed from the "
+                 "journal), %zu skipped (other shards)\n",
+                 name.c_str(), opts.shard.suffix().c_str(),
+                 r.trials.size() - r.skipped_trials, r.replayed_trials,
+                 r.skipped_trials);
+  } else if (!opts.merge.empty()) {
+    std::fprintf(stderr,
+                 "%s: merge done: %zu trials (%zu replayed from shard "
+                 "journals, %zu re-run), %zu failures\n",
+                 name.c_str(), r.trials.size(), r.replayed_trials,
+                 r.trials.size() - r.replayed_trials, r.failures.size());
+  }
 }
 
 }  // namespace mmr::bench

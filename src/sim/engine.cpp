@@ -319,6 +319,12 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink,
   // Journal replay restores summaries/faults/labels but not per-tick
   // sample series; campaigns that need samples cannot resume.
   MMR_EXPECTS(options.journal == nullptr || !spec.record_samples);
+  MMR_EXPECTS(options.shard.valid());
+  // A sharded worker's sample table would be full of holes.
+  MMR_EXPECTS(!options.shard.enabled() || !spec.record_samples);
+  // A shard worker may only checkpoint into its own shard's journal.
+  MMR_EXPECTS(options.journal == nullptr ||
+              options.journal->shard() == options.shard);
   const ScenarioRegistry& scenarios = ScenarioRegistry::instance();
   const ControllerRegistry& controllers = ControllerRegistry::instance();
   // Fail fast on the authored names; `customize` may rewrite them per
@@ -347,6 +353,12 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink,
   // Trials only write to index-addressed slots; see sim/sweep.h for the
   // determinism contract.
   result.trials = runner.run([&](TrialContext& ctx) -> core::LinkSummary {
+    if (options.shard.enabled() && !options.shard.owns(ctx.index)) {
+      // Another shard owns this trial: leave a default slot. ctx was
+      // derived but never drawn from, so the owned trials' streams are
+      // exactly the 1-process streams.
+      return core::LinkSummary{};
+    }
     if (journaled != nullptr) {
       const auto it = journaled->find(ctx.index);
       if (it != journaled->end()) {
@@ -446,6 +458,10 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink,
     return summary;
   });
   result.timing = runner.timing();
+  if (options.shard.enabled()) {
+    result.skipped_trials =
+        spec.trials - options.shard.owned_of(spec.trials);
+  }
 
   // Patch replayed trials' timing back to what the original run measured
   // (the runner only saw the near-zero replay cost).

@@ -29,6 +29,7 @@
 #include "core/controller_base.h"
 #include "sim/runner.h"
 #include "sim/scenario.h"
+#include "sim/shard.h"
 #include "sim/sweep.h"
 #include "sim/world.h"
 
@@ -186,6 +187,16 @@ struct EngineOptions {
   /// (spec, seed) -- the mode the crash/resume byte-identity tests and
   /// any diff-based tooling run under.
   bool freeze_timing = false;
+  /// Distributed sharding (sim/shard.h): when enabled, trials this worker
+  /// does not own are SKIPPED -- no world build, no journal record, no
+  /// failure slot; they keep default summaries and count in
+  /// EngineResult::skipped_trials. Because trial randomness derives
+  /// purely from (base_seed, index), skipping cannot perturb the owned
+  /// trials' Rng streams: shard k's trial j is bit-identical to the
+  /// 1-process trial j. Requires !spec.record_samples (a shard's sample
+  /// table would be full of holes) and, when a journal is attached, the
+  /// journal's shard plan must equal this one (MMR_EXPECTS).
+  ShardPlan shard;
 };
 
 /// Everything Engine::run produces.
@@ -203,6 +214,9 @@ struct EngineResult {
   std::vector<TrialFailure> failures;
   /// Trials replayed from the journal instead of executed.
   std::size_t replayed_trials = 0;
+  /// Trials skipped because another shard owns them (sharded runs only;
+  /// their slots hold default summaries).
+  std::size_t skipped_trials = 0;
   SweepTiming timing;
   SweepSummary aggregate;
 };

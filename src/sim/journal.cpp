@@ -159,7 +159,7 @@ bool parse_fault_kind(const std::string& name, core::FaultEventKind& out) {
   return false;
 }
 
-std::string header_line(const CampaignKey& key) {
+std::string header_line(const CampaignKey& key, const ShardPlan& shard) {
   std::ostringstream os;
   os << "{\"campaign_header\": {\"format\": " << kJournalFormat
      << ", \"name\": \"" << escape(key.name)
@@ -168,11 +168,20 @@ std::string header_line(const CampaignKey& key) {
      << seed_policy_name(key.seed_policy) << "\", \"fingerprint\": \"";
   char buf[20];
   std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, key.fingerprint);
-  os << buf << "\"}}\n";
+  os << buf << "\"";
+  // The shard field exists only in shard-worker journals: an unsharded
+  // header is byte-identical to the pre-shard format, so old journals
+  // resume and the merged journal reproduces a 1-process journal exactly.
+  if (shard.enabled()) {
+    os << ", \"shard\": {\"index\": " << shard.index
+       << ", \"count\": " << shard.count << "}";
+  }
+  os << "}}\n";
   return os.str();
 }
 
-bool parse_header_line(const std::string& line, CampaignKey& out) {
+bool parse_header_line(const std::string& line, CampaignKey& out,
+                       ShardPlan& shard) {
   Cursor c{line};
   std::uint64_t format = 0, trials = 0, fingerprint = 0;
   std::string policy;
@@ -206,7 +215,23 @@ bool parse_header_line(const std::string& line, CampaignKey& out) {
     }
     if (digits != 16) c.ok = false;
   }
-  c.lit("\"}}");
+  c.lit("\"");
+  shard = ShardPlan{};
+  if (c.ok && c.pos < line.size() && line[c.pos] == ',') {
+    std::uint64_t shard_index = 0, shard_count = 0;
+    c.lit(", \"shard\": {\"index\": ");
+    c.u64(shard_index);
+    c.lit(", \"count\": ");
+    c.u64(shard_count);
+    c.lit("}");
+    // A shard field must describe a real shard: count >= 1, index < count.
+    if (!c.ok || shard_count == 0 || shard_index >= shard_count) {
+      return false;
+    }
+    shard.index = static_cast<std::size_t>(shard_index);
+    shard.count = static_cast<std::size_t>(shard_count);
+  }
+  c.lit("}}");
   if (!c.done() || format != kJournalFormat) return false;
   out.trials = static_cast<std::size_t>(trials);
   if (policy == "fixed") {
@@ -387,9 +412,11 @@ CampaignKey campaign_key(const ExperimentSpec& spec) {
   return key;
 }
 
-CampaignJournal::CampaignJournal(std::string path, CampaignKey key)
-    : path_(std::move(path)), key_(std::move(key)) {
+CampaignJournal::CampaignJournal(std::string path, CampaignKey key,
+                                 ShardPlan shard)
+    : path_(std::move(path)), key_(std::move(key)), shard_(shard) {
   MMR_EXPECTS(!path_.empty());
+  MMR_EXPECTS(shard_.valid());
   bool exists = false;
   {
     std::ifstream in(path_);
@@ -397,7 +424,8 @@ CampaignJournal::CampaignJournal(std::string path, CampaignKey key)
     if (in && std::getline(in, line) && !line.empty()) {
       exists = true;
       CampaignKey found;
-      if (!parse_header_line(line, found)) {
+      ShardPlan found_shard;
+      if (!parse_header_line(line, found, found_shard)) {
         throw JournalMismatchError("campaign journal '" + path_ +
                                    "' has an unreadable header; refusing "
                                    "to resume (delete it to start over)");
@@ -414,18 +442,22 @@ CampaignJournal::CampaignJournal(std::string path, CampaignKey key)
       if (found.fingerprint != key_.fingerprint) {
         mismatch("config fingerprint");
       }
+      if (found_shard.count != shard_.count) mismatch("shard count");
+      if (found_shard.index != shard_.index) mismatch("shard index");
       // Load completed trials; stop at the first torn/corrupt line (a
-      // crash can only tear the tail).
+      // crash can only tear the tail). A sharded journal may only hold
+      // trials its shard owns -- anything else is foreign.
       while (std::getline(in, line)) {
         JournalTrial trial;
         if (!parse_trial_line(line, trial)) break;
         if (trial.index >= key_.trials) break;
+        if (shard_.enabled() && !shard_.owns(trial.index)) break;
         completed_.emplace(trial.index, std::move(trial));
       }
     }
   }
   if (!exists) {
-    AtomicFile::write(path_, header_line(key_));
+    AtomicFile::write(path_, header_line(key_, shard_));
   }
   out_ = std::fopen(path_.c_str(), "ab");
   if (out_ == nullptr) {
@@ -439,6 +471,9 @@ CampaignJournal::~CampaignJournal() {
 }
 
 void CampaignJournal::record(const JournalTrial& trial) {
+  // A shard journal must never hold a trial its shard does not own --
+  // the merge validator would (rightly) reject the whole journal.
+  MMR_EXPECTS(!shard_.enabled() || shard_.owns(trial.index));
   const std::string line = trial_line(trial);
   std::lock_guard<std::mutex> lock(mutex_);
   if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
@@ -450,6 +485,39 @@ void CampaignJournal::record(const JournalTrial& trial) {
   // One fsync per completed trial: the durability point of the journal.
   (void)::fsync(::fileno(out_));
 #endif
+}
+
+LoadedJournal read_journal_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    throw std::runtime_error("cannot open journal: '" + path +
+                             "': " + std::strerror(errno));
+  }
+  LoadedJournal out;
+  std::string line;
+  if (!std::getline(in, line) || line.empty() ||
+      !parse_header_line(line, out.key, out.shard)) {
+    throw JournalMismatchError("journal '" + path +
+                               "' has an unreadable header");
+  }
+  while (std::getline(in, line)) {
+    JournalTrial trial;
+    if (!parse_trial_line(line, trial)) break;
+    // Intact records are returned even when out of range / outside the
+    // shard's ownership: the merge validator rejects those loudly, which
+    // beats silently treating a corrupt journal's trials as missing.
+    out.trials.push_back(std::move(trial));
+  }
+  return out;
+}
+
+std::string journal_header_line(const CampaignKey& key,
+                                const ShardPlan& shard) {
+  return header_line(key, shard);
+}
+
+std::string journal_trial_line(const JournalTrial& trial) {
+  return trial_line(trial);
 }
 
 }  // namespace mmr::sim

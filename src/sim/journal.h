@@ -39,6 +39,7 @@
 #include "core/events.h"
 #include "core/metrics.h"
 #include "sim/engine.h"
+#include "sim/shard.h"
 
 namespace mmr::sim {
 
@@ -85,7 +86,14 @@ class CampaignJournal {
   /// against `key` (JournalMismatchError on mismatch) and its completed
   /// trials loaded; a missing/empty one is created with an atomically
   /// written header. Throws std::runtime_error on I/O failure.
-  CampaignJournal(std::string path, CampaignKey key);
+  ///
+  /// `shard` (default: not sharded) stamps the shard spec into the header
+  /// and validates it on resume: a shard worker's journal can only be
+  /// resumed by the SAME shard of the SAME campaign (mismatched shard
+  /// index/count throw JournalMismatchError like every other key field).
+  /// An unsharded plan writes the exact pre-shard header bytes, so
+  /// existing journals stay readable and resumable.
+  CampaignJournal(std::string path, CampaignKey key, ShardPlan shard = {});
   ~CampaignJournal();
 
   CampaignJournal(const CampaignJournal&) = delete;
@@ -93,6 +101,7 @@ class CampaignJournal {
 
   const std::string& path() const { return path_; }
   const CampaignKey& key() const { return key_; }
+  const ShardPlan& shard() const { return shard_; }
 
   /// Trials already completed by previous runs, keyed by index (the state
   /// at open; record() does not add to it).
@@ -107,9 +116,33 @@ class CampaignJournal {
  private:
   std::string path_;
   CampaignKey key_;
+  ShardPlan shard_;
   std::map<std::size_t, JournalTrial> completed_;
   std::FILE* out_ = nullptr;
   std::mutex mutex_;
 };
+
+/// A journal file parsed without resuming it: identity, shard spec
+/// (disabled for unsharded journals), and every intact trial record.
+struct LoadedJournal {
+  CampaignKey key;
+  ShardPlan shard;
+  std::vector<JournalTrial> trials;
+};
+
+/// Read `path` as a journal: throws std::runtime_error when the file
+/// cannot be opened and JournalMismatchError when the header is
+/// unreadable; trial loading stops at the first torn line. Unlike the
+/// resume path, intact records outside the trial range or the shard's
+/// ownership ARE returned -- merge validation rejects them by name
+/// instead of silently re-running "missing" trials.
+LoadedJournal read_journal_file(const std::string& path);
+
+/// The exact line bytes the journal writes (exposed for the shard merge
+/// writer, which must reproduce a 1-process journal byte-for-byte, and
+/// for tests that forge journals).
+std::string journal_header_line(const CampaignKey& key,
+                                const ShardPlan& shard = {});
+std::string journal_trial_line(const JournalTrial& trial);
 
 }  // namespace mmr::sim

@@ -1,0 +1,356 @@
+#include "sim/shard.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <stdexcept>
+#include <utility>
+
+#ifdef __unix__
+#include <dirent.h>
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+#endif
+
+#include "common/atomic_file.h"
+#include "common/error.h"
+#include "common/parse.h"
+#include "sim/journal.h"
+
+namespace mmr::sim {
+namespace {
+
+constexpr const char* kJournalSuffix = ".journal";
+constexpr const char* kShardPrefix = "shard-";
+
+bool order_by_plan(const std::pair<ShardPlan, std::string>& a,
+                   const std::pair<ShardPlan, std::string>& b) {
+  if (a.first.count != b.first.count) return a.first.count < b.first.count;
+  if (a.first.index != b.first.index) return a.first.index < b.first.index;
+  return a.second < b.second;
+}
+
+}  // namespace
+
+std::size_t ShardPlan::owned_of(std::size_t total) const {
+  if (count <= 1) return total;
+  return total / count + (index < total % count ? 1 : 0);
+}
+
+std::string ShardPlan::suffix() const {
+  return std::string(kShardPrefix) + std::to_string(index) + "-of-" +
+         std::to_string(count);
+}
+
+std::optional<ShardPlan> ShardPlan::parse(const std::string& text) {
+  const std::size_t slash = text.find('/');
+  if (slash == std::string::npos || slash == 0 || slash + 1 >= text.size()) {
+    return std::nullopt;
+  }
+  std::size_t index = 0, count = 0;
+  if (!mmr::parse_size(text.substr(0, slash).c_str(), index)) {
+    return std::nullopt;
+  }
+  if (!mmr::parse_size(text.substr(slash + 1).c_str(), count)) {
+    return std::nullopt;
+  }
+  if (count == 0 || index >= count) return std::nullopt;
+  return ShardPlan{index, count};
+}
+
+std::optional<ShardPlan> ShardPlan::parse_suffix(const std::string& name) {
+  const std::size_t prefix_len = std::strlen(kShardPrefix);
+  if (name.compare(0, prefix_len, kShardPrefix) != 0) return std::nullopt;
+  const std::size_t of = name.find("-of-", prefix_len);
+  if (of == std::string::npos) return std::nullopt;
+  return parse(name.substr(prefix_len, of - prefix_len) + "/" +
+               name.substr(of + 4));
+}
+
+// ---------------------------------------------------------------------------
+// Merge.
+
+MergeStats merge_journals(const std::vector<std::string>& shard_paths,
+                          const std::string& merged_path,
+                          const CampaignKey& key) {
+  if (shard_paths.empty()) {
+    throw JournalMismatchError(
+        "shard merge: no shard journals to merge (missing shard journals "
+        "for every shard index)");
+  }
+  const auto mismatch = [](const std::string& what, const std::string& path) {
+    throw JournalMismatchError("shard journal '" + path +
+                               "' cannot be merged (" + what + ")");
+  };
+  std::size_t count = 0;
+  std::string count_origin;
+  std::map<std::size_t, std::string> seen;  // shard index -> journal path
+  std::map<std::size_t, JournalTrial> trials;
+  for (const std::string& path : shard_paths) {
+    LoadedJournal lj = read_journal_file(path);
+    if (!lj.shard.enabled()) {
+      mismatch("not a shard journal: its header carries no shard field",
+               path);
+    }
+    if (lj.key.name != key.name) mismatch("name differs", path);
+    if (lj.key.base_seed != key.base_seed) mismatch("base seed differs", path);
+    if (lj.key.trials != key.trials) mismatch("trial count differs", path);
+    if (lj.key.seed_policy != key.seed_policy) {
+      mismatch("seed policy differs", path);
+    }
+    if (lj.key.fingerprint != key.fingerprint) {
+      mismatch("config fingerprint differs", path);
+    }
+    if (!lj.shard.valid()) mismatch("shard index out of range", path);
+    if (count == 0) {
+      count = lj.shard.count;
+      count_origin = path;
+    } else if (lj.shard.count != count) {
+      mismatch("shard count differs: " + std::to_string(lj.shard.count) +
+                   " here vs " + std::to_string(count) + " in '" +
+                   count_origin + "'",
+               path);
+    }
+    const auto [it, inserted] = seen.emplace(lj.shard.index, path);
+    if (!inserted) {
+      throw JournalMismatchError(
+          "overlapping shard journals: shard index " +
+          std::to_string(lj.shard.index) + " of " + std::to_string(count) +
+          " is claimed by both '" + it->second + "' and '" + path + "'");
+    }
+    for (JournalTrial& t : lj.trials) {
+      // read_journal_file already stops at foreign lines; these guards are
+      // belt-and-braces against a hand-edited journal.
+      if (t.index >= key.trials || !lj.shard.owns(t.index)) {
+        mismatch("trial index " + std::to_string(t.index) +
+                     " is outside the shard's ownership",
+                 path);
+      }
+      trials.emplace(t.index, std::move(t));
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    if (seen.find(i) == seen.end()) {
+      throw JournalMismatchError(
+          "missing shard journal: shard index " + std::to_string(i) +
+          " of " + std::to_string(count) + " has no journal in the merge "
+          "set (run or resume that shard first)");
+    }
+  }
+
+  std::string contents = journal_header_line(key);
+  for (const auto& [index, trial] : trials) {
+    contents += journal_trial_line(trial);
+  }
+  AtomicFile::write(merged_path, contents);
+
+  MergeStats stats;
+  stats.shard_count = count;
+  stats.merged_trials = trials.size();
+  stats.missing_trials = key.trials - trials.size();
+  return stats;
+}
+
+std::vector<std::string> discover_shard_journals(
+    const std::string& merged_path) {
+  namespace fs = std::filesystem;
+  std::string stem = merged_path;
+  const std::size_t suffix_len = std::strlen(kJournalSuffix);
+  if (stem.size() > suffix_len &&
+      stem.compare(stem.size() - suffix_len, suffix_len, kJournalSuffix) ==
+          0) {
+    stem.resize(stem.size() - suffix_len);
+  }
+  const fs::path stem_path(stem);
+  const fs::path dir =
+      stem_path.has_parent_path() ? stem_path.parent_path() : fs::path(".");
+  const std::string base = stem_path.filename().string() + ".";
+  std::vector<std::pair<ShardPlan, std::string>> found;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(dir, ec)) {
+    const std::string name = entry.path().filename().string();
+    if (name.size() <= base.size() + suffix_len) continue;
+    if (name.compare(0, base.size(), base) != 0) continue;
+    if (name.compare(name.size() - suffix_len, suffix_len, kJournalSuffix) !=
+        0) {
+      continue;
+    }
+    const std::string middle =
+        name.substr(base.size(), name.size() - base.size() - suffix_len);
+    const std::optional<ShardPlan> plan = ShardPlan::parse_suffix(middle);
+    if (!plan.has_value()) continue;
+    found.emplace_back(*plan, (dir / name).string());
+  }
+  std::sort(found.begin(), found.end(), order_by_plan);
+  std::vector<std::string> paths;
+  paths.reserve(found.size());
+  for (auto& [plan, path] : found) paths.push_back(std::move(path));
+  return paths;
+}
+
+// ---------------------------------------------------------------------------
+// Work queue (POSIX).
+
+#ifdef __unix__
+
+namespace {
+
+std::string join(const std::string& dir, const std::string& name) {
+  return dir + "/" + name;
+}
+
+void ensure_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0777) == 0 || errno == EEXIST) return;
+  throw std::runtime_error("shard queue: cannot create directory '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// O_CREAT|O_EXCL marker creation: true iff WE created it.
+bool create_exclusive(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_CREAT | O_EXCL | O_WRONLY, 0644);
+  if (fd >= 0) {
+    ::close(fd);
+    return true;
+  }
+  if (errno == EEXIST) return false;
+  throw std::runtime_error("shard queue: cannot create '" + path +
+                           "': " + std::strerror(errno));
+}
+
+bool path_exists(const std::string& path) {
+  return ::access(path.c_str(), F_OK) == 0;
+}
+
+/// Ticket names under `dir`, sorted by (count, index).
+std::vector<std::string> list_tickets(const std::string& dir) {
+  std::vector<std::pair<ShardPlan, std::string>> found;
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) {
+    throw std::runtime_error("shard queue: cannot list '" + dir +
+                             "': " + std::strerror(errno));
+  }
+  while (const dirent* entry = ::readdir(d)) {
+    const std::string name = entry->d_name;
+    const std::optional<ShardPlan> plan = ShardPlan::parse_suffix(name);
+    if (plan.has_value()) found.emplace_back(*plan, name);
+  }
+  ::closedir(d);
+  std::sort(found.begin(), found.end(), order_by_plan);
+  std::vector<std::string> names;
+  names.reserve(found.size());
+  for (auto& [plan, name] : found) names.push_back(std::move(name));
+  return names;
+}
+
+}  // namespace
+
+void ShardQueue::init(const std::string& dir, std::size_t count) {
+  MMR_EXPECTS(!dir.empty());
+  MMR_EXPECTS(count >= 1);
+  ensure_dir(dir);
+  ensure_dir(join(dir, "tickets"));
+  ensure_dir(join(dir, "todo"));
+  ensure_dir(join(dir, "claimed"));
+  // A queue is permanently bound to its shard count: mixing counts would
+  // mix ownership partitions.
+  const std::string meta = join(dir, "shard-count");
+  {
+    std::ifstream in(meta);
+    std::string text;
+    if (in >> text) {
+      std::size_t existing = 0;
+      if (!mmr::parse_size(text.c_str(), existing) || existing != count) {
+        throw std::runtime_error(
+            "shard queue '" + dir + "' was initialized for " + text +
+            " shards; refusing to re-initialize for " +
+            std::to_string(count));
+      }
+    } else {
+      AtomicFile::write(meta, std::to_string(count) + "\n");
+    }
+  }
+  for (std::size_t i = 0; i < count; ++i) {
+    const std::string name = ShardPlan{i, count}.suffix();
+    // The tickets/ marker is PERMANENT: whoever creates it owns the one
+    // and only offer of the shard in todo/. A late initializer loses the
+    // O_EXCL race and must not re-offer a shard someone may already have
+    // claimed.
+    if (create_exclusive(join(join(dir, "tickets"), name))) {
+      (void)create_exclusive(join(join(dir, "todo"), name));
+    }
+  }
+}
+
+std::optional<ShardPlan> ShardQueue::claim(const std::string& dir) {
+  const std::string todo = join(dir, "todo");
+  const std::string claimed = join(dir, "claimed");
+  for (;;) {
+    const std::vector<std::string> names = list_tickets(todo);
+    if (names.empty()) return std::nullopt;
+    bool raced = false;
+    for (const std::string& name : names) {
+      if (::rename(join(todo, name).c_str(), join(claimed, name).c_str()) ==
+          0) {
+        return ShardPlan::parse_suffix(name);
+      }
+      if (errno == ENOENT) {
+        // Another worker won this ticket between listing and rename.
+        raced = true;
+        continue;
+      }
+      throw std::runtime_error("shard queue: cannot claim '" +
+                               join(todo, name) +
+                               "': " + std::strerror(errno));
+    }
+    if (!raced) return std::nullopt;
+  }
+}
+
+void ShardQueue::requeue(const std::string& dir, const ShardPlan& plan) {
+  MMR_EXPECTS(plan.enabled() && plan.valid());
+  const std::string name = plan.suffix();
+  if (!path_exists(join(join(dir, "tickets"), name))) {
+    throw std::runtime_error("shard queue '" + dir +
+                             "' has no ticket for shard " + name);
+  }
+  const std::string from = join(join(dir, "claimed"), name);
+  const std::string to = join(join(dir, "todo"), name);
+  if (::rename(from.c_str(), to.c_str()) == 0) return;
+  if (errno != ENOENT) {
+    throw std::runtime_error("shard queue: cannot requeue '" + from +
+                             "': " + std::strerror(errno));
+  }
+  // Not in claimed/: either already claimable or lost to a crash between
+  // renames. The permanent ticket proves the shard belongs to this queue,
+  // so ensure exactly one offer exists.
+  (void)create_exclusive(to);
+}
+
+#else  // !__unix__
+
+void ShardQueue::init(const std::string&, std::size_t) {
+  throw std::runtime_error(
+      "ShardQueue requires a POSIX filesystem (O_EXCL create + atomic "
+      "rename); use explicit --shard i/N on this platform");
+}
+
+std::optional<ShardPlan> ShardQueue::claim(const std::string&) {
+  throw std::runtime_error(
+      "ShardQueue requires a POSIX filesystem (O_EXCL create + atomic "
+      "rename); use explicit --shard i/N on this platform");
+}
+
+void ShardQueue::requeue(const std::string&, const ShardPlan&) {
+  throw std::runtime_error(
+      "ShardQueue requires a POSIX filesystem (O_EXCL create + atomic "
+      "rename); use explicit --shard i/N on this platform");
+}
+
+#endif  // __unix__
+
+}  // namespace mmr::sim

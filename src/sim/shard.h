@@ -1,0 +1,128 @@
+// Sharded distributed campaigns over the PR-5 CampaignJournal.
+//
+// A campaign's trial index space can be partitioned across N worker
+// processes (or machines): worker i runs the trials it OWNS under a
+// ShardPlan and checkpoints them into its own shard journal
+// (BASE.<campaign>.shard-i-of-N.journal) whose header extends the
+// campaign fingerprint with the shard spec. Because every trial's
+// randomness derives purely from (base_seed, index) -- never from which
+// trials ran before it -- shard k's trial j is bit-identical to the
+// single-process trial j, and merging the shard journals back into one
+// unsharded journal reconstitutes the exact single-process campaign.
+//
+// The pieces:
+//   * ShardPlan: "which trials does worker i of N own" (strided
+//     round-robin, so heterogeneous trial costs balance across workers).
+//   * merge_journals(): validate a set of shard journals (same campaign
+//     key field-for-field, one consistent shard count, disjoint and
+//     covering shard indices) and write the merged UNSHARDED journal
+//     atomically. Trials a shard never completed (crash before
+//     checkpoint, or quarantined -- quarantined trials are never
+//     journaled) are simply absent; replaying the merged journal through
+//     Engine::run re-runs exactly those, re-quarantining deterministic
+//     failures, so the merged JSON is byte-identical to the 1-process
+//     run under --freeze-timing.
+//   * ShardQueue: a file-based work queue (claim-by-rename) so a fleet
+//     of identical workers can self-assign shards:
+//       tickets/  one permanent marker per shard, created with
+//                 O_CREAT|O_EXCL -- the init winner for a ticket is the
+//                 only process that offers it in todo/, so late
+//                 initializers cannot resurrect an already-claimed shard;
+//       todo/     claimable shard tickets;
+//       claimed/  rename(2) target -- POSIX rename is atomic, so exactly
+//                 one claimant wins each ticket.
+//     A crashed worker's shard stays in claimed/; requeue() moves it
+//     back to todo/ and the next worker resumes it via the shard
+//     journal's --resume path.
+//
+// Validation failures throw JournalMismatchError naming the offending
+// field (and file), mirroring the journal's own refuse-to-resume
+// contract.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mmr::sim {
+
+struct CampaignKey;  // sim/journal.h
+
+/// A strided partition of the trial index space: worker `index` of
+/// `count` owns trial t iff t % count == index. count == 0 means "not
+/// sharded" (owns everything); count == 1 is a valid single-shard plan
+/// (owns everything, but journals carry the shard header).
+struct ShardPlan {
+  std::size_t index = 0;
+  std::size_t count = 0;
+
+  bool enabled() const { return count > 0; }
+  bool valid() const { return count == 0 || index < count; }
+  bool owns(std::size_t trial) const {
+    return count <= 1 || trial % count == index;
+  }
+  /// Trials of `total` this shard owns.
+  std::size_t owned_of(std::size_t total) const;
+
+  /// "shard-<i>-of-<N>": the journal-filename infix and queue ticket name.
+  std::string suffix() const;
+
+  /// Strict "i/N" (e.g. "0/3"): base-10 only, i < N, N >= 1.
+  static std::optional<ShardPlan> parse(const std::string& text);
+  /// Strict "shard-<i>-of-<N>" (the suffix()/ticket format).
+  static std::optional<ShardPlan> parse_suffix(const std::string& name);
+
+  friend bool operator==(const ShardPlan&, const ShardPlan&) = default;
+};
+
+/// What merge_journals() did.
+struct MergeStats {
+  std::size_t shard_count = 0;
+  /// Completed trials carried into the merged journal.
+  std::size_t merged_trials = 0;
+  /// Trials of key.trials no shard had checkpointed (they re-run when the
+  /// merged journal is replayed).
+  std::size_t missing_trials = 0;
+};
+
+/// Validate `shard_paths` as a complete shard set for `key` and write the
+/// merged UNSHARDED journal to `merged_path` (atomically; an existing file
+/// is replaced). Throws JournalMismatchError naming the offending field
+/// and file when a journal is unsharded, belongs to a different campaign
+/// (name / base seed / trial count / seed policy / config fingerprint),
+/// disagrees on the shard count, duplicates a shard index (overlap), or
+/// leaves a shard index uncovered (missing); throws std::runtime_error on
+/// I/O failure.
+MergeStats merge_journals(const std::vector<std::string>& shard_paths,
+                          const std::string& merged_path,
+                          const CampaignKey& key);
+
+/// Discover the shard journals next to an unsharded journal path
+/// ("<stem>.journal" -> every "<stem>.shard-<i>-of-<N>.journal" in the
+/// same directory), sorted by (count, index). Purely lexical + directory
+/// scan; merge_journals() does the real validation.
+std::vector<std::string> discover_shard_journals(
+    const std::string& merged_path);
+
+/// File-based shard work queue (see the header comment). POSIX-only:
+/// on platforms without O_EXCL open + atomic rename the calls throw.
+class ShardQueue {
+ public:
+  /// Create the queue layout under `dir` (made if missing) and offer one
+  /// ticket per shard of `count`. Idempotent and concurrency-safe: any
+  /// number of workers may race init() with the same count; a different
+  /// count for an existing queue throws.
+  static void init(const std::string& dir, std::size_t count);
+
+  /// Claim the lowest-numbered unclaimed shard ticket, or std::nullopt
+  /// when none remain. Exactly one concurrent claimant wins any ticket.
+  static std::optional<ShardPlan> claim(const std::string& dir);
+
+  /// Re-offer a claimed shard (crashed worker): move its ticket back to
+  /// todo/. No-op if the ticket is already claimable; throws if `plan`
+  /// was never a ticket of this queue.
+  static void requeue(const std::string& dir, const ShardPlan& plan);
+};
+
+}  // namespace mmr::sim

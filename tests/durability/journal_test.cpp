@@ -185,6 +185,32 @@ TEST_F(JournalTest, GarbageHeaderIsRejected) {
                JournalMismatchError);
 }
 
+TEST_F(JournalTest, UnknownExtraHeaderFieldIsRejectedAsUnreadable) {
+  // Forward-compat contract: the header parser is strict and positional,
+  // so a journal written by a FUTURE format that appends an extra header
+  // field must be refused as unreadable -- never half-understood and
+  // resumed with the unknown field silently dropped. (Adding a field
+  // means bumping kJournalFormat; the shard field is the one sanctioned
+  // extension and is parsed explicitly.)
+  const CampaignKey key = campaign_key(demo_spec());
+  std::string header = journal_header_line(key);
+  ASSERT_EQ(header.substr(header.size() - 3), "}}\n");
+  header.insert(header.size() - 3, ", \"future_knob\": 1");
+  {
+    std::ofstream out(path_, std::ios::binary);
+    out << header;
+  }
+  try {
+    CampaignJournal journal(path_, key);
+    FAIL() << "resumed a journal with an unknown extra header field";
+  } catch (const JournalMismatchError& e) {
+    EXPECT_NE(std::string(e.what()).find("unreadable header"),
+              std::string::npos)
+        << e.what();
+  }
+  EXPECT_THROW(read_journal_file(path_), JournalMismatchError);
+}
+
 TEST_F(JournalTest, TornTrailingLineIsDroppedNotFatal) {
   const CampaignKey key = campaign_key(demo_spec());
   {

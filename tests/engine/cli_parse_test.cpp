@@ -4,6 +4,7 @@
 // sure garbage exits with status 2 instead of being silently truncated.
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cstdint>
 #include <limits>
 #include <string>
@@ -42,12 +43,71 @@ TEST(ParseU64, RejectsGarbageAndLeavesOutputUntouched) {
   EXPECT_EQ(v, 7u) << "failed parse must not clobber the output";
 }
 
+TEST(ParseU64, ExactOverflowBoundary) {
+  // UINT64_MAX parses, UINT64_MAX + 1 does not -- the boundary must be
+  // exact, not "some large numbers fail".
+  std::uint64_t v = 7;
+  EXPECT_TRUE(parse_u64("18446744073709551615", v));
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max());
+  EXPECT_TRUE(parse_u64("18446744073709551614", v));
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max() - 1);
+  EXPECT_FALSE(parse_u64("18446744073709551616", v));
+  EXPECT_FALSE(parse_u64("99999999999999999999", v));
+  EXPECT_EQ(v, std::numeric_limits<std::uint64_t>::max() - 1);
+}
+
+TEST(ParseU64, RejectsHexAndSignPrefixesEvenWithValidDigits) {
+  std::uint64_t v = 7;
+  EXPECT_FALSE(parse_u64("0xff", v));
+  EXPECT_FALSE(parse_u64("0Xff", v));
+  EXPECT_FALSE(parse_u64("+0", v));
+  EXPECT_FALSE(parse_u64("++1", v));
+  // But a plain leading zero is just base 10, not octal.
+  EXPECT_TRUE(parse_u64("010", v));
+  EXPECT_EQ(v, 10u);
+}
+
 TEST(ParseSize, TracksU64Semantics) {
   std::size_t v = 3;
   EXPECT_TRUE(parse_size("123", v));
   EXPECT_EQ(v, 123u);
   EXPECT_FALSE(parse_size("nope", v));
   EXPECT_EQ(v, 123u);
+}
+
+TEST(ParseF64, RejectsSignedAndHexFloatSpellings) {
+  double v = 9.0;
+  EXPECT_FALSE(parse_f64("+1.5", v));    // explicit sign
+  EXPECT_FALSE(parse_f64("-1.5", v));
+  EXPECT_FALSE(parse_f64("0x1p3", v));   // hex float
+  EXPECT_FALSE(parse_f64("0x10", v));    // hex int spelling of 16.0
+  EXPECT_FALSE(parse_f64("1.5.5", v));
+  EXPECT_FALSE(parse_f64("1e", v));      // dangling exponent
+  EXPECT_EQ(v, 9.0);
+}
+
+TEST(ParseF64, IsLocaleIndependent) {
+  // A comma-decimal locale must not change what "1.5" (or "1,5") means.
+  // The container may only ship the C locale; then there is nothing to
+  // vary and the test skips.
+  const char* comma_locale = nullptr;
+  for (const char* name : {"de_DE.UTF-8", "de_DE", "fr_FR.UTF-8", "fr_FR",
+                           "nl_NL.UTF-8"}) {
+    if (std::setlocale(LC_NUMERIC, name) != nullptr) {
+      comma_locale = name;
+      break;
+    }
+  }
+  if (comma_locale == nullptr) {
+    GTEST_SKIP() << "no comma-decimal locale installed";
+  }
+  double v = 0.0;
+  const bool dot_ok = parse_f64("1.5", v);
+  const bool comma_ok = parse_f64("1,5", v);
+  std::setlocale(LC_NUMERIC, "C");
+  EXPECT_TRUE(dot_ok);
+  EXPECT_EQ(v, 1.5);
+  EXPECT_FALSE(comma_ok);
 }
 
 // --- sweep_cli flag handling -------------------------------------------
@@ -122,6 +182,66 @@ TEST(SweepCliDeathTest, UnknownFlagExits2) {
 TEST(SweepCliDeathTest, ListExits0AndPrintsRegistries) {
   EXPECT_EXIT(run_cli({"prog", "--list"}), ::testing::ExitedWithCode(0),
               "");
+}
+
+// --- distributed-campaign flags ----------------------------------------
+
+TEST(SweepCli, ParsesShardAndMergeFlags) {
+  std::vector<std::string> args = {"prog", "--resume", "/tmp/base",
+                                   "--shard", "1/3"};
+  auto argv = argv_of(args);
+  const bench::SweepCliOptions opts =
+      bench::parse_sweep_cli(static_cast<int>(argv.size()), argv.data());
+  EXPECT_TRUE(opts.shard.enabled());
+  EXPECT_EQ(opts.shard.index, 1u);
+  EXPECT_EQ(opts.shard.count, 3u);
+  EXPECT_TRUE(bench::distributed_mode(opts));
+
+  std::vector<std::string> margs = {"prog", "--merge=/tmp/base"};
+  auto margv = argv_of(margs);
+  const bench::SweepCliOptions mopts =
+      bench::parse_sweep_cli(static_cast<int>(margv.size()), margv.data());
+  EXPECT_EQ(mopts.merge, "/tmp/base");
+  EXPECT_TRUE(bench::distributed_mode(mopts));
+}
+
+TEST(SweepCliDeathTest, MalformedShardSpecExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--resume", "/tmp/b", "--shard", "3/3"}),
+              ::testing::ExitedWithCode(2), "invalid value for --shard");
+  EXPECT_EXIT(run_cli({"prog", "--resume", "/tmp/b", "--shard", "0x1/3"}),
+              ::testing::ExitedWithCode(2), "invalid value for --shard");
+  EXPECT_EXIT(run_cli({"prog", "--resume", "/tmp/b", "--shard", "a/b"}),
+              ::testing::ExitedWithCode(2), "invalid value for --shard");
+}
+
+TEST(SweepCliDeathTest, ShardWithoutResumeExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--shard", "0/2"}),
+              ::testing::ExitedWithCode(2), "--resume");
+}
+
+TEST(SweepCliDeathTest, ShardCombinedWithQueueExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--resume", "/tmp/b", "--shard", "0/2",
+                       "--shard-queue", "/tmp/q"}),
+              ::testing::ExitedWithCode(2), "--shard-queue");
+}
+
+TEST(SweepCliDeathTest, ShardsWithoutQueueExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--resume", "/tmp/b", "--shards", "3"}),
+              ::testing::ExitedWithCode(2),
+              "--shards requires --shard-queue");
+}
+
+TEST(SweepCliDeathTest, ZeroShardsExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--resume", "/tmp/b", "--shard-queue",
+                       "/tmp/q", "--shards", "0"}),
+              ::testing::ExitedWithCode(2), "--shards");
+}
+
+TEST(SweepCliDeathTest, MergeCombinedWithWorkerFlagsExits2) {
+  EXPECT_EXIT(run_cli({"prog", "--merge", "/tmp/b", "--resume", "/tmp/b"}),
+              ::testing::ExitedWithCode(2), "standalone");
+  EXPECT_EXIT(run_cli({"prog", "--merge", "/tmp/b", "--shard", "0/2"}),
+              ::testing::ExitedWithCode(2), "standalone");
 }
 
 // --kernel-backend: scalar/portable are compiled on every target, so

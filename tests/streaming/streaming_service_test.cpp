@@ -137,6 +137,33 @@ TEST(StreamingService, RepeatedRunsAreByteStable) {
   EXPECT_EQ(snapshot_bytes(2), snapshot_bytes(2));
 }
 
+TEST(StreamingService, MoreShardsThanSessionsLeavesEmptyShardsHarmless) {
+  // shards > sessions: the tail shards own zero sessions and their
+  // accumulators merge as pure identities (pinned bitwise in
+  // streaming_stats_test.cpp). The run must behave, count the live
+  // population correctly, and stay byte-stable.
+  net::register_net_builtins();
+  auto run_bytes = [] {
+    sim::StreamingSpec spec = base_spec();
+    spec.sessions = 3;
+    spec.shards = 8;
+    spec.duration_s = 0.05;
+    spec.network.run.duration_s = 0.05;
+    spec.snapshot_every_s = 0.025;
+    spec.freeze_timing = true;
+    std::ostringstream os;
+    sim::JsonLinesSink sink(os);
+    sim::StreamingService service(spec, &sink);
+    const sim::StreamingResult result = service.run();
+    EXPECT_EQ(service.live_sessions(), 3u);
+    EXPECT_GT(result.final_snapshot.total_ticks, 0u);
+    return os.str();
+  };
+  const std::string first = run_bytes();
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, run_bytes());
+}
+
 TEST(StreamingService, ChurnKeepsTheSessionTableBounded) {
   net::register_net_builtins();
   sim::StreamingSpec spec = base_spec();

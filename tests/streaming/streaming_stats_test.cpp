@@ -5,7 +5,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "common/rng.h"
@@ -84,6 +86,75 @@ TEST(StreamingMoments, MergingAnEmptyOperandIsIdentity) {
   EXPECT_EQ(adopt.mean(), mean);
   EXPECT_EQ(adopt.min(), 1.0);
   EXPECT_EQ(adopt.max(), 7.0);
+}
+
+// The distributed/streaming shard-merge story leans on this identity: a
+// shard that saw NO sessions merges as a true no-op, down to the last
+// bit. Value equality (EXPECT_EQ on doubles) would let -0.0 or a
+// squashed NaN payload slip through, so compare the raw IEEE-754 bits.
+std::uint64_t bits(double x) { return std::bit_cast<std::uint64_t>(x); }
+
+TEST(StreamingMoments, EmptyShardMergeIsBitwiseIdentity) {
+  StreamingMoments filled, empty;
+  for (double x : {0.3, -7.25, 1e9, 0.0, 5.5}) filled.add(x);
+  const std::uint64_t mean = bits(filled.mean());
+  const std::uint64_t var = bits(filled.variance());
+  const std::uint64_t lo = bits(filled.min());
+  const std::uint64_t hi = bits(filled.max());
+
+  filled.merge_from(empty);  // filled <- empty: nothing changes
+  EXPECT_EQ(filled.count(), 5u);
+  EXPECT_EQ(bits(filled.mean()), mean);
+  EXPECT_EQ(bits(filled.variance()), var);
+  EXPECT_EQ(bits(filled.min()), lo);
+  EXPECT_EQ(bits(filled.max()), hi);
+
+  StreamingMoments adopt;  // empty <- filled: adopts the exact bits
+  adopt.merge_from(filled);
+  EXPECT_EQ(adopt.count(), 5u);
+  EXPECT_EQ(bits(adopt.mean()), mean);
+  EXPECT_EQ(bits(adopt.variance()), var);
+  EXPECT_EQ(bits(adopt.min()), lo);
+  EXPECT_EQ(bits(adopt.max()), hi);
+}
+
+TEST(P2Quantile, EmptyShardMergeIsBitwiseIdentity) {
+  P2Quantile filled(0.9), empty(0.9);
+  for (int i = 0; i < 50; ++i) filled.add(0.125 * static_cast<double>(i));
+  const std::uint64_t q = bits(filled.quantile());
+  const std::uint64_t lo = bits(filled.min());
+  const std::uint64_t hi = bits(filled.max());
+
+  filled.merge_from(empty);
+  EXPECT_EQ(filled.count(), 50u);
+  EXPECT_EQ(bits(filled.quantile()), q);
+  EXPECT_EQ(bits(filled.min()), lo);
+  EXPECT_EQ(bits(filled.max()), hi);
+
+  P2Quantile adopt(0.9);
+  adopt.merge_from(filled);
+  EXPECT_EQ(adopt.count(), 50u);
+  EXPECT_EQ(bits(adopt.quantile()), q);
+  EXPECT_EQ(bits(adopt.min()), lo);
+  EXPECT_EQ(bits(adopt.max()), hi);
+}
+
+TEST(AvailabilityCounter, EmptyShardMergeIsIdentity) {
+  AvailabilityCounter filled, empty;
+  filled.add(true, true);
+  filled.add(true, false);
+  filled.add(false, false);
+  filled.merge_from(empty);
+  EXPECT_EQ(filled.ticks(), 3u);
+  EXPECT_EQ(filled.usable(), 1u);
+  EXPECT_EQ(filled.outage(), 1u);
+  EXPECT_EQ(filled.unavailable(), 1u);
+
+  AvailabilityCounter adopt;
+  adopt.merge_from(filled);
+  EXPECT_EQ(adopt.ticks(), 3u);
+  EXPECT_EQ(adopt.usable(), 1u);
+  EXPECT_EQ(adopt.window_ticks(), 3u);
 }
 
 TEST(P2Quantile, ExactForFiveOrFewerObservations) {
