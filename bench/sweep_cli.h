@@ -57,11 +57,25 @@
 //                      DIR instead of naming it: `--shards N` (first
 //                      caller wins the init) offers tickets shard-0-of-N
 //                      .. shard-(N-1)-of-N; each worker atomically claims
-//                      the lowest free one (claim-by-rename). An empty
+//                      the lowest free one (claim-by-rename). The claim
+//                      is a LEASE: a background heartbeat renews it every
+//                      ttl/4 for the life of the process, and a shard
+//                      whose lease goes stale (worker SIGKILL'd, machine
+//                      lost) is automatically reclaimed by the next
+//                      claimer and resumed from its journal. An empty
 //                      queue prints a note and exits 0, so a fleet loop
 //                      can simply spawn more workers than shards.
 //                      Requires --resume; mutually exclusive with
 //                      --shard.
+//   --lease-ttl-s X    lease time-to-live for --shard-queue claims
+//                      (default 300). A dead worker's shard is reclaimed
+//                      after X + X/4 seconds of missed heartbeats,
+//                      measured on the queue filesystem's own clock (so
+//                      cross-machine wall-clock skew is harmless). Set
+//                      well above the longest expected worker stall
+//                      (GC-less here, but think NFS hiccups): a live
+//                      worker that loses its lease stops being the
+//                      shard's owner.
 //   --merge BASE       merge the shard journals written under --resume
 //                      BASE back into the unsharded journal
 //                      BASE.<campaign>.journal (validating that every
@@ -75,6 +89,17 @@
 //                      merged JSON is byte-identical to the 1-process
 //                      run. Mutually exclusive with --shard/--shard-queue
 //                      and --resume.
+//   --watch            with --merge: instead of requiring every shard
+//                      journal to exist up front, poll the journals as
+//                      the fleet writes them, reporting per-shard
+//                      progress (and stragglers) on stderr, and finalize
+//                      the merge the moment every shard's journal carries
+//                      an intact seal footer. Tolerates torn tails and
+//                      mid-copy (rsync) files -- they read as fewer
+//                      intact records until the next poll; a journal
+//                      whose seal persistently disagrees with its records
+//                      exits 2 naming the seal (transport damage never
+//                      merges silently).
 //   --list             print the registered scenario/controller names and
 //                      the fault presets, then exit.
 // and ends its report with one JSON line (sweep timing, per-trial
@@ -86,6 +111,7 @@
 // (`--jobs abc` used to parse as 0 = every hardware thread).
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -93,10 +119,13 @@
 #include <fstream>
 #include <functional>
 #include <iostream>
+#include <map>
 #include <memory>
 #include <optional>
+#include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/atomic_file.h"
@@ -127,6 +156,12 @@ struct SweepCliOptions {
   std::string shard_queue;  ///< --shard-queue DIR; empty = no queue
   std::size_t shards = 0;   ///< --shards N: init the queue (0 = no init)
   std::string merge;        ///< --merge BASE; empty = no merge
+  double lease_ttl_s = 0.0;  ///< --lease-ttl-s; 0 = LeaseOptions default
+  bool watch = false;       ///< --merge --watch: poll until all shards seal
+  /// Heartbeat for the queue-claimed shard: keeps the lease fresh for
+  /// the life of the process and marks the shard done/ on clean exit.
+  /// (shared_ptr so SweepCliOptions stays copyable.)
+  std::shared_ptr<sim::ShardLeaseKeeper> lease_keeper;
 };
 
 /// True when this invocation is a distributed worker or merger: benches
@@ -254,6 +289,117 @@ inline std::string shard_journal_path(const std::string& base,
   return path + "." + plan.suffix() + suffix;
 }
 
+/// --merge --watch: poll the shard journals of `merged`'s campaign while
+/// the fleet is still writing them, and return the complete set once
+/// every shard 0..N-1 (one consistent N) carries an intact seal footer.
+///
+/// Incremental by construction: each poll re-reads only what
+/// read_journal_file() parses, and per-path cursors keep the stderr
+/// progress down to actual changes. Files mid-append or mid-copy read as
+/// torn/short -- in-progress, wait -- but a seal footer that
+/// persistently disagrees with its records (confirmed by an immediate
+/// re-read, so a racing append cannot fake it) is transport damage and
+/// exits 2 naming the seal. Stragglers (shards unchanged across many
+/// polls while others sealed) are called out so a human can go look at
+/// that worker.
+inline std::vector<std::string> watch_shard_journals(
+    const std::string& merged, const std::string& campaign,
+    double poll_s = 0.2) {
+  std::map<std::string, std::size_t> seen_trials;  // progress cursors
+  std::map<std::string, bool> reported_sealed;
+  int polls_since_change = 0;
+  bool waiting_note_printed = false;
+  for (;;) {
+    const std::vector<std::string> paths =
+        sim::discover_shard_journals(merged);
+    if (paths.empty()) {
+      if (!waiting_note_printed) {
+        std::fprintf(stderr,
+                     "watch: no shard journals for campaign '%s' yet; "
+                     "waiting for the fleet...\n",
+                     campaign.c_str());
+        waiting_note_printed = true;
+      }
+      std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+      continue;
+    }
+    bool changed = false;
+    bool all_sealed = true;
+    std::size_t shard_count = 0;
+    std::set<std::size_t> sealed_indices;
+    std::vector<std::string> unsealed;
+    for (const std::string& path : paths) {
+      sim::LoadedJournal lj;
+      try {
+        lj = sim::read_journal_file(path);
+      } catch (const std::exception&) {
+        // Unreadable mid-copy/mid-create: in-progress, next poll.
+        all_sealed = false;
+        unsealed.push_back(path);
+        continue;
+      }
+      if (lj.seal.has_value() && !lj.seal_intact()) {
+        // Confirm before failing: an append can land between our read of
+        // the records and of the footer region only on a live file, and
+        // a live file re-reads differently.
+        std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+        const sim::LoadedJournal confirm = sim::read_journal_file(path);
+        if (confirm.seal.has_value() && !confirm.seal_intact()) {
+          std::fprintf(stderr,
+                       "watch: shard journal '%s' has a seal footer that "
+                       "does not match its records (seal says %zu trials, "
+                       "file holds %zu intact); the file was damaged in "
+                       "transport -- refusing to merge\n",
+                       path.c_str(), confirm.seal->trials,
+                       confirm.trials.size());
+          std::exit(2);
+        }
+        all_sealed = false;
+        unsealed.push_back(path);
+        continue;
+      }
+      const bool sealed = lj.seal_intact();
+      const std::size_t count = lj.trials.size();
+      if (seen_trials[path] != count || reported_sealed[path] != sealed) {
+        std::fprintf(stderr, "watch: %s: %zu/%zu trials%s\n", path.c_str(),
+                     count, lj.shard.owned_of(lj.key.trials),
+                     sealed ? ", sealed" : "");
+        seen_trials[path] = count;
+        reported_sealed[path] = sealed;
+        changed = true;
+      }
+      if (sealed && lj.shard.enabled()) {
+        shard_count = lj.shard.count;
+        sealed_indices.insert(lj.shard.index);
+      } else {
+        all_sealed = false;
+        unsealed.push_back(path);
+      }
+    }
+    if (all_sealed && shard_count > 0 &&
+        sealed_indices.size() == shard_count) {
+      std::fprintf(stderr,
+                   "watch: all %zu shards sealed for campaign '%s'; "
+                   "finalizing merge\n",
+                   shard_count, campaign.c_str());
+      return paths;
+    }
+    polls_since_change = changed ? 0 : polls_since_change + 1;
+    // ~10s of silence while others already sealed: name the stragglers.
+    if (polls_since_change > 0 &&
+        polls_since_change % std::max(1, static_cast<int>(10.0 / poll_s)) ==
+            0) {
+      for (const std::string& path : unsealed) {
+        std::fprintf(stderr,
+                     "watch: still waiting on '%s' (%zu trials, no seal "
+                     "yet)\n",
+                     path.c_str(), seen_trials[path]);
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(poll_s));
+  }
+}
+
 }  // namespace detail
 
 /// Hook for bench-specific flags layered onto the shared parser: called
@@ -354,6 +500,15 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
                      argv[0]);
         std::exit(2);
       }
+    } else if (const char* v16 = value_of(i, "--lease-ttl-s")) {
+      opts.lease_ttl_s = detail::require_f64("--lease-ttl-s", v16, argv[0]);
+      if (opts.lease_ttl_s <= 0.0) {
+        std::fprintf(stderr, "%s: --lease-ttl-s needs a positive TTL\n",
+                     argv[0]);
+        std::exit(2);
+      }
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      opts.watch = true;
     } else {
       std::fprintf(stderr,
                    "usage: %s [--jobs N] [--trials N] [--seed S]\n"
@@ -363,8 +518,8 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
                    "          [--resume BASE] [--trial-retries N]\n"
                    "          [--trial-timeout-s X] [--freeze-timing]\n"
                    "          [--shard I/N | --shard-queue DIR "
-                   "[--shards N]]\n"
-                   "          [--merge BASE]\n"
+                   "[--shards N] [--lease-ttl-s X]]\n"
+                   "          [--merge BASE [--watch]]\n"
                    "          [--list]%s%s\n"
                    "unknown argument: %s\n",
                    argv[0], extra_usage != nullptr ? "\n" : "",
@@ -402,15 +557,29 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
                  argv[0]);
     std::exit(2);
   }
+  if (opts.lease_ttl_s > 0.0 && opts.shard_queue.empty()) {
+    std::fprintf(stderr,
+                 "%s: --lease-ttl-s requires --shard-queue DIR (leases "
+                 "only exist on queue-claimed shards)\n",
+                 argv[0]);
+    std::exit(2);
+  }
+  if (opts.watch && opts.merge.empty()) {
+    std::fprintf(stderr, "%s: --watch requires --merge BASE\n", argv[0]);
+    std::exit(2);
+  }
   // Claim a shard from the queue (once per process: every campaign this
-  // bench runs uses the same claimed shard).
+  // bench runs uses the same claimed shard), then start the heartbeat
+  // that keeps the claim's lease fresh until the process exits.
   if (!opts.shard_queue.empty()) {
+    sim::LeaseOptions lease_opts;
+    if (opts.lease_ttl_s > 0.0) lease_opts.ttl_s = opts.lease_ttl_s;
     try {
       if (opts.shards > 0) {
         sim::ShardQueue::init(opts.shard_queue, opts.shards);
       }
       const std::optional<sim::ShardPlan> claimed =
-          sim::ShardQueue::claim(opts.shard_queue);
+          sim::ShardQueue::claim(opts.shard_queue, lease_opts);
       if (!claimed.has_value()) {
         std::fprintf(stderr,
                      "%s: shard queue '%s' has no unclaimed shards; "
@@ -419,6 +588,8 @@ inline SweepCliOptions parse_sweep_cli(int argc, char** argv,
         std::exit(0);
       }
       opts.shard = *claimed;
+      opts.lease_keeper = std::make_shared<sim::ShardLeaseKeeper>(
+          opts.shard_queue, opts.shard, lease_opts);
       std::fprintf(stderr, "%s: claimed %s from '%s'\n", argv[0],
                    opts.shard.suffix().c_str(), opts.shard_queue.c_str());
     } catch (const std::exception& e) {
@@ -487,8 +658,14 @@ inline sim::EngineResult run_campaign(sim::ExperimentSpec spec,
   std::unique_ptr<sim::CampaignJournal> journal;
   if (!opts.merge.empty()) {
     const std::string merged = detail::journal_path(opts.merge, spec.name);
-    const std::vector<std::string> shard_paths =
-        sim::discover_shard_journals(merged);
+    std::vector<std::string> shard_paths;
+    if (opts.watch) {
+      // Wait for the fleet: poll until every shard journal exists and
+      // carries an intact seal, then merge the finished set.
+      shard_paths = detail::watch_shard_journals(merged, spec.name);
+    } else {
+      shard_paths = sim::discover_shard_journals(merged);
+    }
     if (shard_paths.empty()) {
       std::fprintf(stderr,
                    "no shard journals found for campaign '%s' under base "

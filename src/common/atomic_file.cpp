@@ -12,14 +12,19 @@
 #endif
 
 #include "common/error.h"
+#ifdef __unix__
+#include "common/fs_ops.h"
+#endif
 
 namespace mmr {
 namespace {
 
+#ifndef __unix__
 [[noreturn]] void throw_io(const std::string& what, const std::string& path) {
   throw std::runtime_error("AtomicFile: " + what + " '" + path +
                            "': " + std::strerror(errno));
 }
+#endif
 
 /// Directory part of `path` ("." when the path has no separator), for the
 /// post-rename directory fsync.
@@ -38,9 +43,10 @@ AtomicFile::AtomicFile(std::string path) : path_(std::move(path)) {
 
 AtomicFile::~AtomicFile() {
 #ifdef __unix__
-  // A temp file only survives here if commit() threw halfway; the
-  // destination is intact, so just drop the stage.
-  if (!temp_path_.empty()) ::unlink(temp_path_.c_str());
+  // A temp file can only survive here if commit() died between creating
+  // it and its own cleanup (e.g. a foreign exception); the destination is
+  // intact, so just drop the stage.
+  if (!temp_path_.empty()) fsio::unlink_quiet(temp_path_);
 #endif
 }
 
@@ -48,40 +54,38 @@ void AtomicFile::commit() {
   MMR_EXPECTS(!committed_);
   const std::string content = buffer_.str();
 #ifdef __unix__
+  // Every syscall routes through fsio: transient failures (EINTR,
+  // momentary EBUSY) are retried with bounded backoff, permanent ones
+  // surface as typed IoError naming the operation and path. Whatever
+  // fails, the staged temp file is unlinked before the throw so repeated
+  // failed commits never accumulate '*.tmp.<pid>' litter next to the
+  // destination.
   temp_path_ = path_ + ".tmp." + std::to_string(::getpid());
-  const int fd =
-      ::open(temp_path_.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) {
-    const std::string failed = temp_path_;
-    temp_path_.clear();
-    throw_io("cannot create temp file", failed);
-  }
-  std::size_t written = 0;
-  while (written < content.size()) {
-    const ssize_t n =
-        ::write(fd, content.data() + written, content.size() - written);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      throw_io("write failed for", temp_path_);
+  try {
+    const int fd =
+        fsio::open_retry(temp_path_, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    try {
+      fsio::write_all(fd, content.data(), content.size(), temp_path_);
+      fsio::fsync_retry(fd, temp_path_);
+    } catch (...) {
+      (void)fsio::ops().close_fn(fd);
+      throw;
     }
-    written += static_cast<std::size_t>(n);
-  }
-  if (::fsync(fd) != 0) {
-    ::close(fd);
-    throw_io("fsync failed for", temp_path_);
-  }
-  if (::close(fd) != 0) throw_io("close failed for", temp_path_);
-  if (::rename(temp_path_.c_str(), path_.c_str()) != 0) {
-    throw_io("rename failed onto", path_);
+    fsio::close_or_throw(fd, temp_path_);
+    fsio::rename_retry(temp_path_, path_);
+  } catch (...) {
+    fsio::unlink_quiet(temp_path_);
+    temp_path_.clear();
+    throw;
   }
   temp_path_.clear();
   // Persist the rename itself: fsync the containing directory. Failure
   // here is ignorable on filesystems that forbid directory fsync.
-  const int dir_fd = ::open(parent_dir(path_).c_str(), O_RDONLY);
+  const int dir_fd = fsio::ops().open_fn(parent_dir(path_).c_str(),
+                                         O_RDONLY, 0);
   if (dir_fd >= 0) {
-    (void)::fsync(dir_fd);
-    ::close(dir_fd);
+    (void)fsio::ops().fsync_fn(dir_fd);
+    (void)fsio::ops().close_fn(dir_fd);
   }
 #else
   // Non-POSIX fallback: plain stdio replace (no durability guarantee).

@@ -37,9 +37,14 @@ class AtomicFile {
   /// The destination path this file will atomically replace.
   const std::string& path() const { return path_; }
 
-  /// Stage + fsync + rename + fsync(parent dir). Throws std::runtime_error
-  /// (with errno text) if any step fails; on failure the destination is
-  /// left untouched. Calling commit() twice is an error (MMR_EXPECTS).
+  /// Stage + fsync + rename + fsync(parent dir). Each syscall routes
+  /// through common/fs_ops.h: transient failures (EINTR, momentary
+  /// EBUSY) retry with bounded backoff; permanent ones throw a typed
+  /// IoError (a std::runtime_error) naming the operation and path. On
+  /// any failure the destination is left untouched and the staged temp
+  /// file is unlinked before the throw, so repeated failed commits never
+  /// litter the directory. Calling commit() twice is an error
+  /// (MMR_EXPECTS).
   void commit();
 
   /// True once commit() has succeeded.

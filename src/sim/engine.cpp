@@ -463,6 +463,15 @@ EngineResult Engine::run(const ExperimentSpec& spec, TelemetrySink* sink,
         spec.trials - options.shard.owned_of(spec.trials);
   }
 
+  // The worker's pass over its owned trials is complete: seal the shard
+  // journal (fsync'd count + fingerprint footer) so the file becomes
+  // safe to copy between machines and the merger can tell "finished"
+  // from "crashed mid-run". Unsharded journals are never copied around,
+  // so they stay seal-free and byte-compatible with earlier formats.
+  if (options.journal != nullptr && options.shard.enabled()) {
+    options.journal->seal();
+  }
+
   // Patch replayed trials' timing back to what the original run measured
   // (the runner only saw the near-zero replay cost).
   if (journaled != nullptr) {

@@ -9,11 +9,15 @@
 #include <utility>
 
 #ifdef __unix__
+#include <fcntl.h>
 #include <unistd.h>
 #endif
 
 #include "common/atomic_file.h"
 #include "common/error.h"
+#ifdef __unix__
+#include "common/fs_ops.h"
+#endif
 
 namespace mmr::sim {
 namespace {
@@ -127,6 +131,31 @@ struct Cursor {
     return true;
   }
 
+  /// Quoted "0x%016x" 64-bit hex value (the fingerprint encoding).
+  bool hex16(std::uint64_t& out) {
+    if (!ok || !lit("\"0x")) return false;
+    std::uint64_t value = 0;
+    std::size_t digits = 0;
+    while (pos < s.size() && digits < 16) {
+      const char c = s[pos];
+      int nibble;
+      if (c >= '0' && c <= '9') {
+        nibble = c - '0';
+      } else if (c >= 'a' && c <= 'f') {
+        nibble = c - 'a' + 10;
+      } else {
+        break;
+      }
+      value = (value << 4) | static_cast<std::uint64_t>(nibble);
+      ++digits;
+      ++pos;
+    }
+    if (digits != 16) return ok = false;
+    if (!lit("\"")) return false;
+    out = value;
+    return true;
+  }
+
   bool boolean(bool& out) {
     if (!ok) return false;
     if (s.compare(pos, 4, "true") == 0) {
@@ -195,27 +224,8 @@ bool parse_header_line(const std::string& line, CampaignKey& out,
   c.u64(trials);
   c.lit(", \"seed_policy\": ");
   c.quoted(policy);
-  c.lit(", \"fingerprint\": \"0x");
-  // Reuse bits() parsing by hand: 16 hex digits.
-  {
-    std::size_t digits = 0;
-    while (c.ok && c.pos < line.size() && digits < 16) {
-      const char ch = line[c.pos];
-      int nibble;
-      if (ch >= '0' && ch <= '9') {
-        nibble = ch - '0';
-      } else if (ch >= 'a' && ch <= 'f') {
-        nibble = ch - 'a' + 10;
-      } else {
-        break;
-      }
-      fingerprint = (fingerprint << 4) | static_cast<std::uint64_t>(nibble);
-      ++digits;
-      ++c.pos;
-    }
-    if (digits != 16) c.ok = false;
-  }
-  c.lit("\"");
+  c.lit(", \"fingerprint\": ");
+  c.hex16(fingerprint);
   shard = ShardPlan{};
   if (c.ok && c.pos < line.size() && line[c.pos] == ',') {
     std::uint64_t shard_index = 0, shard_count = 0;
@@ -321,6 +331,32 @@ bool parse_trial_line(const std::string& line, JournalTrial& out) {
   return true;
 }
 
+std::string seal_line(const JournalSeal& seal) {
+  std::ostringstream os;
+  os << "{\"campaign_seal\": {\"format\": " << kJournalFormat
+     << ", \"trials\": " << seal.trials << ", \"fingerprint\": \"";
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "0x%016" PRIx64, seal.fingerprint);
+  os << buf << "\"}}\n";
+  return os.str();
+}
+
+bool parse_seal_line(const std::string& line, JournalSeal& out) {
+  Cursor c{line};
+  std::uint64_t format = 0, trials = 0, fingerprint = 0;
+  c.lit("{\"campaign_seal\": {\"format\": ");
+  c.u64(format);
+  c.lit(", \"trials\": ");
+  c.u64(trials);
+  c.lit(", \"fingerprint\": ");
+  c.hex16(fingerprint);
+  c.lit("}}");
+  if (!c.done() || format != kJournalFormat) return false;
+  out.trials = static_cast<std::size_t>(trials);
+  out.fingerprint = fingerprint;
+  return true;
+}
+
 // ---------------------------------------------------------------------------
 // Fingerprinting: FNV-1a 64 over a canonical serialization of the spec's
 // declarative state (doubles as bit patterns, fields in fixed order).
@@ -349,6 +385,15 @@ struct Fnv {
 };
 
 }  // namespace
+
+std::uint64_t journal_fnv1a(std::string_view bytes, std::uint64_t seed) {
+  std::uint64_t h = seed;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
 
 std::uint64_t fingerprint_spec(const ExperimentSpec& spec) {
   Fnv f;
@@ -444,30 +489,80 @@ CampaignJournal::CampaignJournal(std::string path, CampaignKey key,
       }
       if (found_shard.count != shard_.count) mismatch("shard count");
       if (found_shard.index != shard_.index) mismatch("shard index");
-      // Load completed trials; stop at the first torn/corrupt line (a
-      // crash can only tear the tail). A sharded journal may only hold
-      // trials its shard owns -- anything else is foreign.
+      // Load completed trials, keeping the raw bytes of every intact
+      // record line (the seal fingerprints those bytes). Loading stops at
+      // the first torn/foreign line -- a crash can only tear the tail --
+      // but the scan continues so a seal footer is still found: a seal
+      // that disagrees with the surviving records means the file lost or
+      // gained bytes in transport, not that a worker crashed early.
+      std::string kept;  // intact record lines, verbatim, in file order
+      std::optional<JournalSeal> found_seal;
+      bool damaged = false;
+      bool after_seal = false;
       while (std::getline(in, line)) {
+        if (found_seal.has_value()) {
+          if (!line.empty()) after_seal = true;
+          continue;
+        }
+        JournalSeal seal;
+        if (parse_seal_line(line, seal)) {
+          found_seal = seal;
+          continue;
+        }
+        if (damaged) continue;
         JournalTrial trial;
-        if (!parse_trial_line(line, trial)) break;
-        if (trial.index >= key_.trials) break;
-        if (shard_.enabled() && !shard_.owns(trial.index)) break;
+        if (!parse_trial_line(line, trial) || trial.index >= key_.trials ||
+            (shard_.enabled() && !shard_.owns(trial.index))) {
+          damaged = true;
+          continue;
+        }
+        kept += line;
+        kept += '\n';
+        records_fnv_ = journal_fnv1a(line, records_fnv_);
+        records_fnv_ = journal_fnv1a("\n", records_fnv_);
+        ++record_count_;
         completed_.emplace(trial.index, std::move(trial));
+      }
+      if (found_seal.has_value() &&
+          (damaged || after_seal || found_seal->trials != record_count_ ||
+           found_seal->fingerprint != records_fnv_)) {
+        throw JournalMismatchError(
+            "campaign journal '" + path_ + "' has a seal footer that does " +
+            "not match its records (seal says " +
+            std::to_string(found_seal->trials) + " trials, file holds " +
+            std::to_string(record_count_) +
+            " intact); the file was damaged in transport, not crashed "
+            "mid-write -- refusing to resume");
+      }
+      // Re-opening for append must never concatenate onto torn bytes or a
+      // seal footer: atomically rewrite the file back to header + intact
+      // records (the seal, if any, was just proven honest and is
+      // re-stamped when this pass completes).
+      if (damaged || found_seal.has_value()) {
+        AtomicFile::write(path_, header_line(key_, shard_) + kept);
       }
     }
   }
   if (!exists) {
     AtomicFile::write(path_, header_line(key_, shard_));
   }
+#ifdef __unix__
+  out_fd_ = fsio::open_retry(path_, O_WRONLY | O_APPEND, 0644);
+#else
   out_ = std::fopen(path_.c_str(), "ab");
   if (out_ == nullptr) {
     throw std::runtime_error("cannot open campaign journal for append: '" +
                              path_ + "': " + std::strerror(errno));
   }
+#endif
 }
 
 CampaignJournal::~CampaignJournal() {
+#ifdef __unix__
+  if (out_fd_ >= 0) (void)fsio::ops().close_fn(out_fd_);
+#else
   if (out_ != nullptr) std::fclose(out_);
+#endif
 }
 
 void CampaignJournal::record(const JournalTrial& trial) {
@@ -476,15 +571,40 @@ void CampaignJournal::record(const JournalTrial& trial) {
   MMR_EXPECTS(!shard_.enabled() || shard_.owns(trial.index));
   const std::string line = trial_line(trial);
   std::lock_guard<std::mutex> lock(mutex_);
+  // The seal is the "nothing more will be written" promise; recording
+  // past it would silently invalidate the fingerprint.
+  MMR_EXPECTS(!sealed_);
+#ifdef __unix__
+  fsio::write_all(out_fd_, line.data(), line.size(), path_);
+  // One fsync per completed trial: the durability point of the journal.
+  fsio::fsync_retry(out_fd_, path_);
+#else
   if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
       std::fflush(out_) != 0) {
     throw std::runtime_error("campaign journal append failed: '" + path_ +
                              "': " + std::strerror(errno));
   }
-#ifdef __unix__
-  // One fsync per completed trial: the durability point of the journal.
-  (void)::fsync(::fileno(out_));
 #endif
+  records_fnv_ = journal_fnv1a(line, records_fnv_);
+  ++record_count_;
+}
+
+void CampaignJournal::seal() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (sealed_) return;
+  const std::string line =
+      seal_line(JournalSeal{record_count_, records_fnv_});
+#ifdef __unix__
+  fsio::write_all(out_fd_, line.data(), line.size(), path_);
+  fsio::fsync_retry(out_fd_, path_);
+#else
+  if (std::fwrite(line.data(), 1, line.size(), out_) != line.size() ||
+      std::fflush(out_) != 0) {
+    throw std::runtime_error("campaign journal seal failed: '" + path_ +
+                             "': " + std::strerror(errno));
+  }
+#endif
+  sealed_ = true;
 }
 
 LoadedJournal read_journal_file(const std::string& path) {
@@ -501,11 +621,29 @@ LoadedJournal read_journal_file(const std::string& path) {
                                "' has an unreadable header");
   }
   while (std::getline(in, line)) {
+    if (out.seal.has_value()) {
+      if (!line.empty()) out.content_after_seal = true;
+      continue;
+    }
+    JournalSeal seal;
+    if (parse_seal_line(line, seal)) {
+      out.seal = seal;
+      continue;
+    }
+    if (out.torn_tail) continue;
     JournalTrial trial;
-    if (!parse_trial_line(line, trial)) break;
+    if (!parse_trial_line(line, trial)) {
+      // Record loading stops at the first torn line, but the scan keeps
+      // looking for a seal: a seal over records that are no longer all
+      // there is transport damage, and seal_intact() must see it.
+      out.torn_tail = true;
+      continue;
+    }
     // Intact records are returned even when out of range / outside the
     // shard's ownership: the merge validator rejects those loudly, which
     // beats silently treating a corrupt journal's trials as missing.
+    out.records_fnv = journal_fnv1a(line, out.records_fnv);
+    out.records_fnv = journal_fnv1a("\n", out.records_fnv);
     out.trials.push_back(std::move(trial));
   }
   return out;
@@ -518,6 +656,10 @@ std::string journal_header_line(const CampaignKey& key,
 
 std::string journal_trial_line(const JournalTrial& trial) {
   return trial_line(trial);
+}
+
+std::string journal_seal_line(const JournalSeal& seal) {
+  return seal_line(seal);
 }
 
 }  // namespace mmr::sim

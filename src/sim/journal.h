@@ -17,10 +17,23 @@
 //   * each trial record is one line, flushed and fsync'd before record()
 //     returns -- a SIGKILL loses at most the trial(s) still in flight;
 //   * a torn trailing line (killed mid-append) is tolerated on load: the
-//     damaged record and anything after it are ignored and those trials
-//     simply re-run;
+//     damaged record and anything after it are ignored, the file is
+//     truncated back to its intact prefix (atomically rewritten) so new
+//     appends never concatenate onto torn bytes, and those trials simply
+//     re-run;
 //   * all doubles are serialized as raw IEEE-754 bit patterns (hex), so a
 //     replayed value is the exact bits the original run produced.
+//
+// Seal footer (the multi-machine transport convention): a shard worker
+// that finishes its pass over the owned trials writes one fsync'd seal
+// line -- record count + FNV-1a fingerprint over the raw bytes of every
+// trial record line -- as the journal's last line. A sealed journal is
+// safe to rsync/copy between machines: a partial copy either loses the
+// seal (classified as in-progress, missing trials re-run -- safe) or
+// keeps a seal that no longer matches the records (rejected loudly with
+// a JournalMismatchError naming the seal mismatch -- never silently
+// treated as an early crash). Unsealed journals are loadable and
+// mergeable exactly as before the seal existed.
 //
 // Safety contract: opening a journal whose header does not match the
 // campaign key (different name, seed, trials, seed policy, or config
@@ -32,8 +45,10 @@
 #include <cstdio>
 #include <map>
 #include <mutex>
+#include <optional>
 #include <stdexcept>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "core/events.h"
@@ -74,11 +89,28 @@ std::uint64_t fingerprint_spec(const ExperimentSpec& spec);
 CampaignKey campaign_key(const ExperimentSpec& spec);
 
 /// Thrown when a journal exists but belongs to a different campaign (or
-/// its header is unreadable).
+/// its header is unreadable, or its seal footer denounces the records).
 class JournalMismatchError : public std::runtime_error {
  public:
   using std::runtime_error::runtime_error;
 };
+
+/// Seal footer of a completed shard journal: how many trial record lines
+/// the worker wrote and the FNV-1a-64 fingerprint over their raw bytes
+/// (each line including its trailing newline, in file order).
+struct JournalSeal {
+  std::size_t trials = 0;
+  std::uint64_t fingerprint = 0;
+
+  friend bool operator==(const JournalSeal&, const JournalSeal&) = default;
+};
+
+/// FNV-1a-64 offset basis / running fold used by the seal fingerprint
+/// (exposed so tests and the watch merger can recompute it over record
+/// lines).
+inline constexpr std::uint64_t kJournalFnvOffset = 0xcbf29ce484222325ull;
+std::uint64_t journal_fnv1a(std::string_view bytes,
+                            std::uint64_t seed = kJournalFnvOffset);
 
 class CampaignJournal {
  public:
@@ -111,23 +143,65 @@ class CampaignJournal {
 
   /// Append one completed trial and make it durable (flush + fsync)
   /// before returning. Thread-safe: workers call this concurrently.
+  /// Calling record() on a sealed journal is a logic error (MMR_EXPECTS):
+  /// the seal is the worker's "nothing more will be written" promise.
   void record(const JournalTrial& trial);
+
+  /// Append the fsync'd seal footer (record count + FNV-1a fingerprint
+  /// over every record line written or replayed through this journal).
+  /// Idempotent: sealing a journal this handle already sealed is a no-op.
+  /// After seal() the file is safe to copy between machines -- see the
+  /// transport convention in the header comment.
+  void seal();
+
+  /// True once this handle has written (or re-confirmed) the seal footer.
+  bool sealed() const { return sealed_; }
 
  private:
   std::string path_;
   CampaignKey key_;
   ShardPlan shard_;
   std::map<std::size_t, JournalTrial> completed_;
+#ifdef __unix__
+  int out_fd_ = -1;
+#else
   std::FILE* out_ = nullptr;
+#endif
+  /// Running FNV-1a over the raw bytes of every intact record line (loaded
+  /// prefix + everything record() appended), i.e. what seal() will stamp.
+  std::uint64_t records_fnv_ = kJournalFnvOffset;
+  std::size_t record_count_ = 0;
+  bool sealed_ = false;
   std::mutex mutex_;
 };
 
 /// A journal file parsed without resuming it: identity, shard spec
-/// (disabled for unsharded journals), and every intact trial record.
+/// (disabled for unsharded journals), every intact trial record, and the
+/// seal state observed on disk.
 struct LoadedJournal {
   CampaignKey key;
   ShardPlan shard;
   std::vector<JournalTrial> trials;
+  /// The seal footer, when one was found (regardless of whether it
+  /// matches the records -- callers check seal_intact()).
+  std::optional<JournalSeal> seal;
+  /// FNV-1a over the raw bytes of every intact record line, in file
+  /// order (what an honest seal must carry).
+  std::uint64_t records_fnv = kJournalFnvOffset;
+  /// True when the file ended in a damaged (torn) trailing line.
+  bool torn_tail = false;
+  /// True when non-empty lines follow the seal footer -- a sealed
+  /// journal promises the seal is the last line, so this is corruption.
+  bool content_after_seal = false;
+
+  /// True when a seal is present and vouches exactly for the records
+  /// read: matching count, matching fingerprint, nothing torn, nothing
+  /// after it. A sealed-looking journal failing this is NOT an early
+  /// crash -- it lost or gained bytes in transport.
+  bool seal_intact() const {
+    return seal.has_value() && !torn_tail && !content_after_seal &&
+           seal->trials == trials.size() && seal->fingerprint == records_fnv;
+  }
 };
 
 /// Read `path` as a journal: throws std::runtime_error when the file
@@ -144,5 +218,6 @@ LoadedJournal read_journal_file(const std::string& path);
 std::string journal_header_line(const CampaignKey& key,
                                 const ShardPlan& shard = {});
 std::string journal_trial_line(const JournalTrial& trial);
+std::string journal_seal_line(const JournalSeal& seal);
 
 }  // namespace mmr::sim

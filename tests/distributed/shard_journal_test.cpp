@@ -59,6 +59,21 @@ std::string write_shard(const std::string& dir, const CampaignKey& key,
   return path;
 }
 
+/// Like write_shard, but the worker finished its pass: the journal
+/// carries a seal footer vouching for its records.
+std::string write_sealed_shard(const std::string& dir,
+                               const CampaignKey& key,
+                               const ShardPlan& plan) {
+  const std::string path =
+      dir + "/base." + key.name + "." + plan.suffix() + ".journal";
+  CampaignJournal journal(path, key, plan);
+  for (std::size_t t = 0; t < key.trials; ++t) {
+    if (plan.owns(t)) journal.record(demo_trial(t));
+  }
+  journal.seal();
+  return path;
+}
+
 class ShardJournalTest : public ::testing::Test {
  protected:
   void SetUp() override {
@@ -279,6 +294,150 @@ TEST_F(ShardJournalTest, DiscoverFindsExactlyTheSiblingShardJournals) {
   }
   const std::vector<std::string> found = discover_shard_journals(merged);
   EXPECT_EQ(found, written);  // already sorted by (count, index)
+}
+
+TEST_F(ShardJournalTest, SealRoundTripsAndVouchesForTheRecords) {
+  const CampaignKey key = demo_key();
+  const ShardPlan plan{0, 2};
+  const std::string path = write_sealed_shard(dir_, key, plan);
+
+  const LoadedJournal loaded = read_journal_file(path);
+  ASSERT_TRUE(loaded.seal.has_value());
+  EXPECT_TRUE(loaded.seal_intact());
+  EXPECT_EQ(loaded.seal->trials, 3u);  // trials 0, 2, 4 of 6
+  EXPECT_EQ(loaded.seal->fingerprint, loaded.records_fnv);
+  // The seal is the literal last line of the file.
+  const std::string contents = read_all(path);
+  const std::string footer = journal_seal_line(*loaded.seal);
+  ASSERT_GE(contents.size(), footer.size());
+  EXPECT_EQ(contents.substr(contents.size() - footer.size()), footer);
+}
+
+TEST_F(ShardJournalTest, SealedShardsMergeToTheSameSealFreeBytes) {
+  // The merged journal is byte-for-byte the 1-process journal: the shard
+  // seals are consumed by validation, never copied into the merge.
+  const CampaignKey key = demo_key();
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < 2; ++i) {
+    paths.push_back(write_sealed_shard(dir_, key, ShardPlan{i, 2}));
+  }
+  const std::string merged = dir_ + "/merged.journal";
+  const MergeStats stats = merge_journals(paths, merged, key);
+  EXPECT_EQ(stats.sealed_shards, 2u);
+  EXPECT_EQ(stats.missing_trials, 0u);
+
+  std::string expected = journal_header_line(key);
+  for (std::size_t t = 0; t < key.trials; ++t) {
+    expected += journal_trial_line(demo_trial(t));
+  }
+  EXPECT_EQ(read_all(merged), expected);
+  EXPECT_EQ(read_all(merged).find("campaign_seal"), std::string::npos);
+}
+
+TEST_F(ShardJournalTest, UnsealedShardsStillMergeAndCountAsUnsealed) {
+  // Pre-seal-format (and in-progress) shard journals are unchanged: no
+  // seal, same bytes, same merge result.
+  const CampaignKey key = demo_key();
+  std::vector<std::string> paths;
+  for (std::size_t i = 0; i < 2; ++i) {
+    paths.push_back(write_shard(dir_, key, ShardPlan{i, 2}));
+  }
+  const LoadedJournal loaded = read_journal_file(paths[0]);
+  EXPECT_FALSE(loaded.seal.has_value());
+  EXPECT_FALSE(loaded.seal_intact());
+  const MergeStats stats =
+      merge_journals(paths, dir_ + "/merged.journal", key);
+  EXPECT_EQ(stats.sealed_shards, 0u);
+  EXPECT_EQ(stats.merged_trials, 6u);
+}
+
+TEST_F(ShardJournalTest, TailTruncationLosesTheSealAndStaysInProgress) {
+  // rsync of a journal mid-write: the copy ends mid-record and the seal
+  // (the last line) is gone. That is indistinguishable from a crash and
+  // must stay mergeable -- the missing trials are simply re-run.
+  const CampaignKey key = demo_key();
+  const std::string a = write_sealed_shard(dir_, key, ShardPlan{0, 2});
+  const std::string b = write_sealed_shard(dir_, key, ShardPlan{1, 2});
+  std::string bytes = read_all(a);
+  bytes.resize(bytes.size() * 2 / 3);  // drop the seal and tear a record
+  {
+    std::ofstream out(a, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  const MergeStats stats =
+      merge_journals({a, b}, dir_ + "/merged.journal", key);
+  EXPECT_EQ(stats.sealed_shards, 1u);
+  EXPECT_GT(stats.missing_trials, 0u);
+}
+
+TEST_F(ShardJournalTest, TruncationAtARecordBoundaryIsCaughtBySeal) {
+  // The nasty transport failure: a whole record line vanishes but the
+  // file still ends in clean lines. Record parsing alone cannot see it
+  // -- every surviving line is intact -- so only the seal catches it.
+  const CampaignKey key = demo_key();
+  const std::string a = write_sealed_shard(dir_, key, ShardPlan{0, 2});
+  const std::string b = write_sealed_shard(dir_, key, ShardPlan{1, 2});
+  const std::string original = read_all(a);
+  // Remove the second-to-last line (the last record), keeping the seal.
+  const std::size_t seal_start = original.rfind(
+      "{\"campaign_seal\"", original.size() - 2);
+  ASSERT_NE(seal_start, std::string::npos);
+  const std::size_t last_record_start =
+      original.rfind('\n', seal_start - 2) + 1;
+  {
+    std::ofstream out(a, std::ios::binary | std::ios::trunc);
+    out << original.substr(0, last_record_start)
+        << original.substr(seal_start);
+  }
+  // The merge refuses, naming the seal disagreement...
+  expect_merge_error({a, b}, "seal footer does not match its records");
+  // ...and so does a worker trying to resume from the damaged file.
+  try {
+    CampaignJournal journal(a, key, ShardPlan{0, 2});
+    FAIL() << "resumed from a journal whose seal disowns its records";
+  } catch (const JournalMismatchError& e) {
+    EXPECT_NE(std::string(e.what()).find("seal footer"), std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("damaged in transport"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ShardJournalTest, ContentAfterTheSealIsRejected) {
+  const CampaignKey key = demo_key();
+  const std::string a = write_sealed_shard(dir_, key, ShardPlan{0, 2});
+  const std::string b = write_sealed_shard(dir_, key, ShardPlan{1, 2});
+  {
+    std::ofstream out(a, std::ios::binary | std::ios::app);
+    out << journal_trial_line(demo_trial(4));
+  }
+  expect_merge_error({a, b}, "content after the seal");
+}
+
+TEST_F(ShardJournalTest, ResumeStripsTheSealAndResealsByteIdentically) {
+  const CampaignKey key = demo_key();
+  const ShardPlan plan{1, 2};
+  const std::string reference = write_sealed_shard(dir_, key, plan);
+  const std::string path = dir_ + "/resumed.journal";
+  {
+    // First pass records only the first owned trial, then seals (say, a
+    // --trials override ran a prefix of the campaign).
+    CampaignJournal journal(path, key, plan);
+    journal.record(demo_trial(1));
+    journal.seal();
+  }
+  {
+    // Resume: the honest seal is validated, stripped, and the journal
+    // accepts the remaining trials before sealing again.
+    CampaignJournal journal(path, key, plan);
+    EXPECT_FALSE(journal.sealed());
+    EXPECT_EQ(journal.completed().size(), 1u);
+    journal.record(demo_trial(3));
+    journal.record(demo_trial(5));
+    journal.seal();
+  }
+  EXPECT_EQ(read_all(path), read_all(reference));
 }
 
 TEST_F(ShardJournalTest, DiscoverToleratesAMissingDirectory) {

@@ -1,0 +1,112 @@
+// AtomicFile::commit under injected filesystem faults: transient storms
+// produce byte-identical results to a clean run, permanent failures
+// surface as typed IoError, and every failure path unlinks the staged
+// temp file (no *.tmp.<pid> litter, satellite of the durability
+// contract).
+#include "common/atomic_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/fs_ops.h"
+#include "tests/fsfaults/fault_ops.h"
+
+namespace mmr {
+namespace {
+
+class AtomicFileFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/mmr_atomic_faults_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+    path_ = dir_ + "/out.json";
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)std::system(cmd.c_str());
+  }
+
+  std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::vector<std::string> dir_entries() {
+    std::vector<std::string> names;
+    for (const auto& entry : std::filesystem::directory_iterator(dir_)) {
+      names.push_back(entry.path().filename().string());
+    }
+    return names;
+  }
+
+  std::string dir_, path_;
+};
+
+TEST_F(AtomicFileFaultTest, TransientStormCommitsByteIdentically) {
+  const std::string content = "{\"record\": 1}\n{\"record\": 2}\n";
+  // Reference bytes from a clean commit.
+  AtomicFile::write(path_ + ".clean", content);
+  const std::string expected = read_file(path_ + ".clean");
+  // Same commit under an EINTR storm across open/write/fsync/rename.
+  {
+    fsfaults::ScopedFaults faults;
+    fsfaults::script().fail_open = 2;
+    fsfaults::script().fail_write = 2;
+    fsfaults::script().fail_fsync = 1;
+    fsfaults::script().fail_rename = 1;
+    AtomicFile::write(path_, content);
+    EXPECT_FALSE(fsfaults::script().slept.empty());
+  }
+  EXPECT_EQ(read_file(path_), expected);
+  EXPECT_EQ(read_file(path_), content);
+}
+
+TEST_F(AtomicFileFaultTest, EnospcThrowsTypedIoErrorAndLeavesNoLitter) {
+  std::ofstream(path_) << "previous content\n";
+  fsfaults::ScopedFaults faults;
+  fsfaults::script().fail_write = 1;
+  fsfaults::script().write_errno = ENOSPC;
+  try {
+    AtomicFile::write(path_, "replacement that will not fit");
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.op(), "write");
+    EXPECT_EQ(e.code(), ENOSPC);
+    // The failing path is the staged temp next to the destination.
+    EXPECT_NE(e.path().find(path_ + ".tmp."), std::string::npos);
+  }
+  // Destination untouched, staged temp unlinked.
+  EXPECT_EQ(read_file(path_), "previous content\n");
+  EXPECT_EQ(dir_entries().size(), 1u);
+  EXPECT_EQ(dir_entries()[0], "out.json");
+}
+
+TEST_F(AtomicFileFaultTest, RenameFailureUnlinksTheStagedTemp) {
+  std::ofstream(path_) << "previous content\n";
+  fsfaults::ScopedFaults faults;
+  fsfaults::script().fail_rename = 100;  // exhausts the retry budget
+  EXPECT_THROW(AtomicFile::write(path_, "new content"), IoError);
+  EXPECT_EQ(read_file(path_), "previous content\n");
+  EXPECT_EQ(dir_entries().size(), 1u) << "staged temp file littered";
+}
+
+TEST_F(AtomicFileFaultTest, RepeatedFailedCommitsNeverAccumulateTemps) {
+  fsfaults::ScopedFaults faults;
+  for (int i = 0; i < 5; ++i) {
+    fsfaults::script().fail_fsync = 100;
+    fsfaults::script().fsync_errno = EIO;
+    EXPECT_THROW(AtomicFile::write(path_, "content"), IoError);
+  }
+  EXPECT_TRUE(dir_entries().empty());
+}
+
+}  // namespace
+}  // namespace mmr

@@ -1,0 +1,126 @@
+// CampaignJournal's fsync'd append path under injected faults: EINTR
+// storms during record()/seal() produce a journal byte-identical to a
+// clean run, and ENOSPC surfaces as a typed IoError naming the journal
+// path instead of a silent partial checkpoint.
+#include "sim/journal.h"
+
+#include <gtest/gtest.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+
+#include "common/fs_ops.h"
+#include "tests/fsfaults/fault_ops.h"
+
+namespace mmr::sim {
+namespace {
+
+class JournalFaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    char tmpl[] = "/tmp/mmr_journal_faults_XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir_ = tmpl;
+  }
+  void TearDown() override {
+    std::string cmd = "rm -rf '" + dir_ + "'";
+    (void)std::system(cmd.c_str());
+  }
+
+  static ExperimentSpec demo_spec() {
+    ExperimentSpec spec;
+    spec.name = "journal_faults_demo";
+    spec.scenario.name = "indoor";
+    spec.controller.name = "mmreliable";
+    spec.trials = 6;
+    spec.seed = 7;
+    return spec;
+  }
+
+  static JournalTrial demo_trial(std::size_t index) {
+    JournalTrial t;
+    t.index = index;
+    t.wall_s = 0.5 + 0.25 * static_cast<double>(index);
+    t.cpu_s = 0.25;
+    t.label = "rep" + std::to_string(index);
+    t.summary.reliability = 0.999;
+    t.summary.mean_throughput_bps = 1.5e9;
+    t.summary.num_samples = 100;
+    return t;
+  }
+
+  std::string read_file(const std::string& path) {
+    std::ifstream in(path, std::ios::binary);
+    return std::string(std::istreambuf_iterator<char>(in),
+                       std::istreambuf_iterator<char>());
+  }
+
+  std::string dir_;
+};
+
+TEST_F(JournalFaultTest, EintrStormRecordsByteIdenticalJournal) {
+  const CampaignKey key = campaign_key(demo_spec());
+  const ShardPlan shard{0, 2};
+  const std::string clean = dir_ + "/clean.journal";
+  const std::string faulty = dir_ + "/faulty.journal";
+  {
+    CampaignJournal journal(clean, key, shard);
+    journal.record(demo_trial(0));
+    journal.record(demo_trial(2));
+    journal.seal();
+  }
+  {
+    fsfaults::ScopedFaults faults;
+    fsfaults::script().fail_write = 3;
+    fsfaults::script().fail_fsync = 2;
+    fsfaults::script().short_writes = true;
+    CampaignJournal journal(faulty, key, shard);
+    journal.record(demo_trial(0));
+    journal.record(demo_trial(2));
+    journal.seal();
+    EXPECT_FALSE(fsfaults::script().slept.empty());
+  }
+  EXPECT_EQ(read_file(faulty), read_file(clean));
+}
+
+TEST_F(JournalFaultTest, EnospcOnRecordThrowsIoErrorNamingTheJournal) {
+  const CampaignKey key = campaign_key(demo_spec());
+  const std::string path = dir_ + "/campaign.journal";
+  CampaignJournal journal(path, key);
+  journal.record(demo_trial(0));
+  fsfaults::ScopedFaults faults;
+  fsfaults::script().fail_write = 1;
+  fsfaults::script().write_errno = ENOSPC;
+  try {
+    journal.record(demo_trial(1));
+    FAIL() << "expected IoError";
+  } catch (const IoError& e) {
+    EXPECT_EQ(e.op(), "write");
+    EXPECT_EQ(e.path(), path);
+    EXPECT_EQ(e.code(), ENOSPC);
+  }
+}
+
+TEST_F(JournalFaultTest, SealSurvivesTransientFsyncTrouble) {
+  const CampaignKey key = campaign_key(demo_spec());
+  const ShardPlan shard{1, 2};
+  const std::string path = dir_ + "/seal.journal";
+  {
+    CampaignJournal journal(path, key, shard);
+    journal.record(demo_trial(1));
+    fsfaults::ScopedFaults faults;
+    fsfaults::script().fail_fsync = 3;
+    journal.seal();
+    EXPECT_TRUE(journal.sealed());
+    EXPECT_EQ(fsfaults::script().slept.size(), 3u);
+  }
+  const LoadedJournal lj = read_journal_file(path);
+  EXPECT_TRUE(lj.seal_intact());
+  ASSERT_TRUE(lj.seal.has_value());
+  EXPECT_EQ(lj.seal->trials, 1u);
+}
+
+}  // namespace
+}  // namespace mmr::sim
